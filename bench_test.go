@@ -1,0 +1,382 @@
+// Package bench is the benchmark harness that regenerates every figure and
+// headline number in the paper's evaluation (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// values).
+//
+// Each benchmark both times its experiment and reports the experiment's
+// key quantity as a custom metric (ReportMetric), so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduction numbers alongside the usual ns/op. Benchmarks use
+// a reduced corpus so the suite completes quickly; run cmd/pltbench -full
+// for the paper-scale sweep.
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/browser"
+	"cachecatalyst/internal/harness"
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/vclock"
+	"cachecatalyst/internal/webgen"
+)
+
+// benchCorpus is the reduced corpus shared by the experiment benchmarks.
+func benchCorpus() webgen.Params {
+	return webgen.Params{Sites: 8, Seed: 1, Scale: 0.6}
+}
+
+// BenchmarkFig1 regenerates the Figure 1 scenario: the example page's first
+// visit, conventional revisit, and CacheCatalyst revisit. The reported
+// metrics are the three PLTs in milliseconds.
+func BenchmarkFig1(b *testing.B) {
+	const host = "site.example"
+	cond := netsim.Conditions{RTT: 40 * time.Millisecond, DownlinkBps: 60e6}
+	build := func(clock vclock.Clock, catalyst bool) browser.OriginMap {
+		c := server.NewMemContent()
+		week := server.CachePolicy{MaxAge: 7 * 24 * time.Hour, HasMaxAge: true}
+		c.SetBody("/index.html", `<html><head><link rel="stylesheet" href="/a.css"><script src="/b.js"></script></head><body></body></html>`, server.CachePolicy{NoCache: true})
+		c.SetBody("/a.css", "body{}", week)
+		c.SetBody("/b.js", "//@fetch /c.js\n", server.CachePolicy{NoCache: true})
+		c.SetBody("/c.js", "//@fetch /d.jpg\n", week)
+		c.SetBody("/d.jpg", "JPEG", server.CachePolicy{MaxAge: time.Hour, HasMaxAge: true})
+		srv := server.New(c, server.Options{Catalyst: catalyst, Record: catalyst, Clock: clock})
+		return browser.OriginMap{host: server.NewOrigin(srv)}
+	}
+
+	var cold, conv, cat time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clockA := vclock.NewVirtual(vclock.Epoch)
+		origA := build(clockA, false)
+		bA := browser.New(clockA, browser.Conventional, netsim.TransportOptions{})
+		r0, err := bA.Load(origA, cond, host, "/index.html")
+		if err != nil {
+			b.Fatal(err)
+		}
+		clockA.Advance(2 * time.Hour)
+		r1, _ := bA.Load(origA, cond, host, "/index.html")
+
+		clockB := vclock.NewVirtual(vclock.Epoch)
+		origB := build(clockB, true)
+		bB := browser.New(clockB, browser.Catalyst, netsim.TransportOptions{})
+		if _, err := bB.Load(origB, cond, host, "/index.html"); err != nil {
+			b.Fatal(err)
+		}
+		clockB.Advance(2 * time.Hour)
+		r2, _ := bB.Load(origB, cond, host, "/index.html")
+		cold, conv, cat = r0.PLT, r1.PLT, r2.PLT
+	}
+	b.ReportMetric(ms(cold), "fig1a-cold-ms")
+	b.ReportMetric(ms(conv), "fig1b-conv-ms")
+	b.ReportMetric(ms(cat), "fig1c-cat-ms")
+}
+
+// BenchmarkFig3 regenerates Figure 3 on a reduced corpus and grid. Metrics:
+// mean PLT reduction (%) at the extreme cells and overall.
+func BenchmarkFig3(b *testing.B) {
+	cfg := harness.Config{
+		Corpus: benchCorpus(),
+		Grid: []netsim.Conditions{
+			{RTT: 10 * time.Millisecond, DownlinkBps: 8e6},
+			{RTT: 80 * time.Millisecond, DownlinkBps: 8e6},
+			{RTT: 10 * time.Millisecond, DownlinkBps: 60e6},
+			{RTT: 80 * time.Millisecond, DownlinkBps: 60e6},
+		},
+		Delays: []time.Duration{time.Hour, 24 * time.Hour},
+	}
+	var res *harness.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.RunFig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Cells[0].MeanReductionPct, "8Mbps10ms-%")
+	b.ReportMetric(res.Cells[3].MeanReductionPct, "60Mbps80ms-%")
+	b.ReportMetric(res.OverallReduction, "overall-%")
+}
+
+// BenchmarkHeadline regenerates the abstract's claim: mean PLT reduction at
+// the global-median 5G condition (paper: ≈30%).
+func BenchmarkHeadline(b *testing.B) {
+	cfg := harness.Config{
+		Corpus: webgen.Params{Sites: 8, Seed: 1, Scale: 1.0},
+		Grid:   []netsim.Conditions{harness.Median5G()},
+		Delays: harness.PaperDelays(),
+	}
+	var res *harness.HeadlineResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.RunHeadline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Median5GReduction, "5G-median-reduction-%")
+}
+
+// BenchmarkCorpusStats regenerates the §2 workload-model calibration
+// table. Metrics: the cache-pathology fractions the paper cites.
+func BenchmarkCorpusStats(b *testing.B) {
+	day := 24 * time.Hour
+	var st webgen.CorpusStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := vclock.NewVirtual(vclock.Epoch)
+		corpus := webgen.Generate(webgen.Params{Sites: 30, Seed: 1}, clock)
+		st = corpus.Stats([]time.Duration{day})
+	}
+	b.ReportMetric(st.FracShortTTL*100, "ttl<1d-%")                      // paper: 40
+	b.ReportMetric(st.ShortTTLUnchangedWithin24h*100, "unchanged-24h-%") // paper: 86
+	b.ReportMetric(st.SpuriousExpiry[day]*100, "spurious-expiry-%")      // paper: 47
+	b.ReportMetric(st.MeanPageBytes/1e6, "page-MB")                      // paper: ~2.5
+}
+
+// BenchmarkBaselines regenerates the §5 scheme comparison at the 5G-median
+// condition. Metrics: warm PLT per scheme (ms) and warm bytes for push.
+func BenchmarkBaselines(b *testing.B) {
+	cfg := harness.Config{Corpus: benchCorpus()}
+	var rows []harness.BaselineRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunBaselines(cfg, harness.Median5G(), time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Scheme {
+		case harness.SchemeConventional:
+			b.ReportMetric(ms(r.MeanWarmPLT), "conv-warm-ms")
+		case harness.SchemeCatalyst:
+			b.ReportMetric(ms(r.MeanWarmPLT), "catalyst-warm-ms")
+		case harness.SchemeServerPush:
+			b.ReportMetric(ms(r.MeanWarmPLT), "push-warm-ms")
+			b.ReportMetric(r.MeanWarmBytes/1024, "push-warm-KB")
+		case harness.SchemeRDR:
+			b.ReportMetric(ms(r.MeanColdPLT), "rdr-cold-ms")
+		}
+	}
+}
+
+// BenchmarkAblationHeaderOverhead quantifies the X-Etag-Config cost.
+// Metrics: mean map bytes per navigation and its share of the response.
+func BenchmarkAblationHeaderOverhead(b *testing.B) {
+	cfg := harness.Config{Corpus: benchCorpus()}
+	var res *harness.OverheadResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.RunHeaderOverhead(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanMapBytes, "map-bytes")
+	b.ReportMetric(res.OverheadFraction*100, "nav-overhead-%")
+}
+
+// BenchmarkAblationCoverage quantifies static-map coverage vs the
+// recording extension. Metrics: covered fraction per variant.
+func BenchmarkAblationCoverage(b *testing.B) {
+	cfg := harness.Config{Corpus: benchCorpus()}
+	var rows []harness.CoverageRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunCoverage(cfg, harness.Median5G())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].CoveredFraction*100, "static-covered-%")
+	b.ReportMetric(rows[1].CoveredFraction*100, "record-covered-%")
+}
+
+// BenchmarkAblationH2 reruns a Figure 3 cell under HTTP/2 multiplexing:
+// fewer connections means revalidations pipeline better, so conventional
+// caching loses less — catalyst's edge shrinks but stays positive.
+func BenchmarkAblationH2(b *testing.B) {
+	for _, h2 := range []bool{false, true} {
+		name := "h1-6conns"
+		if h2 {
+			name = "h2-multiplexed"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.Config{
+				Corpus:    benchCorpus(),
+				Transport: netsim.TransportOptions{H2: h2},
+				Grid:      []netsim.Conditions{harness.Median5G()},
+				Delays:    []time.Duration{time.Hour},
+			}
+			var res *harness.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = harness.RunFig3(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.OverallReduction, "reduction-%")
+		})
+	}
+}
+
+// BenchmarkAblationChangeRate sweeps revisit delay — a proxy for content
+// volatility: the longer the gap, the more resources have really changed
+// and the less any token scheme can save.
+func BenchmarkAblationChangeRate(b *testing.B) {
+	cfg := harness.Config{
+		Corpus: benchCorpus(),
+		Grid:   []netsim.Conditions{harness.Median5G()},
+		Delays: []time.Duration{time.Minute, 6 * time.Hour, 7 * 24 * time.Hour, 30 * 24 * time.Hour},
+	}
+	var res *harness.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.RunFig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, dp := range res.Cells[0].ByDelay {
+		b.ReportMetric(dp.MeanReductionPct, "+"+dp.Delay.String()+"-%")
+	}
+}
+
+// BenchmarkAblationMobileProfile reruns the 5G-median cell with the
+// mobile corpus profile — the device class the paper's motivation centres
+// on. Lighter pages shift the bottleneck further toward latency, so the
+// reduction holds (or grows) despite fewer resources.
+func BenchmarkAblationMobileProfile(b *testing.B) {
+	for _, profile := range []webgen.Profile{webgen.ProfileDesktop, webgen.ProfileMobile} {
+		b.Run(profile.String(), func(b *testing.B) {
+			corpus := benchCorpus()
+			corpus.Profile = profile
+			cfg := harness.Config{
+				Corpus: corpus,
+				Grid:   []netsim.Conditions{harness.Median5G()},
+				Delays: []time.Duration{time.Hour},
+			}
+			var res *harness.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = harness.RunFig3(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.OverallReduction, "reduction-%")
+		})
+	}
+}
+
+// BenchmarkColdLoad measures raw emulator throughput: one full cold page
+// load (≈40 resources) per iteration, including corpus materialization.
+func BenchmarkColdLoad(b *testing.B) {
+	cond := harness.Median5G()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := harness.NewWorld(benchCorpus(), i%8, harness.SchemeConventional, netsim.TransportOptions{})
+		if _, err := w.Load(cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// BenchmarkFCP reports the First-Contentful-Paint reduction at the
+// 5G-median condition — the UX metric the paper's §6 defers to future
+// work, implemented here.
+func BenchmarkFCP(b *testing.B) {
+	cfg := harness.Config{
+		Corpus: benchCorpus(),
+		Grid:   []netsim.Conditions{harness.Median5G()},
+		Delays: []time.Duration{time.Hour},
+	}
+	var res *harness.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = harness.RunFig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Cells[0].FCPReductionPct, "fcp-reduction-%")
+	b.ReportMetric(res.Cells[0].MeanReductionPct, "plt-reduction-%")
+}
+
+// BenchmarkAblationSlowStart reruns the 5G-median cell with TCP slow-start
+// modelling enabled. Counterintuitive finding: the reduction *shrinks*,
+// because the conventional client's stream of tiny revalidations doubles as
+// congestion-window warming for the transfers it cannot avoid, while the
+// catalyst client hits those same transfers on cold windows. Another
+// second-order effect the paper's evaluation does not surface.
+func BenchmarkAblationSlowStart(b *testing.B) {
+	for _, ss := range []bool{false, true} {
+		name := "fluid-only"
+		if ss {
+			name = "with-slow-start"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.Config{
+				Corpus:    benchCorpus(),
+				Transport: netsim.TransportOptions{SlowStart: ss},
+				Grid:      []netsim.Conditions{harness.Median5G()},
+				Delays:    []time.Duration{time.Hour},
+			}
+			var res *harness.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = harness.RunFig3(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.OverallReduction, "reduction-%")
+			b.ReportMetric(float64(res.Cells[0].MeanBasePLT.Milliseconds()), "conv-warm-ms")
+		})
+	}
+}
+
+// BenchmarkAblationFingerprinting sweeps the fraction of assets deployed
+// the best-practice way (immutable TTL + version-stamped URL). As
+// fingerprinting rises, there are fewer spurious revalidations for
+// CacheCatalyst to eliminate — quantifying how much of the paper's win
+// assumes today's header misconfiguration.
+func BenchmarkAblationFingerprinting(b *testing.B) {
+	for _, frac := range []float64{0, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("fingerprint-%.0f%%", frac*100), func(b *testing.B) {
+			corpus := benchCorpus()
+			corpus.FingerprintFrac = frac
+			cfg := harness.Config{
+				Corpus: corpus,
+				Grid:   []netsim.Conditions{harness.Median5G()},
+				Delays: []time.Duration{time.Hour, 24 * time.Hour},
+			}
+			var res *harness.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = harness.RunFig3(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.OverallReduction, "reduction-%")
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package catalyst
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/etag"
+)
+
+// Client is a CacheCatalyst-aware HTTP client for Go programs — the
+// non-browser counterpart of the Service Worker. Crawlers, monitors and
+// scrapers that revisit pages benefit the same way browsers do: after a
+// page fetch delivers the X-Etag-Config map, any cached subresource whose
+// entity tag matches is returned locally with zero network round trips,
+// and anything else is fetched (conditionally when possible) and
+// re-cached.
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	// HTTP performs the actual requests; nil means http.DefaultClient.
+	HTTP *http.Client
+
+	mu    sync.Mutex
+	maps  map[string]ETagMap // per origin ("scheme://host")
+	cache map[string]*cachedResponse
+
+	// Stats counters (read with Snapshot).
+	localHits, networkFetches, revalidations int64
+}
+
+type cachedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// response builds a caller-owned copy of the entry.
+func (c *cachedResponse) response(source string) *ClientResponse {
+	return &ClientResponse{
+		StatusCode: c.status,
+		Header:     c.header.Clone(),
+		Body:       append([]byte(nil), c.body...),
+		Source:     source,
+	}
+}
+
+// ClientResponse is a completed (possibly cache-served) exchange.
+type ClientResponse struct {
+	StatusCode int
+	Header     http.Header
+	Body       []byte
+	// Source tells where the body came from: "network", "cache"
+	// (zero round trips, proven current by the proactive map), or
+	// "revalidated" (a conditional request answered 304).
+	Source string
+}
+
+// ClientStats is a snapshot of client activity.
+type ClientStats struct {
+	LocalHits      int64
+	NetworkFetches int64
+	Revalidations  int64
+}
+
+// NewClient returns an empty-cache client over hc.
+func NewClient(hc *http.Client) *Client {
+	return &Client{
+		HTTP:  hc,
+		maps:  make(map[string]ETagMap),
+		cache: make(map[string]*cachedResponse),
+	}
+}
+
+// Snapshot returns current counters.
+func (c *Client) Snapshot() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ClientStats{LocalHits: c.localHits, NetworkFetches: c.networkFetches, Revalidations: c.revalidations}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Get fetches rawURL with CacheCatalyst semantics. HTML responses refresh
+// the origin's ETag map; subresources covered by a current map entry are
+// served from the local cache without touching the network.
+func (c *Client) Get(rawURL string) (*ClientResponse, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("catalyst client: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("catalyst client: URL %q must be absolute", rawURL)
+	}
+	originKey := u.Scheme + "://" + u.Host
+	cacheKey := originKey + resourceKey(u)
+
+	// Serve locally when the proactive token proves the copy current. The
+	// validator is snapshotted under the lock: cached entries are shared
+	// between goroutines and must not be touched outside it.
+	var cachedTag string
+	c.mu.Lock()
+	m := c.maps[originKey]
+	if cached := c.cache[cacheKey]; cached != nil {
+		cachedTag = cached.header.Get("Etag")
+		if m != nil && cachedTag != "" {
+			if tag, ok := etag.Parse(cachedTag); ok &&
+				core.Decide(m, resourceKey(u), tag) == core.ServeFromCache {
+				c.localHits++
+				resp := cached.response("cache")
+				c.mu.Unlock()
+				return resp, nil
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cachedTag != "" {
+		req.Header.Set("If-None-Match", cachedTag)
+	}
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.networkFetches++
+
+	// HTML responses (and their 304s) carry a fresh map for the origin.
+	if cfg := httpResp.Header.Get(HeaderName); cfg != "" {
+		if newMap, err := core.DecodeMap(cfg); err == nil {
+			c.maps[originKey] = newMap
+		}
+	}
+
+	if httpResp.StatusCode == http.StatusNotModified {
+		if cached := c.cache[cacheKey]; cached != nil {
+			c.revalidations++
+			// Merge refreshed headers per RFC 9111 §4.3.4 — into a fresh
+			// entry, never mutating the shared one in place.
+			merged := cached.header.Clone()
+			for k, vs := range httpResp.Header {
+				if k == "Content-Length" {
+					continue
+				}
+				merged[k] = append([]string(nil), vs...)
+			}
+			fresh := &cachedResponse{status: cached.status, header: merged, body: cached.body}
+			c.cache[cacheKey] = fresh
+			return fresh.response("revalidated"), nil
+		}
+		// The entry vanished (Clear raced the request): surface the 304.
+	}
+
+	out := &ClientResponse{
+		StatusCode: httpResp.StatusCode,
+		Header:     httpResp.Header.Clone(),
+		Body:       body,
+		Source:     "network",
+	}
+	if httpResp.StatusCode == http.StatusOK && !strings.Contains(httpResp.Header.Get("Cache-Control"), "no-store") {
+		c.cache[cacheKey] = &cachedResponse{
+			status: httpResp.StatusCode,
+			header: httpResp.Header.Clone(),
+			body:   append([]byte(nil), body...),
+		}
+	}
+	return out, nil
+}
+
+// Clear drops all cached responses and maps.
+func (c *Client) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maps = make(map[string]ETagMap)
+	c.cache = make(map[string]*cachedResponse)
+}
+
+// resourceKey is the origin-relative key used both in the cache and in the
+// server's map (path plus query).
+func resourceKey(u *url.URL) string {
+	p := u.EscapedPath()
+	if p == "" {
+		p = "/"
+	}
+	if u.RawQuery != "" {
+		p += "?" + u.RawQuery
+	}
+	return p
+}

@@ -1,0 +1,99 @@
+package catalyst_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing/fstest"
+
+	"cachecatalyst/catalyst"
+)
+
+// ExampleMiddleware retrofits CacheCatalyst onto an existing handler: one
+// wrap call adds the X-Etag-Config header, the Service-Worker snippet and
+// the worker script endpoint.
+func ExampleMiddleware() {
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			w.Header().Set("Content-Type", "text/html")
+			io.WriteString(w, `<html><head><link rel="stylesheet" href="/site.css"></head></html>`)
+		case "/site.css":
+			w.Header().Set("Content-Type", "text/css")
+			io.WriteString(w, "body { margin: 0 }")
+		default:
+			http.NotFound(w, r)
+		}
+	})
+
+	ts := httptest.NewServer(catalyst.Middleware(app, catalyst.MiddlewareOptions{}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	m, _ := catalyst.DecodeMap(resp.Header.Get(catalyst.HeaderName))
+	tag, covered := m["/site.css"]
+	fmt.Println("stylesheet covered:", covered)
+	fmt.Println("tag is strong:", !tag.Weak)
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Println("worker registered:", strings.Contains(string(body), "serviceWorker"))
+	// Output:
+	// stylesheet covered: true
+	// tag is strong: true
+	// worker registered: true
+}
+
+// ExampleNewServer serves a directory tree with the mechanism enabled —
+// the equivalent of running cmd/catalystd.
+func ExampleNewServer() {
+	site := fstest.MapFS{
+		"index.html": {Data: []byte(`<img src="/logo.png">`)},
+		"logo.png":   {Data: []byte("PNG")},
+	}
+	srv, err := catalyst.NewServer(site, catalyst.ServerOptions{Policy: catalyst.DefaultPolicy})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	m, _ := catalyst.DecodeMap(resp.Header.Get(catalyst.HeaderName))
+	fmt.Println("map entries:", len(m))
+	// Output:
+	// map entries: 1
+}
+
+// ExampleClient shows the non-browser consumer: a crawler that revisits a
+// page pays one request instead of one per resource.
+func ExampleClient() {
+	site := fstest.MapFS{
+		"index.html": {Data: []byte(`<link rel="stylesheet" href="/s.css">`)},
+		"s.css":      {Data: []byte("body{}")},
+	}
+	srv, _ := catalyst.NewServer(site, catalyst.ServerOptions{Policy: catalyst.DefaultPolicy})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := catalyst.NewClient(nil)
+	c.Get(ts.URL + "/index.html")
+	c.Get(ts.URL + "/s.css")
+
+	// Revisit: page revalidates, stylesheet is proven current by the map.
+	page, _ := c.Get(ts.URL + "/index.html")
+	css, _ := c.Get(ts.URL + "/s.css")
+	fmt.Println("page:", page.Source)
+	fmt.Println("stylesheet:", css.Source)
+	// Output:
+	// page: revalidated
+	// stylesheet: cache
+}

@@ -1,0 +1,161 @@
+package catalyst
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"testing/fstest"
+	"time"
+
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/htmlparse"
+	"cachecatalyst/internal/netem"
+)
+
+// shapedClient returns an http.Client whose connections add a full RTT of
+// delay to every response (client-side read shaping).
+func shapedClient(rtt time.Duration) *http.Client {
+	shaper := netem.Shaper{Delay: rtt}
+	dialer := &net.Dialer{}
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				c, err := dialer.DialContext(ctx, network, addr)
+				if err != nil {
+					return nil, err
+				}
+				return shaper.Conn(c), nil
+			},
+		},
+	}
+}
+
+// fetchTagged GETs url and returns the response with its body and tag.
+func fetchTagged(t *testing.T, client *http.Client, url string) (string, etag.Tag, http.Header) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	tag, _ := etag.Parse(resp.Header.Get("Etag"))
+	return string(body), tag, resp.Header
+}
+
+// TestWallClockRevisit reproduces the paper's core effect on real sockets:
+// a conventional client pays one shaped round trip per revalidation, while
+// a catalyst client pays only the navigation.
+func TestWallClockRevisit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	fsys := fstest.MapFS{
+		"index.html": {Data: []byte(`<html><head><link rel="stylesheet" href="/style.css"><script src="/app.js"></script></head><body><img src="/logo.png"></body></html>`)},
+		"style.css":  {Data: []byte(`body { background: url(/bg.png); }`)},
+		"app.js":     {Data: []byte(`console.log("app")`)},
+		"logo.png":   {Data: []byte("PNG-LOGO")},
+		"bg.png":     {Data: []byte("PNG-BG")},
+	}
+	srv, err := NewServer(fsys, ServerOptions{Policy: DefaultPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const rtt = 30 * time.Millisecond
+	client := shapedClient(rtt)
+
+	// --- First visit: fetch the page and all subresources, remembering
+	// ETags (this warms both emulated clients identically).
+	html, navTag, hdr := fetchTagged(t, client, ts.URL+"/")
+	m, err := DecodeMap(hdr.Get(HeaderName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := map[string]etag.Tag{}
+	for _, r := range htmlparse.ExtractFromHTML(html) {
+		_, tag, subHdr := fetchTagged(t, client, ts.URL+r.URL)
+		if cc := subHdr.Get("Cache-Control"); cc == "no-store" {
+			continue
+		}
+		cached[r.URL] = tag
+	}
+	// CSS-referenced background also cached (the map covers it).
+	if _, ok := m["/bg.png"]; ok {
+		_, tag, _ := fetchTagged(t, client, ts.URL+"/bg.png")
+		cached["/bg.png"] = tag
+	}
+
+	// --- Conventional revisit: conditional GET for the page and every
+	// cached subresource (content unchanged → all 304, but each costs a
+	// round trip).
+	startConv := time.Now()
+	req, _ := http.NewRequest("GET", ts.URL+"/", nil)
+	req.Header.Set("If-None-Match", navTag.String())
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("nav revisit status = %d", resp.StatusCode)
+	}
+	for path, tag := range cached {
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		req.Header.Set("If-None-Match", tag.String())
+		r, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s revisit status = %d", path, r.StatusCode)
+		}
+	}
+	conventional := time.Since(startConv)
+
+	// --- Catalyst revisit: one conditional navigation; its 304 carries
+	// the fresh map, every cached tag matches, so nothing else is fetched.
+	startCat := time.Now()
+	req2, _ := http.NewRequest("GET", ts.URL+"/", nil)
+	req2.Header.Set("If-None-Match", navTag.String())
+	resp2, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	freshMap, err := DecodeMap(resp2.Header.Get(HeaderName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, tag := range cached {
+		current, ok := freshMap[path]
+		if !ok {
+			t.Fatalf("map lost %q on revisit", path)
+		}
+		if current != tag {
+			t.Fatalf("%s changed unexpectedly: %v vs %v", path, current, tag)
+		}
+		// Tag matches → serve from cache: zero requests.
+	}
+	catalystTime := time.Since(startCat)
+
+	// The conventional revisit made 1+len(cached) shaped round trips; the
+	// catalyst revisit made 1. Require a clear wall-clock win.
+	t.Logf("conventional=%v catalyst=%v (rtt=%v, %d cached resources)",
+		conventional, catalystTime, rtt, len(cached))
+	if conventional < time.Duration(len(cached))*rtt {
+		t.Fatalf("conventional revisit %v suspiciously fast for %d revalidations", conventional, len(cached))
+	}
+	if catalystTime*2 > conventional {
+		t.Fatalf("catalyst revisit %v not ≪ conventional %v", catalystTime, conventional)
+	}
+}

@@ -1,0 +1,28 @@
+package catalyst
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"cachecatalyst/internal/server"
+)
+
+// MetricsPath is the conventional path WithMetrics serves the snapshot at.
+const MetricsPath = "/debug/catalystd"
+
+// WithMetrics wraps srv so that MetricsPath serves a JSON snapshot of the
+// server's counters (and, when ServerOptions.AccessLogSize was set, its
+// recent requests) while every other request reaches the site. cmd/catalystd
+// uses this behind its -metrics flag.
+func WithMetrics(srv *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(MetricsPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		if err := json.NewEncoder(w).Encode(srv.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/", srv)
+	return mux
+}

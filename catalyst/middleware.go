@@ -1,0 +1,199 @@
+package catalyst
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/etag"
+)
+
+// MiddlewareOptions configures Middleware.
+type MiddlewareOptions struct {
+	// MaxMapEntries caps the X-Etag-Config size; 0 means unlimited.
+	MaxMapEntries int
+	// ProbeTTL bounds how long a subresource's probed ETag may be reused
+	// before re-probing the inner handler. Zero selects 1 second — fresh
+	// enough that a deployed map is never stale longer than that, cheap
+	// enough that hot pages don't probe every sibling per request.
+	ProbeTTL time.Duration
+}
+
+// Middleware retrofits CacheCatalyst onto any http.Handler:
+//
+//   - HTML responses are inspected (the paper's DOM traversal); each
+//     same-origin subresource is probed against the inner handler to learn
+//     its current ETag, and the resulting map ships in X-Etag-Config.
+//   - The Service-Worker registration snippet is injected and the worker
+//     script is served at WorkerPath.
+//   - Conditional requests against the rewritten HTML are answered 304.
+//
+// Non-HTML responses pass through untouched, so the middleware composes
+// with whatever caching headers the inner handler already emits.
+func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
+	if opts.ProbeTTL <= 0 {
+		opts.ProbeTTL = time.Second
+	}
+	m := &middleware{next: next, opts: opts, probes: make(map[string]probe)}
+	return m
+}
+
+type middleware struct {
+	next   http.Handler
+	opts   MiddlewareOptions
+	mu     sync.Mutex
+	probes map[string]probe
+}
+
+type probe struct {
+	tag     etag.Tag
+	cssBody string
+	isCSS   bool
+	ok      bool
+	expires time.Time
+}
+
+func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == WorkerPath && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
+		h := w.Header()
+		h.Set("Content-Type", "text/javascript; charset=utf-8")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Etag", etag.ForBytes([]byte(WorkerScript)).String())
+		_, _ = w.Write([]byte(WorkerScript))
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		m.next.ServeHTTP(w, r)
+		return
+	}
+
+	rec := httptest.NewRecorder()
+	m.next.ServeHTTP(rec, cloneWithoutConditionals(r))
+	resp := rec.Result()
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		// Pass through verbatim, restoring the caller's conditional
+		// semantics by replaying the inner handler with the original
+		// request.
+		rec2 := httptest.NewRecorder()
+		m.next.ServeHTTP(rec2, r)
+		copyResponse(w, rec2)
+		return
+	}
+
+	body := rec.Body.String()
+	etags := m.buildMap(r, body)
+	injected := core.InjectRegistration(body)
+	tag := etag.ForBytes([]byte(injected))
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if k == "Content-Length" || k == "Etag" {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set(HeaderName, etags.Encode())
+	h.Set("Etag", tag.String())
+
+	if !etag.NoneMatch(r.Header.Get("If-None-Match"), tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(injected)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write([]byte(injected))
+	}
+}
+
+// buildMap runs the core map builder with a resolver that probes the inner
+// handler.
+func (m *middleware) buildMap(r *http.Request, html string) ETagMap {
+	res := &probeResolver{m: m, req: r}
+	pageURL := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pageURL += "?" + r.URL.RawQuery
+	}
+	return core.BuildMap(pageURL, html, res, core.BuildOptions{MaxEntries: m.opts.MaxMapEntries})
+}
+
+type probeResolver struct {
+	m   *middleware
+	req *http.Request
+}
+
+func (p *probeResolver) ETagFor(path string) (etag.Tag, bool) {
+	pr := p.m.probe(path, p.req)
+	return pr.tag, pr.ok
+}
+
+func (p *probeResolver) StylesheetBody(path string) (string, bool) {
+	pr := p.m.probe(path, p.req)
+	if !pr.ok || !pr.isCSS {
+		return "", false
+	}
+	return pr.cssBody, true
+}
+
+// probe GETs path against the inner handler, caching the result briefly.
+func (m *middleware) probe(path string, via *http.Request) probe {
+	m.mu.Lock()
+	if pr, ok := m.probes[path]; ok && time.Now().Before(pr.expires) {
+		m.mu.Unlock()
+		return pr
+	}
+	m.mu.Unlock()
+
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.Host = via.Host
+	rec := httptest.NewRecorder()
+	m.next.ServeHTTP(rec, req)
+
+	pr := probe{expires: time.Now().Add(m.opts.ProbeTTL)}
+	if rec.Code == http.StatusOK {
+		if t, ok := etag.Parse(rec.Header().Get("Etag")); ok {
+			pr.tag = t
+		} else {
+			// The inner handler emits no validator; derive one the way
+			// the modified Caddy derives tags from file contents.
+			pr.tag = etag.ForBytes(rec.Body.Bytes())
+		}
+		pr.ok = true
+		if strings.HasPrefix(rec.Header().Get("Content-Type"), "text/css") {
+			pr.isCSS = true
+			pr.cssBody = rec.Body.String()
+		}
+	}
+
+	m.mu.Lock()
+	m.probes[path] = pr
+	m.mu.Unlock()
+	return pr
+}
+
+// cloneWithoutConditionals strips validators so the inner handler returns
+// the full entity (the middleware handles conditionals itself, against the
+// rewritten body).
+func cloneWithoutConditionals(r *http.Request) *http.Request {
+	c := r.Clone(r.Context())
+	c.Header.Del("If-None-Match")
+	c.Header.Del("If-Modified-Since")
+	return c
+}
+
+func copyResponse(w http.ResponseWriter, rec *httptest.ResponseRecorder) {
+	h := w.Header()
+	for k, vs := range rec.Header() {
+		h[k] = vs
+	}
+	w.WriteHeader(rec.Code)
+	_, _ = w.Write(rec.Body.Bytes())
+}
+
+var _ http.Handler = (*middleware)(nil)

@@ -1,0 +1,80 @@
+// Command catalystd serves a directory tree over HTTP with CacheCatalyst
+// enabled — the reproduction's counterpart of the authors' modified Caddy.
+//
+//	catalystd -dir ./site -addr :8080 -record
+//
+// Every HTML response carries the X-Etag-Config map and the Service-Worker
+// registration snippet; the worker script is served at /cc-sw.js; all
+// resources answer conditional requests with 304s. With -record, the
+// server additionally captures per-session first-visit resource lists so
+// revisit maps cover JavaScript-discovered resources.
+//
+// Pass -plain to disable the mechanism and serve with conventional cache
+// headers only (the baseline), which is handy for A/B comparisons with a
+// real browser's devtools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"cachecatalyst/catalyst"
+	"cachecatalyst/internal/server"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", ".", "directory tree to serve")
+		addr    = flag.String("addr", ":8080", "listen address")
+		record  = flag.Bool("record", false, "enable first-visit session recording")
+		plain   = flag.Bool("plain", false, "disable CacheCatalyst (baseline mode)")
+		metrics = flag.Bool("metrics", false, "expose counters and recent requests at "+catalyst.MetricsPath)
+	)
+	flag.Parse()
+
+	if _, err := os.Stat(*dir); err != nil {
+		log.Fatalf("catalystd: %v", err)
+	}
+
+	accessLog := 0
+	if *metrics {
+		accessLog = 256
+	}
+	var srv *server.Server
+	if *plain {
+		content, err := server.NewFSContent(os.DirFS(*dir), catalyst.DefaultPolicy)
+		if err != nil {
+			log.Fatalf("catalystd: %v", err)
+		}
+		srv = server.New(content, server.Options{AccessLogSize: accessLog})
+		fmt.Printf("catalystd: serving %s on %s (conventional caching)\n", *dir, *addr)
+	} else {
+		var err error
+		srv, err = catalyst.NewServer(os.DirFS(*dir), catalyst.ServerOptions{
+			Record:        *record,
+			Policy:        catalyst.DefaultPolicy,
+			AccessLogSize: accessLog,
+		})
+		if err != nil {
+			log.Fatalf("catalystd: %v", err)
+		}
+		fmt.Printf("catalystd: serving %s on %s (CacheCatalyst%s)\n",
+			*dir, *addr, map[bool]string{true: " + recording", false: ""}[*record])
+	}
+
+	handler := http.Handler(srv)
+	if *metrics {
+		handler = catalyst.WithMetrics(srv)
+		fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

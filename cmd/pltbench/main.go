@@ -1,0 +1,161 @@
+// Command pltbench regenerates the paper's evaluation numbers.
+//
+// Each experiment prints the rows/series behind one of the paper's figures
+// or claims (see DESIGN.md's experiment index):
+//
+//	pltbench -experiment fig3       # Figure 3: PLT reduction over the network grid
+//	pltbench -experiment headline   # the abstract's ~30% average claim
+//	pltbench -experiment corpus     # §2 workload-model calibration statistics
+//	pltbench -experiment baselines  # §5: catalyst vs Server-Push vs RDR proxy
+//	pltbench -experiment overhead   # ablation: X-Etag-Config header cost
+//	pltbench -experiment coverage   # ablation: static map vs recording mode
+//	pltbench -experiment crosspage  # §1 intra-site navigation reuse
+//	pltbench -experiment all        # everything
+//
+// The default corpus is a fast subset; pass -full for the paper's scale
+// (100 sites, full grid, all five revisit delays).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cachecatalyst/internal/harness"
+	"cachecatalyst/internal/vclock"
+	"cachecatalyst/internal/webgen"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig3 | headline | corpus | baselines | overhead | coverage | all")
+		full       = flag.Bool("full", false, "paper scale: 100 sites, full grid, all delays")
+		sites      = flag.Int("sites", 0, "override corpus size")
+		scale      = flag.Float64("scale", 0, "override per-page resource scale")
+		seed       = flag.Int64("seed", 1, "corpus seed")
+		h2         = flag.Bool("h2", false, "use HTTP/2 multiplexing instead of 6 HTTP/1.1 connections")
+		parallel   = flag.Int("parallel", 0, "measurement parallelism (0 = GOMAXPROCS)")
+		mobile     = flag.Bool("mobile", false, "use the mobile corpus profile")
+		treatment  = flag.String("treatment", "catalyst", "scheme measured against the conventional baseline in fig3/headline: catalyst | record | full | push | rdr")
+		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if !*full {
+		cfg.Corpus.Sites = 20
+		cfg.Corpus.Scale = 0.6
+		cfg.Delays = []time.Duration{time.Minute, time.Hour, 24 * time.Hour}
+	}
+	if *sites > 0 {
+		cfg.Corpus.Sites = *sites
+	}
+	if *scale > 0 {
+		cfg.Corpus.Scale = *scale
+	}
+	cfg.Corpus.Seed = *seed
+	cfg.Transport.H2 = *h2
+	cfg.Parallelism = *parallel
+	if *mobile {
+		cfg.Corpus.Profile = webgen.ProfileMobile
+	}
+	treatScheme, ok := map[string]harness.Scheme{
+		"catalyst": harness.SchemeCatalyst,
+		"record":   harness.SchemeCatalystRecord,
+		"full":     harness.SchemeCatalystFull,
+		"push":     harness.SchemeServerPush,
+		"rdr":      harness.SchemeRDR,
+	}[*treatment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pltbench: unknown treatment %q\n", *treatment)
+		os.Exit(2)
+	}
+
+	emit := func(table string, v any) error {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+		fmt.Print(table)
+		return nil
+	}
+
+	run := func(name string, fn func() error) {
+		if !*asJSON {
+			fmt.Printf("=== %s ===\n", name)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "pltbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	experiments := map[string]func() error{
+		"fig3": func() error {
+			res, err := harness.RunPairedSweep(cfg, harness.SchemeConventional, treatScheme)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table(), res)
+		},
+		"headline": func() error {
+			res, err := harness.RunHeadline(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table(), res)
+		},
+		"corpus": func() error {
+			clock := vclock.NewVirtual(vclock.Epoch)
+			corpus := webgen.Generate(cfg.Corpus, clock)
+			st := corpus.Stats(cfg.Delays)
+			return emit(st.String(), st)
+		},
+		"baselines": func() error {
+			rows, err := harness.RunBaselines(cfg, harness.Median5G(), time.Hour)
+			if err != nil {
+				return err
+			}
+			return emit(harness.BaselineTable(rows, time.Hour), rows)
+		},
+		"overhead": func() error {
+			res, err := harness.RunHeaderOverhead(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table(), res)
+		},
+		"coverage": func() error {
+			rows, err := harness.RunCoverage(cfg, harness.Median5G())
+			if err != nil {
+				return err
+			}
+			return emit(harness.CoverageTable(rows), rows)
+		},
+		"crosspage": func() error {
+			rows, err := harness.RunCrossPage(cfg, harness.Median5G())
+			if err != nil {
+				return err
+			}
+			return emit(harness.CrossPageTable(rows), rows)
+		},
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"corpus", "fig3", "headline", "baselines", "overhead", "coverage", "crosspage"} {
+			run(name, experiments[name])
+		}
+		return
+	}
+	fn, ok := experiments[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pltbench: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(*experiment, fn)
+}

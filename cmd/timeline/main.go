@@ -1,0 +1,170 @@
+// Command timeline prints Figure-1-style fetch waterfalls for the paper's
+// running example (index.html, a.css, b.js, c.js, d.jpg):
+//
+//	(a) the first visit,
+//	(b) a conventional revisit two hours later, and
+//	(c) the CacheCatalyst revisit (with recording enabled, so even the
+//	    JS-discovered resources need no round trip).
+//
+// Bars are drawn in virtual time under the network conditions given by
+// -rtt and -mbps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cachecatalyst/internal/browser"
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/trace"
+	"cachecatalyst/internal/vclock"
+)
+
+func main() {
+	var (
+		rttMS  = flag.Int("rtt", 40, "round-trip time in milliseconds")
+		mbps   = flag.Float64("mbps", 60, "downlink throughput in Mbit/s")
+		harDir = flag.String("har", "", "also write one HAR file per panel into this directory")
+	)
+	flag.Parse()
+	harOut = *harDir
+	if harOut != "" {
+		if err := os.MkdirAll(harOut, 0o755); err != nil {
+			panic(err)
+		}
+	}
+	cond := netsim.Conditions{
+		RTT:         time.Duration(*rttMS) * time.Millisecond,
+		DownlinkBps: *mbps * 1e6,
+	}
+
+	fmt.Printf("Figure 1 example page under %s\n\n", cond)
+
+	// (a) First visit, conventional.
+	clockA := vclock.NewVirtual(vclock.Epoch)
+	worldA := makeWorld(clockA, false)
+	browserA := browser.New(clockA, browser.Conventional, netsim.TransportOptions{})
+	fmt.Println("(a) first visit (cold cache)")
+	printWaterfall("fig1a", browserA, worldA, clockA, cond)
+
+	// (b) Conventional revisit two hours later; d.jpg has changed.
+	clockA.Advance(2 * time.Hour)
+	changeDJPG(worldA.content)
+	fmt.Println("(b) conventional revisit (+2h; d.jpg changed)")
+	printWaterfall("fig1b", browserA, worldA, clockA, cond)
+
+	// (c) Catalyst revisit: cold load first to warm the SW, then revisit.
+	clockC := vclock.NewVirtual(vclock.Epoch)
+	worldC := makeWorld(clockC, true)
+	browserC := browser.New(clockC, browser.Catalyst, netsim.TransportOptions{})
+	if _, err := browserC.Load(worldC.origins, cond, host, "/index.html"); err != nil {
+		panic(err)
+	}
+	clockC.Advance(2 * time.Hour)
+	changeDJPG(worldC.content)
+	fmt.Println("(c) CacheCatalyst revisit (+2h; d.jpg changed)")
+	printWaterfall("fig1c", browserC, worldC, clockC, cond)
+}
+
+// harOut is the optional HAR output directory (empty = disabled).
+var harOut string
+
+const host = "site.example"
+
+type world struct {
+	content *server.MemContent
+	origins browser.OriginMap
+}
+
+func makeWorld(clock vclock.Clock, catalyst bool) *world {
+	c := server.NewMemContent()
+	week := server.CachePolicy{MaxAge: 7 * 24 * time.Hour, HasMaxAge: true}
+	c.SetBody("/index.html",
+		`<html><head><link rel="stylesheet" href="/a.css"><script src="/b.js"></script></head><body>content</body></html>`,
+		server.CachePolicy{NoCache: true})
+	c.SetBody("/a.css", "body { margin: 0 }", week)
+	c.SetBody("/b.js", "//@fetch /c.js\n", server.CachePolicy{NoCache: true})
+	c.SetBody("/c.js", "//@fetch /d.jpg\n", week)
+	c.SetBody("/d.jpg", "JPEG-VERSION-1", server.CachePolicy{MaxAge: time.Hour, HasMaxAge: true})
+	srv := server.New(c, server.Options{Catalyst: catalyst, Record: catalyst, Clock: clock})
+	return &world{content: c, origins: browser.OriginMap{host: server.NewOrigin(srv)}}
+}
+
+func changeDJPG(c *server.MemContent) {
+	c.SetBody("/d.jpg", "JPEG-VERSION-2-CHANGED", server.CachePolicy{MaxAge: time.Hour, HasMaxAge: true})
+}
+
+func printWaterfall(name string, b *browser.Browser, w *world, clock vclock.Clock, cond netsim.Conditions) {
+	var events []browser.FetchEvent
+	col := trace.NewCollector(clock.Now())
+	b.OnFetch = func(ev browser.FetchEvent) {
+		events = append(events, ev)
+		col.Record(ev)
+	}
+	res, err := b.Load(w.origins, cond, host, "/index.html")
+	b.OnFetch = nil
+	if err != nil {
+		panic(err)
+	}
+	if harOut != "" {
+		har := col.HAR("https://"+host+"/index.html", res.PLT)
+		data, err := har.Marshal()
+		if err != nil {
+			panic(err)
+		}
+		path := filepath.Join(harOut, name+".har")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("  (wrote %s)\n", path)
+	}
+
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Path < events[j].Path
+	})
+	const width = 48
+	scale := float64(width) / float64(res.PLT)
+	for _, ev := range events {
+		bar := renderBar(ev, scale, width)
+		label := ev.Source
+		if ev.Revalidated {
+			label = "304"
+		}
+		fmt.Printf("  %-12s |%s| %6.1fms  %s\n", strings.TrimPrefix(ev.Path, "/"), bar,
+			float64(ev.End.Microseconds())/1000, label)
+	}
+	fmt.Printf("  PLT = %.1fms  (requests=%d local=%d bytes=%d)\n\n",
+		float64(res.PLT.Microseconds())/1000, res.NetworkRequests, res.LocalHits, res.BytesDown)
+}
+
+func renderBar(ev browser.FetchEvent, scale float64, width int) string {
+	start := int(float64(ev.Start) * scale)
+	end := int(float64(ev.End) * scale)
+	if end >= width {
+		end = width - 1
+	}
+	if start > end {
+		start = end
+	}
+	bar := make([]byte, width)
+	for i := range bar {
+		bar[i] = ' '
+	}
+	if ev.Start == ev.End {
+		bar[start] = '*' // zero-RTT local delivery
+	} else {
+		for i := start; i <= end; i++ {
+			bar[i] = '='
+		}
+	}
+	return string(bar)
+}

@@ -1,0 +1,47 @@
+// Acceleration-scheme shoot-out: CacheCatalyst vs HTTP/2 Server Push vs a
+// Remote-Dependency-Resolution proxy — the comparison §5 of the paper
+// discusses qualitatively and defers to future work quantitatively.
+//
+// For each scheme the example loads a corpus of synthetic homepages over
+// the 5G-median link, cold and then warm (one hour later), and reports
+// mean PLT and bytes on the wire. The expected picture, which the numbers
+// reproduce:
+//
+//   - RDR wins cold loads (one bulk transfer instead of discovery chains)
+//     but keeps paying full freight on warm revisits;
+//
+//   - push-all wastes bandwidth on content the client already has;
+//
+//   - CacheCatalyst is unremarkable cold but near-optimal warm.
+//
+//     go run ./examples/pushcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cachecatalyst/internal/harness"
+	"cachecatalyst/internal/webgen"
+)
+
+func main() {
+	cfg := harness.Config{
+		Corpus: webgen.Params{Sites: 8, Seed: 3, Scale: 0.8},
+	}
+	cond := harness.Median5G()
+	delay := time.Hour
+
+	rows, err := harness.RunBaselines(cfg, cond, delay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d sites, %s, revisit after %s\n\n", cfg.Corpus.Sites, cond, delay)
+	fmt.Print(harness.BaselineTable(rows, delay))
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  cold PLT — RDR's bulk delivery beats everyone on first contact")
+	fmt.Println("  warm PLT — catalyst needs (almost) only the navigation round trip")
+	fmt.Println("  warm KB  — push-all and RDR re-send content the client already holds")
+}

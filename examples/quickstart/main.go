@@ -1,0 +1,141 @@
+// Quickstart: retrofit CacheCatalyst onto an existing net/http application
+// with one line, then watch what a revisit costs.
+//
+// The example starts two real HTTP servers on loopback — one plain, one
+// wrapped in catalyst.Middleware — and plays a client revisit against
+// both, printing the requests each revisit needs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"cachecatalyst/catalyst"
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/htmlparse"
+)
+
+// app is your existing application: it knows nothing about CacheCatalyst.
+func app() http.Handler {
+	mux := http.NewServeMux()
+	page := `<html><head>
+  <link rel="stylesheet" href="/assets/site.css">
+  <script src="/assets/site.js"></script>
+</head><body><img src="/assets/hero.jpg"></body></html>`
+	serve := func(path, ct, body string) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", ct)
+			// Conservative headers, as deployed sites tend to have:
+			// everything revalidates on every use.
+			w.Header().Set("Cache-Control", "no-cache")
+			w.Header().Set("Etag", etag.ForBytes([]byte(body)).String())
+			if !etag.NoneMatch(r.Header.Get("If-None-Match"), etag.ForBytes([]byte(body))) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			_, _ = io.WriteString(w, body)
+		})
+	}
+	serve("/{$}", "text/html; charset=utf-8", page)
+	serve("/assets/site.css", "text/css; charset=utf-8", "body { margin: 0 }")
+	serve("/assets/site.js", "text/javascript; charset=utf-8", "console.log('hi')")
+	serve("/assets/hero.jpg", "image/jpeg", "JPEGDATA...")
+	return mux
+}
+
+func main() {
+	plain := httptest.NewServer(app())
+	defer plain.Close()
+	wrapped := httptest.NewServer(catalyst.Middleware(app(), catalyst.MiddlewareOptions{}))
+	defer wrapped.Close()
+
+	fmt.Println("== First visit (either server): fetch everything, remember ETags ==")
+	html, tags := firstVisit(wrapped.URL)
+	fmt.Printf("   cached %d resources\n\n", len(tags))
+
+	fmt.Println("== Revisit against the PLAIN server (conventional caching) ==")
+	n := conventionalRevisit(plain.URL, html, tags)
+	fmt.Printf("   %d network round trips (one conditional request per no-cache resource)\n\n", n)
+
+	fmt.Println("== Revisit against the WRAPPED server (CacheCatalyst) ==")
+	n = catalystRevisit(wrapped.URL, tags)
+	fmt.Printf("   %d network round trip(s): the navigation's X-Etag-Config proves every cached copy current\n", n)
+}
+
+// firstVisit fetches the page and its resources, returning the HTML and the
+// ETags a browser cache would hold.
+func firstVisit(base string) (string, map[string]etag.Tag) {
+	html := get(base + "/")
+	tags := map[string]etag.Tag{}
+	for _, r := range htmlparse.ExtractFromHTML(html) {
+		body := get(base + r.URL)
+		tags[r.URL] = etag.ForBytes([]byte(body))
+	}
+	return html, tags
+}
+
+// conventionalRevisit revalidates each cached resource with a conditional
+// request, today's behaviour for no-cache content.
+func conventionalRevisit(base, html string, tags map[string]etag.Tag) int {
+	requests := 1 // the navigation
+	get(base + "/")
+	for path, tag := range tags {
+		req, _ := http.NewRequest("GET", base+path, nil)
+		req.Header.Set("If-None-Match", tag.String())
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		fmt.Printf("   GET %-18s → %d\n", path, resp.StatusCode)
+		requests++
+	}
+	return requests
+}
+
+// catalystRevisit fetches only the page; the proactive map decides
+// everything else locally (this is what the Service Worker automates in a
+// real browser).
+func catalystRevisit(base string, tags map[string]etag.Tag) int {
+	resp, err := http.Get(base + "/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	m, err := catalyst.DecodeMap(resp.Header.Get(catalyst.HeaderName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for path, cached := range tags {
+		current, covered := m[path]
+		switch {
+		case covered && current == cached:
+			fmt.Printf("   %-22s → served from cache, zero round trips\n", path)
+		case covered:
+			fmt.Printf("   %-22s → changed on server, would refetch\n", path)
+		default:
+			fmt.Printf("   %-22s → not covered by map, would revalidate\n", path)
+		}
+	}
+	return 1
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(body)
+}

@@ -1,0 +1,3 @@
+module cachecatalyst
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package baselines implements the web-acceleration comparators §5 of the
+// paper discusses: HTTP/2 Server Push with the push-all policy, and a
+// Remote Dependency Resolution (RDR) proxy.
+//
+// Both are modelled as a bundling origin: the navigation response carries,
+// besides the HTML, the full responses of the resources the server (or
+// proxy) decided to send ahead. That is exactly the data-flow of h2 push
+// (streams ride the same connection, no request round trips) and of RDR
+// bulk delivery, while keeping the transport model honest — the extra bytes
+// pay real transmission time on the shared downlink.
+//
+//   - PushAll pushes every statically discoverable same-origin resource,
+//     whether or not the client has it cached: the bandwidth-wasting policy
+//     the paper's §5 critique targets.
+//   - RDR performs full dependency resolution proxy-side — including
+//     JS-discovered resources, which a headless browser at the proxy finds
+//     by executing scripts — and ships everything.
+package baselines
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/cssparse"
+	"cachecatalyst/internal/htmlparse"
+	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/jsexec"
+	"cachecatalyst/internal/netsim"
+)
+
+// BundleHeader carries the bundle manifest on navigation responses.
+const BundleHeader = "X-Bundle"
+
+// Policy selects which resources the bundling origin sends ahead.
+type Policy int
+
+// Policies.
+const (
+	// PushAll bundles the statically discoverable resources (what an h2
+	// server can promise from markup inspection).
+	PushAll Policy = iota
+	// RDR bundles the transitive closure including JS-discovered
+	// resources (what a remote headless browser resolves).
+	RDR
+)
+
+func (p Policy) String() string {
+	if p == RDR {
+		return "rdr"
+	}
+	return "push-all"
+}
+
+// Entry describes one bundled resource in the manifest.
+type Entry struct {
+	Path         string `json:"p"`
+	Status       int    `json:"s"`
+	ContentType  string `json:"ct"`
+	ETag         string `json:"et,omitempty"`
+	CacheControl string `json:"cc,omitempty"`
+	Len          int    `json:"n"`
+}
+
+// NewBundleOrigin wraps an origin (normally server.NewOrigin of a
+// catalyst-enabled server, whose X-Etag-Config header provides the static
+// resource list) with bundling of navigation responses under the given
+// policy. Non-HTML requests pass through unchanged.
+func NewBundleOrigin(inner netsim.Origin, policy Policy) netsim.Origin {
+	return &bundleOrigin{inner: inner, policy: policy}
+}
+
+type bundleOrigin struct {
+	inner  netsim.Origin
+	policy Policy
+}
+
+// RoundTrip implements netsim.Origin.
+func (b *bundleOrigin) RoundTrip(req *netsim.Request) *httpcache.Response {
+	resp := b.inner.RoundTrip(req)
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		return resp
+	}
+	var paths []string
+	switch b.policy {
+	case RDR:
+		paths = b.resolveAll(req.Path, string(resp.Body))
+	default:
+		paths = staticPaths(resp)
+	}
+
+	entries := []Entry{{
+		Path:        req.Path,
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		ETag:        resp.Header.Get("Etag"),
+		Len:         len(resp.Body),
+	}}
+	var body []byte
+	body = append(body, resp.Body...)
+	for _, p := range paths {
+		sub := b.inner.RoundTrip(&netsim.Request{Method: "GET", Path: p, Header: make(http.Header)})
+		if sub.StatusCode != http.StatusOK {
+			continue
+		}
+		entries = append(entries, Entry{
+			Path:         p,
+			Status:       sub.StatusCode,
+			ContentType:  sub.Header.Get("Content-Type"),
+			ETag:         sub.Header.Get("Etag"),
+			CacheControl: sub.Header.Get("Cache-Control"),
+			Len:          len(sub.Body),
+		})
+		body = append(body, sub.Body...)
+	}
+
+	manifest, err := json.Marshal(entries)
+	if err != nil {
+		return resp // bundling is best-effort; fall back to plain HTML
+	}
+	out := &httpcache.Response{StatusCode: resp.StatusCode, Header: resp.Header.Clone(), Body: body}
+	out.Header.Set(BundleHeader, string(manifest))
+	out.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	return out
+}
+
+// staticPaths extracts the statically discoverable same-origin resource
+// list from the catalyst map header the inner server computed.
+func staticPaths(resp *httpcache.Response) []string {
+	m, err := core.DecodeMap(resp.Header.Get(core.HeaderName))
+	if err != nil {
+		return nil
+	}
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	// Deterministic bundle order.
+	sort.Strings(paths)
+	return paths
+}
+
+// resolveAll performs proxy-side dependency resolution: parse HTML, fetch
+// and parse stylesheets, "execute" scripts, recursing until the frontier is
+// empty — what the headless browser of an RDR proxy does over its
+// low-latency path to the origin.
+func (b *bundleOrigin) resolveAll(pagePath, html string) []string {
+	seen := map[string]bool{pagePath: true}
+	var order []string
+	base, err := url.Parse(pagePath)
+	if err != nil {
+		base = &url.URL{Path: "/"}
+	}
+
+	var frontier []string
+	addRef := func(from *url.URL, ref string) {
+		if !cssparse.IsFetchable(ref) {
+			return
+		}
+		u, err := url.Parse(strings.TrimSpace(ref))
+		if err != nil {
+			return
+		}
+		abs := from.ResolveReference(u)
+		if abs.Host != "" {
+			return // cross-origin cannot be proxied (the paper's TLS critique)
+		}
+		p := abs.EscapedPath()
+		if abs.RawQuery != "" {
+			p += "?" + abs.RawQuery
+		}
+		if p == "" || seen[p] {
+			return
+		}
+		seen[p] = true
+		order = append(order, p)
+		frontier = append(frontier, p)
+	}
+
+	for _, r := range htmlparse.ExtractFromHTML(html) {
+		addRef(base, r.URL)
+	}
+	for len(frontier) > 0 {
+		p := frontier[0]
+		frontier = frontier[1:]
+		sub := b.inner.RoundTrip(&netsim.Request{Method: "GET", Path: p, Header: make(http.Header)})
+		if sub.StatusCode != http.StatusOK {
+			continue
+		}
+		ct := sub.Header.Get("Content-Type")
+		from, err := url.Parse(p)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(ct, "text/css"):
+			for _, ref := range cssparse.ExtractRefs(string(sub.Body)) {
+				addRef(from, ref.URL)
+			}
+		case strings.HasPrefix(ct, "text/javascript"):
+			for _, u := range jsexec.ExtractFetches(string(sub.Body)) {
+				addRef(&url.URL{Path: "/"}, u)
+			}
+		}
+	}
+	return order
+}
+
+// Split unpacks a bundled navigation response into the page response and
+// the bundled subresource responses keyed by path. ok=false means the
+// response carries no (valid) bundle.
+func Split(resp *httpcache.Response) (page *httpcache.Response, pushed map[string]*httpcache.Response, ok bool) {
+	manifest := resp.Header.Get(BundleHeader)
+	if manifest == "" {
+		return nil, nil, false
+	}
+	var entries []Entry
+	if err := json.Unmarshal([]byte(manifest), &entries); err != nil || len(entries) == 0 {
+		return nil, nil, false
+	}
+	total := 0
+	for _, e := range entries {
+		if e.Len < 0 {
+			return nil, nil, false
+		}
+		total += e.Len
+	}
+	if total != len(resp.Body) {
+		return nil, nil, false
+	}
+	pushed = make(map[string]*httpcache.Response, len(entries)-1)
+	off := 0
+	for i, e := range entries {
+		h := make(http.Header)
+		h.Set("Content-Type", e.ContentType)
+		if e.ETag != "" {
+			h.Set("Etag", e.ETag)
+		}
+		if e.CacheControl != "" {
+			h.Set("Cache-Control", e.CacheControl)
+		}
+		sub := &httpcache.Response{
+			StatusCode: e.Status,
+			Header:     h,
+			Body:       resp.Body[off : off+e.Len],
+		}
+		off += e.Len
+		if i == 0 {
+			// The page keeps its original headers (incl. the catalyst
+			// map, which bundled modes simply ignore).
+			page = &httpcache.Response{StatusCode: e.Status, Header: resp.Header.Clone(), Body: sub.Body}
+			page.Header.Del(BundleHeader)
+		} else {
+			pushed[e.Path] = sub
+		}
+	}
+	return page, pushed, true
+}

@@ -1,0 +1,652 @@
+// Package browser emulates the client the paper measures with: a
+// dependency-resolving page loader running over the discrete-event network
+// simulator, with either the conventional RFC 9111 browser cache or the
+// CacheCatalyst Service Worker as its caching machinery.
+//
+// The emulation models what determines page load time (the paper's onLoad
+// metric): connection setup, request round trips, transmission under shared
+// bandwidth, dependency discovery order (HTML → CSS/JS → CSS-referenced
+// images and fonts → JS-discovered resources), and — the paper's subject —
+// whether a cached subresource costs zero network time, a revalidation
+// round trip, or a full transfer.
+package browser
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"cachecatalyst/internal/baselines"
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/cssparse"
+	"cachecatalyst/internal/htmlparse"
+	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/jsexec"
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/sw"
+	"cachecatalyst/internal/vclock"
+)
+
+// Mode selects the client caching machinery.
+type Mode int
+
+// Modes.
+const (
+	// Conventional is today's browser: RFC 9111 freshness plus
+	// conditional revalidation (Figure 1a/1b behaviour).
+	Conventional Mode = iota
+	// Catalyst is the paper's client: a Service Worker honoring the
+	// proactively delivered X-Etag-Config map (Figure 1c behaviour).
+	Catalyst
+	// Bundled consumes navigation responses produced by a
+	// baselines.NewBundleOrigin (Server-Push or RDR): bundled resources
+	// are delivered without further round trips; everything else follows
+	// the conventional path.
+	Bundled
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Catalyst:
+		return "catalyst"
+	case Bundled:
+		return "bundled"
+	}
+	return "conventional"
+}
+
+// Origins resolves a host name to the simulated origin serving it; the
+// multi-origin form of netsim.Origin needed for CDN (cross-origin)
+// resources.
+type Origins interface {
+	Lookup(host string) (netsim.Origin, bool)
+}
+
+// OriginMap is the trivial Origins implementation.
+type OriginMap map[string]netsim.Origin
+
+// Lookup implements Origins.
+func (m OriginMap) Lookup(host string) (netsim.Origin, bool) {
+	o, ok := m[host]
+	return o, ok
+}
+
+// LoadResult reports one page load.
+type LoadResult struct {
+	// PLT is the onLoad time: the virtual time at which every discovered
+	// resource finished loading.
+	PLT time.Duration
+	// FCP approximates First Contentful Paint: the time at which the
+	// document plus every render-blocking resource (stylesheets and
+	// synchronous scripts, including @import chains) has been delivered.
+	// The paper defers FCP to future work; this implements it.
+	FCP time.Duration
+	// Resources is the number of distinct resources the load needed
+	// (including the page itself).
+	Resources int
+	// NetworkRequests counts requests that went to the network.
+	NetworkRequests int64
+	// LocalHits counts resources served with zero network time (fresh
+	// cache entries or Service-Worker hits).
+	LocalHits int64
+	// Validations304 counts revalidations answered Not Modified — each
+	// one a round trip the paper calls wasted.
+	Validations304 int64
+	// Validations200 counts revalidations that returned new content.
+	Validations200 int64
+	// BytesDown / BytesUp are wire bytes including heads.
+	BytesDown, BytesUp int64
+	// Handshakes counts connection setups.
+	Handshakes int64
+	// Errors counts resources that could not be fetched (unknown origin
+	// or non-200 response).
+	Errors int
+	// PushedResources / PushedUnused count resources delivered ahead by a
+	// bundling origin (Bundled mode), and how many of those the load never
+	// needed — the wasted bandwidth §5 attributes to push-all.
+	PushedResources int
+	PushedUnused    int
+}
+
+// Browser is an emulated browser. State (HTTP cache, Service Workers)
+// persists across Load calls; network connections do not, matching
+// revisits that happen hours apart.
+//
+// A Browser is not safe for concurrent use.
+type Browser struct {
+	clock     vclock.Clock
+	mode      Mode
+	transport netsim.TransportOptions
+	cache     *httpcache.Cache
+	registry  *sw.Registry
+	// cookies holds name→value per host; enough for the session cookie
+	// the recording extension depends on.
+	cookies map[string]map[string]string
+
+	// OnFetch, when set, receives one event per resource delivery — the
+	// waterfall data behind Figure-1-style timelines. It runs inside the
+	// simulation; it must not call back into the browser.
+	OnFetch func(FetchEvent)
+}
+
+// FetchEvent describes one resource delivery during a load.
+type FetchEvent struct {
+	Host, Path string
+	// Start and End are offsets from the start of the load. Local
+	// deliveries have Start == End.
+	Start, End time.Duration
+	// Source is "network", "cache" (HTTP-cache hit), "sw" (Service-Worker
+	// hit), or "pushed" (delivered in a bundle).
+	Source string
+	// Status is the delivered HTTP status; 304-revalidated resources
+	// report 200 with Revalidated set.
+	Status      int
+	Revalidated bool
+}
+
+// New returns a browser with empty caches.
+func New(clock vclock.Clock, mode Mode, transport netsim.TransportOptions) *Browser {
+	b := &Browser{clock: clock, mode: mode, transport: transport}
+	b.ClearState()
+	return b
+}
+
+// Mode returns the browser's caching mode.
+func (b *Browser) Mode() Mode { return b.mode }
+
+// Cache returns the conventional HTTP cache (for inspection in tests).
+func (b *Browser) Cache() *httpcache.Cache { return b.cache }
+
+// Workers returns the Service-Worker registry.
+func (b *Browser) Workers() *sw.Registry { return b.registry }
+
+// ClearState discards all client state — the paper's "cold cache" setup.
+func (b *Browser) ClearState() {
+	b.cache = httpcache.New(b.clock, httpcache.Options{})
+	b.registry = sw.NewRegistry()
+	b.cookies = make(map[string]map[string]string)
+}
+
+// cookieHeader renders the stored cookies for host.
+func (b *Browser) cookieHeader(host string) string {
+	jar := b.cookies[host]
+	if len(jar) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(jar))
+	for n := range jar {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, n+"="+jar[n])
+	}
+	return strings.Join(parts, "; ")
+}
+
+// storeCookies records Set-Cookie headers from a response. Only the
+// name=value pair matters for the emulation; attributes are ignored.
+func (b *Browser) storeCookies(host string, resp *httpcache.Response) {
+	for _, sc := range resp.Header.Values("Set-Cookie") {
+		nv, _, _ := strings.Cut(sc, ";")
+		name, value, ok := strings.Cut(strings.TrimSpace(nv), "=")
+		if !ok || name == "" {
+			continue
+		}
+		if b.cookies[host] == nil {
+			b.cookies[host] = make(map[string]string)
+		}
+		b.cookies[host][name] = value
+	}
+}
+
+// Load performs one navigation to https://host+path under the given network
+// conditions and returns the load metrics. Origins must resolve host (and
+// any cross-origin hosts the page references).
+func (b *Browser) Load(origins Origins, cond netsim.Conditions, host, path string) (LoadResult, error) {
+	origin, ok := origins.Lookup(host)
+	if !ok {
+		return LoadResult{}, fmt.Errorf("browser: no origin for host %q", host)
+	}
+	l := &loader{
+		b:         b,
+		sim:       netsim.NewSim(),
+		origins:   origins,
+		cond:      cond,
+		endpoints: make(map[string]*netsim.Endpoint),
+		seen:      make(map[string]bool),
+		pageHost:  host,
+		pagePath:  path,
+	}
+	l.endpoints[host] = netsim.NewEndpoint(l.sim, cond, origin, b.transport)
+
+	l.sim.After(0, func() { l.fetch(host, path, htmlparse.KindDocument) })
+	end := l.sim.Run()
+	l.result.PLT = end
+	l.result.FCP = l.fcp
+	if !l.fcpSet {
+		l.result.FCP = end
+	}
+	l.result.Resources = len(l.seen)
+	if l.pushed != nil {
+		l.result.PushedUnused = len(l.pushed) - len(l.pushedUsed)
+	}
+	for _, ep := range l.endpoints {
+		st := ep.Stats()
+		l.result.BytesDown += st.BytesDown
+		l.result.BytesUp += st.BytesUp
+		l.result.Handshakes += st.Handshakes
+	}
+	return l.result, nil
+}
+
+// loader is the per-navigation state machine.
+type loader struct {
+	b         *Browser
+	sim       *netsim.Sim
+	origins   Origins
+	cond      netsim.Conditions
+	endpoints map[string]*netsim.Endpoint
+	// seen dedupes fetches by host+path, like a browser coalescing
+	// identical in-flight requests.
+	seen     map[string]bool
+	pageHost string
+	pagePath string
+	result   LoadResult
+	// pushed holds resources delivered ahead of request by a bundling
+	// origin (Bundled mode), keyed by path; pushedUsed tracks consumption.
+	pushed     map[string]*httpcache.Response
+	pushedUsed map[string]bool
+
+	// FCP bookkeeping: the paint can happen once the document has been
+	// processed and no render-blocking resource is outstanding.
+	htmlProcessed bool
+	blockingLeft  int
+	blockingKeys  map[string]bool
+	fcp           time.Duration
+	fcpSet        bool
+}
+
+// fetchBlocking schedules a render-blocking fetch (stylesheets, sync
+// scripts): FCP waits for it.
+func (l *loader) fetchBlocking(host, path string, kind htmlparse.ResourceKind) {
+	key := host + path
+	if !l.seen[key] {
+		if l.blockingKeys == nil {
+			l.blockingKeys = make(map[string]bool)
+		}
+		l.blockingKeys[key] = true
+		l.addBlocking()
+	}
+	l.fetch(host, path, kind)
+}
+
+// completeBlocking retires the blocking obligation for a delivered (or
+// failed) resource, reporting whether it was render-blocking.
+func (l *loader) completeBlocking(host, path string) bool {
+	key := host + path
+	if !l.blockingKeys[key] {
+		return false
+	}
+	delete(l.blockingKeys, key)
+	l.blockingDone()
+	return true
+}
+
+// addBlocking notes one render-blocking resource in flight.
+func (l *loader) addBlocking() { l.blockingLeft++ }
+
+// blockingDone retires one render-blocking resource and fires FCP when the
+// document is ready and nothing render-blocking remains.
+func (l *loader) blockingDone() {
+	if l.blockingLeft > 0 {
+		l.blockingLeft--
+	}
+	l.maybeFCP()
+}
+
+func (l *loader) maybeFCP() {
+	if !l.fcpSet && l.htmlProcessed && l.blockingLeft == 0 {
+		l.fcp = l.sim.Now()
+		l.fcpSet = true
+	}
+}
+
+func (l *loader) endpoint(host string) (*netsim.Endpoint, bool) {
+	if ep, ok := l.endpoints[host]; ok {
+		return ep, true
+	}
+	origin, ok := l.origins.Lookup(host)
+	if !ok {
+		return nil, false
+	}
+	ep := netsim.NewEndpoint(l.sim, l.cond, origin, l.b.transport)
+	l.endpoints[host] = ep
+	return ep, true
+}
+
+// fetch loads one resource (deduplicated) and processes its content.
+func (l *loader) fetch(host, path string, kind htmlparse.ResourceKind) {
+	key := host + path
+	if l.seen[key] {
+		return
+	}
+	l.seen[key] = true
+
+	isNav := kind == htmlparse.KindDocument && host == l.pageHost && path == l.pagePath
+	switch l.b.mode {
+	case Catalyst:
+		l.fetchCatalyst(host, path, kind, isNav)
+	case Bundled:
+		l.fetchBundled(host, path, kind, isNav)
+	default:
+		l.fetchConventional(host, path, kind, isNav)
+	}
+}
+
+// deliverLocal serves a response from client state with zero network time.
+func (l *loader) deliverLocal(host, path string, kind htmlparse.ResourceKind, source string, resp *httpcache.Response) {
+	l.result.LocalHits++
+	l.sim.After(0, func() {
+		if l.b.OnFetch != nil {
+			l.b.OnFetch(FetchEvent{
+				Host: host, Path: path,
+				Start: l.sim.Now(), End: l.sim.Now(),
+				Source: source, Status: resp.StatusCode,
+			})
+		}
+		l.process(host, path, kind, resp)
+	})
+}
+
+// --- Conventional mode -----------------------------------------------
+
+func (l *loader) fetchConventional(host, path string, kind htmlparse.ResourceKind, isNav bool) {
+	l.fetchViaHTTPCache(host, path, kind, nil)
+}
+
+// fetchViaHTTPCache implements the RFC 9111 client path: fresh entries are
+// served locally, stale entries with a validator revalidate conditionally,
+// and everything else is fetched in full. The optional after hook receives
+// the delivered response — the Catalyst mode uses it to mirror deliveries
+// into the Service-Worker cache, because a real SW's fetch() also flows
+// through the browser's HTTP cache.
+func (l *loader) fetchViaHTTPCache(host, path string, kind htmlparse.ResourceKind, after func(*httpcache.Response)) {
+	key := cacheKey(host, path)
+	entry, state := l.b.cache.Get(key)
+	switch state {
+	case httpcache.Fresh:
+		if after != nil {
+			after(entry.Response)
+		}
+		l.deliverLocal(host, path, kind, "cache", entry.Response)
+		return
+	case httpcache.Stale:
+		hdr := make(http.Header)
+		if tag, ok := entry.ETag(); ok {
+			hdr.Set("If-None-Match", tag.String())
+		} else if lm := entry.Response.Header.Get("Last-Modified"); lm != "" {
+			// No entity tag; fall back to timestamp validation
+			// (If-Modified-Since), as browsers do.
+			hdr.Set("If-Modified-Since", lm)
+		}
+		if len(hdr) > 0 {
+			l.networkFetch(host, path, kind, hdr, func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response {
+				var delivered *httpcache.Response
+				if resp.StatusCode == http.StatusNotModified {
+					l.result.Validations304++
+					l.b.cache.Refresh(key, resp, l.absTime(reqAt), l.absTime(respAt))
+					fresh, _ := l.b.cache.Peek(key)
+					delivered = fresh.Response
+				} else {
+					l.result.Validations200++
+					l.b.cache.Put(key, resp, l.absTime(reqAt), l.absTime(respAt))
+					delivered = resp
+				}
+				if after != nil {
+					after(delivered)
+				}
+				return delivered
+			})
+			return
+		}
+		// No validator at all: fall through to a full fetch.
+	}
+	l.networkFetch(host, path, kind, make(http.Header), func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response {
+		l.b.cache.Put(key, resp, l.absTime(reqAt), l.absTime(respAt))
+		if after != nil {
+			after(resp)
+		}
+		return resp
+	})
+}
+
+// --- Catalyst mode ----------------------------------------------------
+
+func (l *loader) fetchCatalyst(host, path string, kind htmlparse.ResourceKind, isNav bool) {
+	// Real Service Workers intercept every fetch a controlled page makes,
+	// including cross-origin subresources, so the *page's* worker is the
+	// interceptor regardless of the resource's host. Cross-origin entries
+	// are keyed by absolute URL, same-origin ones by path.
+	worker, registered := l.b.registry.Lookup(l.pageHost)
+	swKey := path
+	if host != l.pageHost {
+		swKey = core.CrossOriginKey(host, path, "")
+	}
+	if isNav {
+		// Navigations flow through the HTTP cache like any SW fetch();
+		// HTML is typically no-cache, so this costs a conditional request
+		// whose 304 still carries the refreshed X-Etag-Config header —
+		// the client gets fresh tokens without re-downloading the page.
+		l.fetchViaHTTPCache(host, path, kind, func(resp *httpcache.Response) {
+			if !registered && strings.Contains(string(resp.Body), `serviceWorker`) {
+				l.b.registry.Register(host)
+			}
+			if w, ok := l.b.registry.Lookup(host); ok {
+				w.OnNavigationResponse(resp)
+			}
+		})
+		return
+	}
+	if registered {
+		if resp, ok := worker.HandleFetch(swKey); ok {
+			l.deliverLocal(host, path, kind, "sw", resp)
+			return
+		}
+	}
+	// The SW forwards the request; in a real browser that fetch() flows
+	// through the HTTP cache, so conditional revalidation still applies to
+	// resources the map does not cover. The delivered response is mirrored
+	// into the SW cache for future zero-RTT hits.
+	l.fetchViaHTTPCache(host, path, kind, func(resp *httpcache.Response) {
+		if w, ok := l.b.registry.Lookup(l.pageHost); ok {
+			w.OnSubresourceResponse(swKey, resp)
+		}
+	})
+}
+
+// --- Bundled mode (Server Push / RDR baselines) ------------------------
+
+func (l *loader) fetchBundled(host, path string, kind htmlparse.ResourceKind, isNav bool) {
+	if isNav {
+		l.networkFetch(host, path, kind, make(http.Header), func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response {
+			page, pushed, ok := baselines.Split(resp)
+			if !ok {
+				return resp
+			}
+			l.pushed = pushed
+			l.pushedUsed = make(map[string]bool, len(pushed))
+			l.result.PushedResources = len(pushed)
+			// Pushed responses enter the HTTP cache, as h2-pushed
+			// streams do.
+			for p, sub := range pushed {
+				l.b.cache.Put(cacheKey(host, p), sub, l.absTime(reqAt), l.absTime(respAt))
+			}
+			return page
+		})
+		return
+	}
+	if host == l.pageHost {
+		if resp, ok := l.pushed[path]; ok {
+			l.pushedUsed[path] = true
+			l.result.PushedUnused = len(l.pushed) - len(l.pushedUsed)
+			l.deliverLocal(host, path, kind, "pushed", resp)
+			return
+		}
+	}
+	l.fetchConventional(host, path, kind, false)
+}
+
+// --- Shared plumbing --------------------------------------------------
+
+// networkFetch issues a request; intercept post-processes the raw response
+// (cache bookkeeping) and returns the response to hand to content
+// processing.
+func (l *loader) networkFetch(host, path string, kind htmlparse.ResourceKind, hdr http.Header, intercept func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response) {
+	ep, ok := l.endpoint(host)
+	if !ok {
+		l.result.Errors++
+		l.completeBlocking(host, path)
+		return
+	}
+	hdr.Set("Referer", "https://"+l.pageHost+l.pagePath)
+	if c := l.b.cookieHeader(host); c != "" {
+		hdr.Set("Cookie", c)
+	}
+	l.result.NetworkRequests++
+	reqAt := l.sim.Now()
+	ep.Fetch(&netsim.Request{Method: "GET", Path: path, Header: hdr}, func(fr netsim.FetchResult) {
+		l.b.storeCookies(host, fr.Resp)
+		resp := intercept(fr.Resp, reqAt, fr.End)
+		if l.b.OnFetch != nil {
+			l.b.OnFetch(FetchEvent{
+				Host: host, Path: path,
+				Start: reqAt, End: fr.End,
+				Source: "network", Status: resp.StatusCode,
+				Revalidated: fr.Resp.StatusCode == http.StatusNotModified,
+			})
+		}
+		if resp.StatusCode != http.StatusOK {
+			l.result.Errors++
+			l.completeBlocking(host, path)
+			return
+		}
+		l.process(host, path, kind, resp)
+	})
+}
+
+// absTime maps a sim offset to the browser's wall clock (the load starts at
+// clock.Now()).
+func (l *loader) absTime(d time.Duration) time.Time {
+	return l.b.clock.Now().Add(d)
+}
+
+// process inspects a delivered resource and schedules dependent fetches.
+func (l *loader) process(host, path string, kind htmlparse.ResourceKind, resp *httpcache.Response) {
+	wasBlocking := l.completeBlocking(host, path)
+	ct := resp.Header.Get("Content-Type")
+	switch {
+	case kind == htmlparse.KindDocument && strings.HasPrefix(ct, "text/html"):
+		l.processHTML(host, path, resp)
+	case strings.HasPrefix(ct, "text/css"):
+		l.processCSS(host, path, resp, wasBlocking)
+	case strings.HasPrefix(ct, "text/javascript"), strings.HasPrefix(ct, "application/javascript"):
+		l.processJS(host, resp)
+	}
+}
+
+func (l *loader) processHTML(host, path string, resp *httpcache.Response) {
+	base := &url.URL{Scheme: "https", Host: host, Path: path}
+	doc := htmlparse.Parse(string(resp.Body))
+	if href, ok := htmlparse.BaseHref(doc); ok {
+		if bu, err := url.Parse(href); err == nil {
+			base = base.ResolveReference(bu)
+		}
+	}
+	for _, r := range htmlparse.ExtractResources(doc) {
+		h, p, ok := l.resolve(base, r.URL)
+		if !ok {
+			continue
+		}
+		// Stylesheets and synchronous scripts block the first paint.
+		if r.Kind == htmlparse.KindStylesheet || r.Kind == htmlparse.KindScript && !r.Async {
+			l.fetchBlocking(h, p, r.Kind)
+			continue
+		}
+		l.fetch(h, p, r.Kind)
+	}
+	l.htmlProcessed = true
+	l.maybeFCP()
+}
+
+func (l *loader) processCSS(host, path string, resp *httpcache.Response, wasBlocking bool) {
+	base := &url.URL{Scheme: "https", Host: host, Path: path}
+	for _, ref := range cssparse.ExtractRefs(string(resp.Body)) {
+		if h, p, ok := l.resolve(base, ref.URL); ok {
+			if ref.Import {
+				// @import chains inherit the parent sheet's blocking.
+				if wasBlocking {
+					l.fetchBlocking(h, p, htmlparse.KindStylesheet)
+				} else {
+					l.fetch(h, p, htmlparse.KindStylesheet)
+				}
+				continue
+			}
+			l.fetch(h, p, htmlparse.KindImage)
+		}
+	}
+}
+
+func (l *loader) processJS(host string, resp *httpcache.Response) {
+	fetches := jsexec.ExtractFetches(string(resp.Body))
+	if len(fetches) == 0 {
+		return
+	}
+	// Script evaluation takes time before runtime fetches issue.
+	l.sim.After(jsexec.ExecDelayMillis*time.Millisecond, func() {
+		base := &url.URL{Scheme: "https", Host: host, Path: "/"}
+		for _, u := range fetches {
+			if h, p, ok := l.resolve(base, u); ok {
+				kind := htmlparse.KindImage
+				if strings.HasSuffix(p, ".js") {
+					kind = htmlparse.KindScript
+				}
+				l.fetch(h, p, kind)
+			}
+		}
+	})
+}
+
+// resolve turns a document reference into (host, origin-relative path).
+func (l *loader) resolve(base *url.URL, ref string) (string, string, bool) {
+	if !cssparse.IsFetchable(ref) {
+		return "", "", false
+	}
+	u, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return "", "", false
+	}
+	abs := base.ResolveReference(u)
+	p := abs.EscapedPath()
+	if p == "" {
+		p = "/"
+	}
+	if abs.RawQuery != "" {
+		p += "?" + abs.RawQuery
+	}
+	return abs.Host, p, true
+}
+
+// cacheKey is the conventional cache's key for a resource.
+func cacheKey(host, path string) string { return host + path }
+
+// WarmCatalyst pre-populates a Catalyst browser's Service Worker for host
+// from raw responses — used by tests to construct precise cache states.
+func (b *Browser) WarmCatalyst(host, path string, resp *httpcache.Response) {
+	w := b.registry.Register(host)
+	w.OnSubresourceResponse(path, resp)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"cachecatalyst/internal/etag"
+)
+
+func xoResolver(urls map[string]etag.Tag) func(string) (etag.Tag, bool) {
+	return func(absURL string) (etag.Tag, bool) {
+		t, ok := urls[absURL]
+		return t, ok
+	}
+}
+
+func TestBuildMapCrossOriginResolved(t *testing.T) {
+	res := &fakeResolver{tags: map[string]etag.Tag{"/local.css": tag("l")}}
+	html := `<link rel="stylesheet" href="/local.css">
+		<img src="https://cdn.example/img/x.png">
+		<script src="//static.example/lib.js"></script>`
+	opts := BuildOptions{CrossOriginETag: xoResolver(map[string]etag.Tag{
+		"https://cdn.example/img/x.png": tag("cdn1"),
+		"https://static.example/lib.js": tag("lib9"),
+	})}
+	m := BuildMap("/index.html", html, res, opts)
+	if len(m) != 3 {
+		t.Fatalf("map = %v", m)
+	}
+	if m["https://cdn.example/img/x.png"] != tag("cdn1") {
+		t.Errorf("cdn entry = %v", m["https://cdn.example/img/x.png"])
+	}
+	if m["https://static.example/lib.js"] != tag("lib9") {
+		t.Errorf("protocol-relative entry = %v", m["https://static.example/lib.js"])
+	}
+}
+
+func TestBuildMapCrossOriginUnresolvedSkipped(t *testing.T) {
+	res := &fakeResolver{tags: map[string]etag.Tag{}}
+	html := `<img src="https://unknown.example/x.png">`
+	m := BuildMap("/", html, res, BuildOptions{CrossOriginETag: xoResolver(nil)})
+	if len(m) != 0 {
+		t.Fatalf("unresolvable third-party leaked: %v", m)
+	}
+}
+
+func TestBuildMapCrossOriginDisabledByDefault(t *testing.T) {
+	res := &fakeResolver{tags: map[string]etag.Tag{}}
+	html := `<img src="https://cdn.example/x.png">`
+	if m := BuildMap("/", html, res, BuildOptions{}); len(m) != 0 {
+		t.Fatalf("cross-origin resolved without a resolver: %v", m)
+	}
+}
+
+func TestBuildMapCrossOriginKeepsQuery(t *testing.T) {
+	res := &fakeResolver{tags: map[string]etag.Tag{}}
+	want := "https://cdn.example/a.js?v=2"
+	html := `<script src="` + want + `"></script>`
+	m := BuildMap("/", html, res, BuildOptions{CrossOriginETag: xoResolver(map[string]etag.Tag{want: tag("q")})})
+	if m[want] != tag("q") {
+		t.Fatalf("map = %v", m)
+	}
+}
+
+func TestBuildMapCrossOriginRejectsWeirdSchemes(t *testing.T) {
+	res := &fakeResolver{tags: map[string]etag.Tag{}}
+	called := false
+	opts := BuildOptions{CrossOriginETag: func(string) (etag.Tag, bool) {
+		called = true
+		return tag("x"), true
+	}}
+	m := BuildMap("/", `<img src="ftp://cdn.example/x.png">`, res, opts)
+	if called || len(m) != 0 {
+		t.Fatalf("non-http scheme resolved: %v (called=%v)", m, called)
+	}
+}
+
+func TestCrossOriginKey(t *testing.T) {
+	tests := []struct {
+		host, path, query, want string
+	}{
+		{"cdn.example", "/a.png", "", "https://cdn.example/a.png"},
+		{"cdn.example", "", "", "https://cdn.example/"},
+		{"cdn.example", "/a", "v=1", "https://cdn.example/a?v=1"},
+	}
+	for _, tt := range tests {
+		if got := CrossOriginKey(tt.host, tt.path, tt.query); got != tt.want {
+			t.Errorf("CrossOriginKey(%q,%q,%q) = %q, want %q", tt.host, tt.path, tt.query, got, tt.want)
+		}
+	}
+}
+
+func TestDecideWithCrossOriginKey(t *testing.T) {
+	key := "https://cdn.example/lib.js"
+	m := ETagMap{key: tag("v3")}
+	if Decide(m, key, tag("v3")) != ServeFromCache {
+		t.Error("matching cross-origin entry should serve from cache")
+	}
+	if Decide(m, key, tag("v2")) != FetchFromNetwork {
+		t.Error("stale cross-origin entry must fetch")
+	}
+}

@@ -1,0 +1,313 @@
+// Package core implements the paper's contribution: proactive delivery of
+// validation tokens ("CacheCatalyst").
+//
+// Server side, BuildMap performs the modified-Caddy behaviour of §3: when a
+// base HTML file is about to be served, traverse its DOM, extract every
+// same-origin resource link (recursing into same-origin stylesheets, since
+// CSS pulls in further resources), look up the current ETag of each, and
+// emit a link→ETag map. The map travels in the X-Etag-Config response
+// header.
+//
+// Client side, Decide implements the Service Worker's per-request choice:
+// serve from cache with zero round trips when the cached ETag equals the
+// proactively delivered one, otherwise fetch from the origin.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"cachecatalyst/internal/cssparse"
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/htmlparse"
+)
+
+// HeaderName is the response header that carries the ETag map, as named in
+// the paper.
+const HeaderName = "X-Etag-Config"
+
+// ServiceWorkerPath is the well-known path the server registers the
+// CacheCatalyst Service Worker under.
+const ServiceWorkerPath = "/cc-sw.js"
+
+// ETagMap maps same-origin resource paths (absolute, origin-relative) to
+// their current entity tags.
+type ETagMap map[string]etag.Tag
+
+// Get returns the tag for path and whether the map covers it.
+func (m ETagMap) Get(path string) (etag.Tag, bool) {
+	t, ok := m[path]
+	return t, ok
+}
+
+// Encode serializes the map to its wire form: a compact JSON object with
+// sorted keys, values in entity-tag wire syntax. JSON keeps the header
+// parseable by the JavaScript Service Worker in the real deployment, and
+// sorting keeps the encoding canonical for tests and size accounting.
+func (m ETagMap) Encode() string {
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range paths {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeJSONString(&b, p)
+		b.WriteByte(':')
+		writeJSONString(&b, m[p].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeJSONString(b *strings.Builder, s string) {
+	enc, _ := json.Marshal(s) // strings always marshal
+	b.Write(enc)
+}
+
+// WireSize returns the byte cost of carrying the encoded map in a response
+// header, including the header name, separator and CRLF. The evaluation
+// charges this against the base-HTML transfer: proactive tokens are not
+// free, and the honesty of Figure 3 depends on counting them.
+func (m ETagMap) WireSize() int {
+	return len(HeaderName) + len(": ") + len(m.Encode()) + len("\r\n")
+}
+
+// DecodeMap parses the wire form produced by Encode. Unknown or malformed
+// entries are skipped rather than failing the whole map, so one bad tag
+// cannot disable caching for a page.
+func DecodeMap(s string) (ETagMap, error) {
+	if strings.TrimSpace(s) == "" {
+		return ETagMap{}, nil
+	}
+	var raw map[string]string
+	if err := json.Unmarshal([]byte(s), &raw); err != nil {
+		return nil, fmt.Errorf("etag map: %w", err)
+	}
+	m := make(ETagMap, len(raw))
+	for p, v := range raw {
+		if t, ok := etag.Parse(v); ok {
+			m[p] = t
+		}
+	}
+	return m, nil
+}
+
+// Resolver supplies the server-side facts BuildMap needs about the site
+// being served.
+type Resolver interface {
+	// ETagFor returns the current entity tag for the resource at an
+	// origin-relative path, and whether the resource exists.
+	ETagFor(path string) (etag.Tag, bool)
+	// StylesheetBody returns the content of a same-origin stylesheet for
+	// recursive link extraction, and whether it exists (and is CSS).
+	StylesheetBody(path string) (string, bool)
+}
+
+// BuildOptions tunes BuildMap.
+type BuildOptions struct {
+	// MaxEntries caps the map size; 0 means unlimited. Pages with
+	// thousands of resources would otherwise produce unbounded headers.
+	MaxEntries int
+	// MaxCSSDepth bounds recursion through @import chains. Zero selects
+	// a default of 5, enough for real-world nesting while terminating on
+	// import cycles.
+	MaxCSSDepth int
+	// CrossOriginETag, when set, resolves third-party resources: given an
+	// absolute URL it returns the resource's current entity tag. This is
+	// the paper's §6 second future-work item — "the main server fetches
+	// those resources itself and obtains their ETags". Cross-origin
+	// entries are keyed in the map by their absolute URL. When nil,
+	// cross-origin references are skipped, matching the preliminary
+	// implementation.
+	CrossOriginETag func(absURL string) (etag.Tag, bool)
+}
+
+const defaultMaxCSSDepth = 5
+
+// BuildMap inspects a base HTML document and produces the ETag map for its
+// same-origin subresources, recursing into same-origin stylesheets. pageURL
+// is the origin-relative URL of the document (used to resolve relative
+// links); cross-origin references are skipped, exactly as the preliminary
+// implementation in the paper does.
+func BuildMap(pageURL string, htmlBody string, res Resolver, opts BuildOptions) ETagMap {
+	if opts.MaxCSSDepth == 0 {
+		opts.MaxCSSDepth = defaultMaxCSSDepth
+	}
+	b := &mapBuilder{res: res, opts: opts, out: ETagMap{}, seenCSS: map[string]bool{}}
+	base, err := url.Parse(pageURL)
+	if err != nil {
+		base = &url.URL{Path: "/"}
+	}
+	doc := htmlparse.Parse(htmlBody)
+	// <base href> redirects relative resolution for the whole document.
+	if href, ok := htmlparse.BaseHref(doc); ok {
+		if bu, err := url.Parse(href); err == nil {
+			base = base.ResolveReference(bu)
+		}
+	}
+	for _, r := range htmlparse.ExtractResources(doc) {
+		b.addRef(base, r.URL, r.Kind == htmlparse.KindStylesheet, opts.MaxCSSDepth)
+	}
+	return b.out
+}
+
+type mapBuilder struct {
+	res     Resolver
+	opts    BuildOptions
+	out     ETagMap
+	seenCSS map[string]bool
+}
+
+// addRef resolves one reference against base and records its ETag; if it is
+// a stylesheet it recurses into the stylesheet's own references.
+func (b *mapBuilder) addRef(base *url.URL, ref string, isCSS bool, depth int) {
+	if b.opts.MaxEntries > 0 && len(b.out) >= b.opts.MaxEntries {
+		return
+	}
+	path, ok := resolveSameOrigin(base, ref)
+	if !ok {
+		b.addCrossOrigin(base, ref)
+		return
+	}
+	if _, dup := b.out[path]; !dup {
+		tag, exists := b.res.ETagFor(path)
+		if !exists {
+			return
+		}
+		b.out[path] = tag
+	}
+	if !isCSS || depth <= 0 || b.seenCSS[path] {
+		return
+	}
+	b.seenCSS[path] = true
+	body, ok := b.res.StylesheetBody(path)
+	if !ok {
+		return
+	}
+	cssBase, err := url.Parse(path)
+	if err != nil {
+		return
+	}
+	for _, r := range cssparse.ExtractRefs(body) {
+		b.addRef(cssBase, r.URL, r.Import, depth-1)
+	}
+}
+
+// addCrossOrigin records a third-party resource via the CrossOriginETag
+// resolver, keyed by its normalized absolute URL. Stylesheet recursion is
+// deliberately not attempted cross-origin: the main server would have to
+// proxy arbitrary third-party CSS, which §6 leaves out of scope.
+func (b *mapBuilder) addCrossOrigin(base *url.URL, ref string) {
+	if b.opts.CrossOriginETag == nil || !cssparse.IsFetchable(ref) {
+		return
+	}
+	u, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return
+	}
+	abs := base.ResolveReference(u)
+	if abs.Host == "" || abs.Host == base.Host {
+		return
+	}
+	if abs.Scheme == "" {
+		abs.Scheme = "https"
+	}
+	if abs.Scheme != "http" && abs.Scheme != "https" {
+		return
+	}
+	key := CrossOriginKey(abs.Host, abs.EscapedPath(), abs.RawQuery)
+	if _, dup := b.out[key]; dup {
+		return
+	}
+	if tag, ok := b.opts.CrossOriginETag(key); ok {
+		b.out[key] = tag
+	}
+}
+
+// CrossOriginKey is the canonical map key for a third-party resource.
+func CrossOriginKey(host, escapedPath, rawQuery string) string {
+	if escapedPath == "" {
+		escapedPath = "/"
+	}
+	key := "https://" + host + escapedPath
+	if rawQuery != "" {
+		key += "?" + rawQuery
+	}
+	return key
+}
+
+// resolveSameOrigin resolves ref against base and returns the
+// origin-relative path (with query), or ok=false for cross-origin or
+// non-fetchable references.
+func resolveSameOrigin(base *url.URL, ref string) (string, bool) {
+	if !cssparse.IsFetchable(ref) {
+		return "", false
+	}
+	u, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return "", false
+	}
+	resolved := base.ResolveReference(u)
+	if resolved.Host != "" && resolved.Host != base.Host {
+		return "", false // cross-origin: deferred to future work in the paper
+	}
+	if resolved.Scheme != "" && resolved.Scheme != "http" && resolved.Scheme != "https" {
+		return "", false
+	}
+	path := resolved.EscapedPath()
+	if path == "" {
+		path = "/"
+	}
+	if resolved.RawQuery != "" {
+		path += "?" + resolved.RawQuery
+	}
+	return path, true
+}
+
+// Decision is the Service Worker's verdict for one request.
+type Decision int
+
+// Decisions.
+const (
+	// FetchFromNetwork: no usable cached copy (miss, or the proactive tag
+	// differs, or the map does not cover the resource and we cannot prove
+	// freshness) — forward the request to the origin.
+	FetchFromNetwork Decision = iota
+	// ServeFromCache: cached copy proven current by the proactive token —
+	// respond locally with zero network round trips.
+	ServeFromCache
+)
+
+func (d Decision) String() string {
+	if d == ServeFromCache {
+		return "serve-from-cache"
+	}
+	return "fetch-from-network"
+}
+
+// Decide implements the client-side algorithm of §3: compare the entity tag
+// of the cached copy (zero Tag when there is no cached copy) with the
+// proactively delivered map entry for the resource.
+//
+// The conservative default matters: if the map does not cover the path —
+// e.g. a JS-discovered resource the server's static extraction missed — the
+// Service Worker forwards the request, preserving correctness at the cost
+// of the round trip the paper's future work wants to eliminate.
+func Decide(m ETagMap, path string, cached etag.Tag) Decision {
+	current, covered := m.Get(path)
+	if !covered || cached.IsZero() {
+		return FetchFromNetwork
+	}
+	if etag.StrongMatch(cached, current) || etag.WeakMatch(cached, current) && current.Weak {
+		return ServeFromCache
+	}
+	return FetchFromNetwork
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"cachecatalyst/internal/etag"
+)
+
+// FuzzDecodeMap checks the X-Etag-Config decoder against hostile header
+// values: a malicious or corrupted header must fail cleanly (error or
+// partial map), never panic, and a re-encoded decode must be stable.
+func FuzzDecodeMap(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"/a.css":"\"v1\""}`)
+	f.Add(`{"/a":"W/\"x\"","/b":"garbage"}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"dup":"\"1\"","dup":"\"2\""}`)
+	f.Add(`{"` + "\x00" + `":"\"v\""}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := DecodeMap(input)
+		if err != nil {
+			return
+		}
+		// Round-trip stability on the accepted subset.
+		again, err := DecodeMap(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(m) {
+			t.Fatalf("round trip changed size: %d vs %d", len(again), len(m))
+		}
+		for k, v := range m {
+			if again[k] != v {
+				t.Fatalf("round trip changed %q: %v vs %v", k, again[k], v)
+			}
+		}
+	})
+}
+
+// FuzzBuildMap feeds arbitrary HTML through the full map builder with a
+// resolver that accepts everything: no input may panic it, and every key
+// must be resolvable back to a sane path or absolute URL.
+func FuzzBuildMap(f *testing.F) {
+	f.Add("/index.html", `<img src="/a.png">`)
+	f.Add("/", `<link rel=stylesheet href=s.css><script src=//x.example/j.js>`)
+	f.Add("/p", "<style>@import 'c.css';</style>")
+	f.Fuzz(func(t *testing.T, pageURL, html string) {
+		res := &acceptAllResolver{}
+		m := BuildMap(pageURL, html, res, BuildOptions{
+			MaxEntries:      64,
+			CrossOriginETag: func(u string) (etag.Tag, bool) { return etag.ForVersion(u, 1), true },
+		})
+		if len(m) > 64 {
+			t.Fatalf("MaxEntries exceeded: %d", len(m))
+		}
+		for k := range m {
+			if k == "" {
+				t.Fatal("empty map key")
+			}
+		}
+	})
+}
+
+type acceptAllResolver struct{}
+
+func (acceptAllResolver) ETagFor(path string) (etag.Tag, bool) {
+	return etag.ForVersion(path, 1), true
+}
+
+func (acceptAllResolver) StylesheetBody(path string) (string, bool) {
+	return "", false
+}

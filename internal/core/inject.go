@@ -1,0 +1,105 @@
+package core
+
+import "strings"
+
+// RegistrationSnippet is the inline script the server injects into every
+// HTML page so that first-time visitors install the CacheCatalyst Service
+// Worker (§3: "the web server also inserts the registration code of the
+// Service Worker in the HTML file").
+const RegistrationSnippet = `<script>if("serviceWorker" in navigator){navigator.serviceWorker.register("` + ServiceWorkerPath + `")}</script>`
+
+// InjectRegistration inserts the Service-Worker registration snippet into an
+// HTML document: immediately after the opening <head> tag when present,
+// otherwise prepended. Documents that already contain the snippet are
+// returned unchanged, so re-serving rewritten content is idempotent.
+func InjectRegistration(htmlBody string) string {
+	if strings.Contains(htmlBody, RegistrationSnippet) {
+		return htmlBody
+	}
+	idx := indexAfterHeadOpen(htmlBody)
+	if idx < 0 {
+		return RegistrationSnippet + htmlBody
+	}
+	return htmlBody[:idx] + RegistrationSnippet + htmlBody[idx:]
+}
+
+// indexAfterHeadOpen returns the byte offset just past the opening <head...>
+// tag, or -1 when the document has none.
+func indexAfterHeadOpen(s string) int {
+	lower := strings.ToLower(s)
+	from := 0
+	for {
+		i := strings.Index(lower[from:], "<head")
+		if i < 0 {
+			return -1
+		}
+		i += from
+		after := i + len("<head")
+		if after < len(s) {
+			switch s[after] {
+			case '>', ' ', '\t', '\n', '\r':
+			default:
+				from = after
+				continue // e.g. <header>
+			}
+		}
+		end := strings.IndexByte(s[i:], '>')
+		if end < 0 {
+			return -1
+		}
+		return i + end + 1
+	}
+}
+
+// ServiceWorkerScript is the JavaScript Service Worker a real browser would
+// run. The Go emulation in internal/sw implements the same algorithm; this
+// script exists so cmd/catalystd serves a genuinely deployable artifact and
+// documents the client contract in executable form.
+const ServiceWorkerScript = `// CacheCatalyst Service Worker.
+// Serves cached same-origin subresources without revalidation round trips
+// by honoring the X-Etag-Config map delivered with each navigation.
+const CACHE = "cachecatalyst-v1";
+let etagConfig = {};
+
+self.addEventListener("install", (e) => self.skipWaiting());
+self.addEventListener("activate", (e) => e.waitUntil(self.clients.claim()));
+
+async function handleNavigation(request) {
+  const resp = await fetch(request);
+  const cfg = resp.headers.get("X-Etag-Config");
+  if (cfg) {
+    try { etagConfig = JSON.parse(cfg); } catch (_) { etagConfig = {}; }
+  }
+  return resp;
+}
+
+async function handleSubresource(request) {
+  const url = new URL(request.url);
+  const key = url.pathname + url.search;
+  const cache = await caches.open(CACHE);
+  const cached = await cache.match(request);
+  if (cached) {
+    const have = cached.headers.get("ETag");
+    const want = etagConfig[key];
+    if (have && want && have === want) {
+      return cached; // zero network round trips
+    }
+  }
+  const resp = await fetch(request);
+  if (resp.ok && resp.headers.get("Cache-Control") !== "no-store") {
+    cache.put(request, resp.clone());
+  }
+  return resp;
+}
+
+self.addEventListener("fetch", (event) => {
+  const request = event.request;
+  if (request.method !== "GET") return;
+  if (new URL(request.url).origin !== self.location.origin) return;
+  if (request.mode === "navigate") {
+    event.respondWith(handleNavigation(request));
+  } else {
+    event.respondWith(handleSubresource(request));
+  }
+});
+`

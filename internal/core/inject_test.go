@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cachecatalyst/internal/htmlparse"
+)
+
+func TestInjectAfterHead(t *testing.T) {
+	in := `<!DOCTYPE html><html><head><title>T</title></head><body></body></html>`
+	out := InjectRegistration(in)
+	wantPrefix := `<!DOCTYPE html><html><head>` + RegistrationSnippet
+	if !strings.HasPrefix(out, wantPrefix) {
+		t.Fatalf("snippet not after <head>: %s", out)
+	}
+}
+
+func TestInjectHeadWithAttributes(t *testing.T) {
+	in := `<html><head lang="en"><title>T</title></head></html>`
+	out := InjectRegistration(in)
+	if !strings.Contains(out, `<head lang="en">`+RegistrationSnippet) {
+		t.Fatalf("attributed head mishandled: %s", out)
+	}
+}
+
+func TestInjectSkipsHeaderElement(t *testing.T) {
+	// <header> must not be mistaken for <head>.
+	in := `<html><body><header>nav</header></body></html>`
+	out := InjectRegistration(in)
+	if !strings.HasPrefix(out, RegistrationSnippet) {
+		t.Fatalf("no-head document should get snippet prepended: %s", out)
+	}
+	if strings.Contains(out, "<header>"+RegistrationSnippet) {
+		t.Fatal("snippet injected inside <header>")
+	}
+}
+
+func TestInjectNoHead(t *testing.T) {
+	out := InjectRegistration(`<p>bare</p>`)
+	if !strings.HasPrefix(out, RegistrationSnippet) {
+		t.Fatalf("got %s", out)
+	}
+}
+
+func TestInjectIdempotent(t *testing.T) {
+	in := `<html><head></head></html>`
+	once := InjectRegistration(in)
+	twice := InjectRegistration(once)
+	if once != twice {
+		t.Fatal("injection not idempotent")
+	}
+	if strings.Count(twice, RegistrationSnippet) != 1 {
+		t.Fatal("snippet duplicated")
+	}
+}
+
+func TestInjectUppercaseHead(t *testing.T) {
+	out := InjectRegistration(`<HTML><HEAD></HEAD></HTML>`)
+	if !strings.Contains(out, "<HEAD>"+RegistrationSnippet) {
+		t.Fatalf("uppercase head missed: %s", out)
+	}
+}
+
+func TestInjectedDocumentStillParses(t *testing.T) {
+	in := `<html><head><link rel="stylesheet" href="a.css"></head><body><img src="b.png"></body></html>`
+	out := InjectRegistration(in)
+	rs := htmlparse.ExtractFromHTML(out)
+	urls := map[string]bool{}
+	for _, r := range rs {
+		urls[r.URL] = true
+	}
+	if !urls["a.css"] || !urls["b.png"] {
+		t.Fatalf("injection broke resource extraction: %v", urls)
+	}
+	// The snippet itself is inline (no src) and must not add a resource.
+	if len(rs) != 2 {
+		t.Fatalf("snippet added resources: %v", rs)
+	}
+}
+
+func TestRegistrationSnippetReferencesWellKnownPath(t *testing.T) {
+	if !strings.Contains(RegistrationSnippet, ServiceWorkerPath) {
+		t.Fatal("snippet does not register the well-known SW path")
+	}
+}
+
+func TestServiceWorkerScriptMentionsHeader(t *testing.T) {
+	if !strings.Contains(ServiceWorkerScript, HeaderName) {
+		t.Fatal("SW script does not read the X-Etag-Config header")
+	}
+}
+
+// Property: injection always yields a document that contains the snippet
+// exactly once and retains the original content.
+func TestInjectQuick(t *testing.T) {
+	f := func(body string) bool {
+		out := InjectRegistration(body)
+		if strings.Count(out, RegistrationSnippet) < 1 {
+			return false
+		}
+		// Original content preserved (snippet removal restores input).
+		return strings.Replace(out, RegistrationSnippet, "", 1) == body
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

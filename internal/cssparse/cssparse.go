@@ -1,0 +1,249 @@
+// Package cssparse extracts resource references from CSS.
+//
+// The paper's server inspects CSS files (in addition to HTML) when building
+// the X-Etag-Config map, because stylesheets pull in further resources via
+// url() tokens and @import rules. This package implements the small part of
+// CSS Syntax Level 3 needed to find those references robustly: comments,
+// strings, url() tokens (both quoted and unquoted forms), and @import
+// preludes.
+package cssparse
+
+import "strings"
+
+// Ref is a resource reference found in a stylesheet.
+type Ref struct {
+	// URL is the raw reference as written (unresolved).
+	URL string
+	// Import marks references introduced by @import (which load further
+	// stylesheets and therefore need recursive extraction) as opposed to
+	// plain url() usage (images, fonts).
+	Import bool
+	// Offset is the byte offset of the reference within the input,
+	// useful for error reporting.
+	Offset int
+}
+
+// ExtractRefs scans CSS text and returns every resource reference in
+// document order. It never fails: unparseable regions are skipped, matching
+// the error-recovery behaviour CSS requires of browsers.
+func ExtractRefs(css string) []Ref {
+	var refs []Ref
+	s := scanner{in: css}
+	for !s.eof() {
+		switch {
+		case s.has("/*"):
+			s.skipComment()
+		case s.has(`"`) || s.has(`'`):
+			s.skipString() // a bare string outside url()/@import is not a reference
+		case s.hasWordCI("@import"):
+			start := s.pos
+			s.pos += len("@import")
+			if r, ok := s.scanImportPrelude(start); ok {
+				refs = append(refs, r)
+			}
+		case s.hasWordCI("url("):
+			start := s.pos
+			s.pos += len("url(")
+			if r, ok := s.scanURLBody(start); ok {
+				refs = append(refs, r)
+			}
+		default:
+			s.pos++
+		}
+	}
+	return refs
+}
+
+type scanner struct {
+	in  string
+	pos int
+}
+
+func (s *scanner) eof() bool { return s.pos >= len(s.in) }
+
+func (s *scanner) has(lit string) bool {
+	return strings.HasPrefix(s.in[s.pos:], lit)
+}
+
+// hasWordCI reports a case-insensitive match for lit at the current
+// position; for identifiers the preceding byte must not be an identifier
+// character, so "background-url(" does not match "url(".
+func (s *scanner) hasWordCI(lit string) bool {
+	if s.pos+len(lit) > len(s.in) {
+		return false
+	}
+	if !strings.EqualFold(s.in[s.pos:s.pos+len(lit)], lit) {
+		return false
+	}
+	if s.pos > 0 && isIdentByte(s.in[s.pos-1]) {
+		return false
+	}
+	return true
+}
+
+func isIdentByte(b byte) bool {
+	return b == '-' || b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+func (s *scanner) skipComment() {
+	end := strings.Index(s.in[s.pos+2:], "*/")
+	if end < 0 {
+		s.pos = len(s.in)
+		return
+	}
+	s.pos += 2 + end + 2
+}
+
+// skipString consumes a quoted string honoring backslash escapes. CSS
+// treats an unescaped newline inside a string as a parse error that ends
+// the string; we follow that recovery.
+func (s *scanner) skipString() {
+	quote := s.in[s.pos]
+	s.pos++
+	for !s.eof() {
+		c := s.in[s.pos]
+		switch c {
+		case '\\':
+			s.pos += 2
+		case quote:
+			s.pos++
+			return
+		case '\n':
+			s.pos++
+			return
+		default:
+			s.pos++
+		}
+	}
+}
+
+// readString consumes a quoted string and returns its unescaped content.
+func (s *scanner) readString() (string, bool) {
+	if s.eof() || (s.in[s.pos] != '"' && s.in[s.pos] != '\'') {
+		return "", false
+	}
+	quote := s.in[s.pos]
+	s.pos++
+	var b strings.Builder
+	for !s.eof() {
+		c := s.in[s.pos]
+		switch c {
+		case '\\':
+			if s.pos+1 < len(s.in) {
+				b.WriteByte(s.in[s.pos+1])
+			}
+			s.pos += 2
+		case quote:
+			s.pos++
+			return b.String(), true
+		case '\n':
+			return "", false
+		default:
+			b.WriteByte(c)
+			s.pos++
+		}
+	}
+	return "", false
+}
+
+func (s *scanner) skipWhitespaceAndComments() {
+	for !s.eof() {
+		switch {
+		case s.in[s.pos] == ' ' || s.in[s.pos] == '\t' || s.in[s.pos] == '\n' || s.in[s.pos] == '\r' || s.in[s.pos] == '\f':
+			s.pos++
+		case s.has("/*"):
+			s.skipComment()
+		default:
+			return
+		}
+	}
+}
+
+// scanImportPrelude handles `@import "x";` and `@import url(x) media;`.
+func (s *scanner) scanImportPrelude(start int) (Ref, bool) {
+	s.skipWhitespaceAndComments()
+	if s.eof() {
+		return Ref{}, false
+	}
+	if s.hasWordCI("url(") {
+		s.pos += len("url(")
+		r, ok := s.scanURLBody(start)
+		r.Import = true
+		return r, ok
+	}
+	if url, ok := s.readString(); ok && url != "" {
+		return Ref{URL: url, Import: true, Offset: start}, true
+	}
+	return Ref{}, false
+}
+
+// scanURLBody consumes the contents of a url(...) token after the opening
+// parenthesis, handling both the quoted form url("x") and the raw form
+// url(x) with escapes.
+func (s *scanner) scanURLBody(start int) (Ref, bool) {
+	s.skipWhitespaceAndComments()
+	if s.eof() {
+		return Ref{}, false
+	}
+	if s.in[s.pos] == '"' || s.in[s.pos] == '\'' {
+		url, ok := s.readString()
+		if !ok {
+			return Ref{}, false
+		}
+		s.skipWhitespaceAndComments()
+		if !s.eof() && s.in[s.pos] == ')' {
+			s.pos++
+		}
+		if url == "" {
+			return Ref{}, false
+		}
+		return Ref{URL: url, Offset: start}, true
+	}
+	var b strings.Builder
+	for !s.eof() {
+		c := s.in[s.pos]
+		switch {
+		case c == ')':
+			s.pos++
+			url := strings.TrimSpace(b.String())
+			if url == "" {
+				return Ref{}, false
+			}
+			return Ref{URL: url, Offset: start}, true
+		case c == '\\' && s.pos+1 < len(s.in):
+			b.WriteByte(s.in[s.pos+1])
+			s.pos += 2
+		case c == '"' || c == '\'' || c == '(':
+			// Parse error per css-syntax: bad-url token. Recover by
+			// skipping to the closing paren.
+			for !s.eof() && s.in[s.pos] != ')' {
+				s.pos++
+			}
+			if !s.eof() {
+				s.pos++
+			}
+			return Ref{}, false
+		default:
+			b.WriteByte(c)
+			s.pos++
+		}
+	}
+	return Ref{}, false
+}
+
+// IsFetchable reports whether a CSS reference points at something a browser
+// would actually fetch over the network: data: and about: URLs, fragment-only
+// references, and empty strings are excluded.
+func IsFetchable(url string) bool {
+	url = strings.TrimSpace(url)
+	if url == "" || strings.HasPrefix(url, "#") {
+		return false
+	}
+	lower := strings.ToLower(url)
+	for _, scheme := range []string{"data:", "about:", "javascript:", "blob:"} {
+		if strings.HasPrefix(lower, scheme) {
+			return false
+		}
+	}
+	return true
+}

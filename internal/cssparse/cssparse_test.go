@@ -1,0 +1,216 @@
+package cssparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func urls(refs []Ref) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.URL
+	}
+	return out
+}
+
+func TestExtractURLForms(t *testing.T) {
+	css := `
+		body { background: url(bg.png); }
+		.a { background-image: url("img/a.jpg"); }
+		.b { background: url('img/b.jpg'); }
+		.c { background: url(  spaced.gif  ); }
+	`
+	got := urls(ExtractRefs(css))
+	want := []string{"bg.png", "img/a.jpg", "img/b.jpg", "spaced.gif"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractImportForms(t *testing.T) {
+	css := `
+		@import "base.css";
+		@import 'theme.css';
+		@import url(layout.css);
+		@import url("print.css") print;
+	`
+	refs := ExtractRefs(css)
+	if len(refs) != 4 {
+		t.Fatalf("got %d refs: %+v", len(refs), refs)
+	}
+	for i, r := range refs {
+		if !r.Import {
+			t.Errorf("ref %d (%q) not marked Import", i, r.URL)
+		}
+	}
+	want := []string{"base.css", "theme.css", "layout.css", "print.css"}
+	if strings.Join(urls(refs), "|") != strings.Join(want, "|") {
+		t.Fatalf("got %v, want %v", urls(refs), want)
+	}
+}
+
+func TestPlainURLNotMarkedImport(t *testing.T) {
+	refs := ExtractRefs(`.x { background: url(a.png) }`)
+	if len(refs) != 1 || refs[0].Import {
+		t.Fatalf("got %+v", refs)
+	}
+}
+
+func TestCommentsAreSkipped(t *testing.T) {
+	css := `/* url(hidden.png) */ .a { background: url(real.png); } /* @import "x.css"; */`
+	got := urls(ExtractRefs(css))
+	if len(got) != 1 || got[0] != "real.png" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnterminatedCommentDoesNotHang(t *testing.T) {
+	if refs := ExtractRefs(`/* never closed url(x.png)`); len(refs) != 0 {
+		t.Fatalf("got %v", refs)
+	}
+}
+
+func TestStringsOutsideURLAreNotRefs(t *testing.T) {
+	css := `.a::before { content: "url(fake.png)"; } .b { background: url(real.png); }`
+	got := urls(ExtractRefs(css))
+	if len(got) != 1 || got[0] != "real.png" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEscapesInURL(t *testing.T) {
+	got := urls(ExtractRefs(`.a { background: url(we\)ird.png); }`))
+	if len(got) != 1 || got[0] != "we)ird.png" {
+		t.Fatalf("got %v", got)
+	}
+	got = urls(ExtractRefs(`.a { background: url("quo\"te.png"); }`))
+	if len(got) != 1 || got[0] != `quo"te.png` {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBadURLRecovery(t *testing.T) {
+	// An unescaped quote inside a raw url() is a bad-url token; the scanner
+	// must recover and find later references.
+	css := `.a { background: url(bro"ken.png); } .b { background: url(ok.png); }`
+	got := urls(ExtractRefs(css))
+	if len(got) != 1 || got[0] != "ok.png" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIdentifierBoundary(t *testing.T) {
+	// "-url(" must not be treated as a url() token.
+	css := `.a { background: my-url(nope.png); } .b { mask: url(yes.png); }`
+	got := urls(ExtractRefs(css))
+	if len(got) != 1 || got[0] != "yes.png" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	got := urls(ExtractRefs(`.a { background: URL(a.png); } @IMPORT "b.css";`))
+	if len(got) != 2 || got[0] != "a.png" || got[1] != "b.css" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEmptyURLSkipped(t *testing.T) {
+	if refs := ExtractRefs(`.a { background: url(); } .b { background: url(""); }`); len(refs) != 0 {
+		t.Fatalf("got %v", refs)
+	}
+}
+
+func TestOffsetsAreMonotone(t *testing.T) {
+	css := `.a{background:url(a.png)} .b{background:url(b.png)} @import "c.css";`
+	refs := ExtractRefs(css)
+	if len(refs) != 3 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Offset <= refs[i-1].Offset {
+			t.Errorf("offsets not monotone: %+v", refs)
+		}
+	}
+}
+
+func TestFontFaceAndMultipleURLsPerDeclaration(t *testing.T) {
+	css := `@font-face { font-family: F; src: url(f.woff2) format("woff2"), url(f.woff) format("woff"); }`
+	got := urls(ExtractRefs(css))
+	if len(got) != 2 || got[0] != "f.woff2" || got[1] != "f.woff" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIsFetchable(t *testing.T) {
+	tests := []struct {
+		url  string
+		want bool
+	}{
+		{"a.png", true},
+		{"/abs/a.png", true},
+		{"https://cdn.example/x.css", true},
+		{"data:image/png;base64,AAAA", false},
+		{"DATA:image/png;base64,AAAA", false},
+		{"#fragment", false},
+		{"", false},
+		{"  ", false},
+		{"about:blank", false},
+		{"javascript:void(0)", false},
+		{"blob:xyz", false},
+	}
+	for _, tt := range tests {
+		if got := IsFetchable(tt.url); got != tt.want {
+			t.Errorf("IsFetchable(%q) = %v, want %v", tt.url, got, tt.want)
+		}
+	}
+}
+
+// Property: ExtractRefs never panics and returned offsets always lie within
+// the input.
+func TestExtractRefsRobustQuick(t *testing.T) {
+	f := func(css string) bool {
+		refs := ExtractRefs(css)
+		for _, r := range refs {
+			if r.Offset < 0 || r.Offset >= len(css) {
+				return false
+			}
+			if r.URL == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a url() reference we synthesize is always found, regardless of
+// surrounding junk.
+func TestSynthesizedURLAlwaysFoundQuick(t *testing.T) {
+	f := func(prefix, suffix string) bool {
+		// Keep prefix/suffix from introducing structure that swallows
+		// the token (comments, quotes, parens).
+		clean := func(s string) string {
+			return strings.Map(func(r rune) rune {
+				switch r {
+				case '/', '*', '"', '\'', '(', ')', '\\', '@':
+					return ' '
+				}
+				return r
+			}, s)
+		}
+		css := clean(prefix) + ` url(needle.png) ` + clean(suffix)
+		for _, r := range ExtractRefs(css) {
+			if r.URL == "needle.png" {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package cssparse
+
+import "testing"
+
+// FuzzExtractRefs checks totality of the CSS scanner: no panics, no hangs,
+// and every returned reference is non-empty with an in-bounds offset.
+func FuzzExtractRefs(f *testing.F) {
+	seeds := []string{
+		"",
+		"url(",
+		"url()",
+		`url("a.png")`,
+		`@import "x.css";`,
+		"@import url(y.css) print;",
+		"/* comment url(hidden) */",
+		`.a { background: url(b\)c.png) }`,
+		`url("unterminated`,
+		"url( spaced )",
+		"@import\n\t'q.css';",
+		"\x00url(\xff\xfe)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		refs := ExtractRefs(input)
+		last := -1
+		for _, r := range refs {
+			if r.URL == "" {
+				t.Fatal("empty URL")
+			}
+			if r.Offset < last || r.Offset >= len(input) {
+				t.Fatalf("offset %d out of order/bounds (len %d)", r.Offset, len(input))
+			}
+			last = r.Offset
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package etag implements entity-tag generation, parsing, and comparison as
+// specified by RFC 9110 §8.8.3 and the If-None-Match evaluation of §13.1.2.
+//
+// Entity tags are the validation tokens at the heart of the paper: the
+// conventional re-validation mechanism ships them in conditional requests,
+// and CacheCatalyst ships them proactively in the X-Etag-Config map.
+package etag
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Tag is a parsed entity tag.
+type Tag struct {
+	// Opaque is the quoted-string content without the surrounding quotes.
+	Opaque string
+	// Weak marks a W/-prefixed tag.
+	Weak bool
+}
+
+// String renders the tag in wire form, e.g. `"abc"` or `W/"abc"`.
+func (t Tag) String() string {
+	if t.Weak {
+		return `W/"` + t.Opaque + `"`
+	}
+	return `"` + t.Opaque + `"`
+}
+
+// IsZero reports whether the tag is empty.
+func (t Tag) IsZero() bool { return t.Opaque == "" && !t.Weak }
+
+// Parse parses a single entity tag in wire form. It accepts strong tags
+// (`"x"`), weak tags (`W/"x"`), and — leniently, as real servers do —
+// unquoted tokens, which are treated as strong tags.
+func Parse(s string) (Tag, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Tag{}, false
+	}
+	var weak bool
+	if strings.HasPrefix(s, "W/") || strings.HasPrefix(s, "w/") {
+		weak = true
+		s = s[2:]
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return Tag{Opaque: s[1 : len(s)-1], Weak: weak}, true
+	}
+	if weak {
+		// W/ must be followed by a quoted string.
+		return Tag{}, false
+	}
+	if strings.ContainsAny(s, `" ,`) {
+		return Tag{}, false
+	}
+	return Tag{Opaque: s}, true
+}
+
+// StrongMatch reports whether a and b compare equal under the strong
+// comparison function: equal opaque values and neither tag weak.
+func StrongMatch(a, b Tag) bool {
+	return !a.Weak && !b.Weak && a.Opaque == b.Opaque && a.Opaque != ""
+}
+
+// WeakMatch reports whether a and b compare equal under the weak comparison
+// function: equal opaque values regardless of weakness.
+func WeakMatch(a, b Tag) bool {
+	return a.Opaque == b.Opaque && a.Opaque != ""
+}
+
+// ParseList parses an If-None-Match style field value: either the special
+// value "*" (reported via star) or a comma-separated list of entity tags.
+// Malformed members are skipped, matching the forgiving behaviour of
+// deployed servers.
+func ParseList(v string) (tags []Tag, star bool) {
+	v = strings.TrimSpace(v)
+	if v == "*" {
+		return nil, true
+	}
+	for _, part := range splitTags(v) {
+		if t, ok := Parse(part); ok {
+			tags = append(tags, t)
+		}
+	}
+	return tags, false
+}
+
+// splitTags splits on commas that are outside quoted strings, so opaque
+// values containing commas survive.
+func splitTags(v string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, v[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, v[start:])
+	return out
+}
+
+// NoneMatch evaluates an If-None-Match precondition (RFC 9110 §13.1.2)
+// against the current entity tag. It returns true when the precondition
+// holds, i.e. the server should process the request normally; false means
+// a cache may be used and a 304 is appropriate for GET/HEAD.
+//
+// Per the RFC, If-None-Match uses the *weak* comparison function.
+func NoneMatch(headerValue string, current Tag) bool {
+	if headerValue == "" {
+		return true
+	}
+	tags, star := ParseList(headerValue)
+	if star {
+		return current.IsZero()
+	}
+	for _, t := range tags {
+		if WeakMatch(t, current) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForBytes deterministically derives a strong entity tag from content, the
+// way the modified Caddy in the paper derives ETags from file contents.
+// The tag is the first 16 hex characters of the SHA-256 digest prefixed
+// with the content length, mirroring productions like nginx's
+// "size-mtime" tags while staying content-addressed.
+func ForBytes(b []byte) Tag {
+	sum := sha256.Sum256(b)
+	return Tag{Opaque: fmt.Sprintf("%x-%s", len(b), hex.EncodeToString(sum[:8]))}
+}
+
+// ForVersion derives a strong entity tag from a resource identity and a
+// monotonically increasing version number. The synthetic corpus uses this:
+// it gives stable, content-free tags so experiments don't need to
+// materialize megabytes of bodies to know whether a resource changed.
+func ForVersion(path string, version uint64) Tag {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", path, version)))
+	return Tag{Opaque: hex.EncodeToString(h[:10])}
+}

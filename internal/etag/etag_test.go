@@ -1,0 +1,184 @@
+package etag
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Tag
+		ok   bool
+	}{
+		{`"abc"`, Tag{Opaque: "abc"}, true},
+		{`W/"abc"`, Tag{Opaque: "abc", Weak: true}, true},
+		{`w/"abc"`, Tag{Opaque: "abc", Weak: true}, true},
+		{`""`, Tag{Opaque: ""}, true},
+		{`bare-token`, Tag{Opaque: "bare-token"}, true}, // lenient
+		{`W/bare`, Tag{}, false},
+		{``, Tag{}, false},
+		{`  "padded"  `, Tag{Opaque: "padded"}, true},
+		{`"has,comma"`, Tag{Opaque: "has,comma"}, true},
+	}
+	for _, tt := range tests {
+		got, ok := Parse(tt.in)
+		if ok != tt.ok || got != tt.want {
+			t.Errorf("Parse(%q) = %+v, %v; want %+v, %v", tt.in, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, tag := range []Tag{{Opaque: "x"}, {Opaque: "y", Weak: true}, {Opaque: "a-b_c.9"}} {
+		got, ok := Parse(tag.String())
+		if !ok || got != tag {
+			t.Errorf("Parse(%q) = %+v, %v", tag.String(), got, ok)
+		}
+	}
+}
+
+func TestMatchFunctions(t *testing.T) {
+	s1 := Tag{Opaque: "1"}
+	s1b := Tag{Opaque: "1"}
+	w1 := Tag{Opaque: "1", Weak: true}
+	s2 := Tag{Opaque: "2"}
+
+	if !StrongMatch(s1, s1b) {
+		t.Error("strong tags with equal opaque should strong-match")
+	}
+	if StrongMatch(s1, w1) || StrongMatch(w1, w1) {
+		t.Error("weak tag must never strong-match")
+	}
+	if StrongMatch(s1, s2) {
+		t.Error("different opaque must not match")
+	}
+	if !WeakMatch(s1, w1) || !WeakMatch(w1, w1) || !WeakMatch(s1, s1b) {
+		t.Error("weak comparison ignores weakness")
+	}
+	if WeakMatch(s1, s2) {
+		t.Error("weak comparison still requires equal opaque")
+	}
+	if StrongMatch(Tag{}, Tag{}) || WeakMatch(Tag{}, Tag{}) {
+		t.Error("empty tags must never match")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	tags, star := ParseList(`"a", W/"b", "c"`)
+	if star {
+		t.Fatal("unexpected star")
+	}
+	want := []Tag{{Opaque: "a"}, {Opaque: "b", Weak: true}, {Opaque: "c"}}
+	if len(tags) != len(want) {
+		t.Fatalf("got %d tags, want %d", len(tags), len(want))
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("tags[%d] = %+v, want %+v", i, tags[i], want[i])
+		}
+	}
+}
+
+func TestParseListStar(t *testing.T) {
+	tags, star := ParseList("*")
+	if !star || tags != nil {
+		t.Fatalf("ParseList(*) = %v, %v", tags, star)
+	}
+}
+
+func TestParseListCommaInsideQuotes(t *testing.T) {
+	tags, _ := ParseList(`"a,b", "c"`)
+	if len(tags) != 2 || tags[0].Opaque != "a,b" || tags[1].Opaque != "c" {
+		t.Fatalf("quoted comma mishandled: %+v", tags)
+	}
+}
+
+func TestParseListSkipsMalformed(t *testing.T) {
+	tags, _ := ParseList(`"ok", W/bad, "also"`)
+	if len(tags) != 2 {
+		t.Fatalf("malformed member not skipped: %+v", tags)
+	}
+}
+
+func TestNoneMatch(t *testing.T) {
+	cur := Tag{Opaque: "v1"}
+	tests := []struct {
+		header string
+		want   bool // true = precondition holds, process normally
+	}{
+		{"", true},
+		{`"v1"`, false},       // client has current version → 304
+		{`W/"v1"`, false},     // weak comparison applies
+		{`"v0"`, true},        // stale client copy → send body
+		{`"v0", "v1"`, false}, // any member matching suffices
+		{"*", false},          // resource exists → 304
+	}
+	for _, tt := range tests {
+		if got := NoneMatch(tt.header, cur); got != tt.want {
+			t.Errorf("NoneMatch(%q, %v) = %v, want %v", tt.header, cur, got, tt.want)
+		}
+	}
+	// Star against a nonexistent representation: precondition holds.
+	if !NoneMatch("*", Tag{}) {
+		t.Error("NoneMatch(*, zero) should hold")
+	}
+}
+
+func TestForBytesDeterministicAndDistinct(t *testing.T) {
+	a1 := ForBytes([]byte("hello"))
+	a2 := ForBytes([]byte("hello"))
+	b := ForBytes([]byte("hello!"))
+	if a1 != a2 {
+		t.Error("ForBytes not deterministic")
+	}
+	if a1 == b {
+		t.Error("ForBytes collision on different content")
+	}
+	if a1.Weak {
+		t.Error("ForBytes must produce strong tags")
+	}
+	if !strings.HasPrefix(a1.Opaque, "5-") {
+		t.Errorf("ForBytes should prefix length: %q", a1.Opaque)
+	}
+}
+
+func TestForVersionDistinguishesPathAndVersion(t *testing.T) {
+	if ForVersion("/a.css", 1) == ForVersion("/a.css", 2) {
+		t.Error("versions must differ")
+	}
+	if ForVersion("/a.css", 1) == ForVersion("/b.css", 1) {
+		t.Error("paths must differ")
+	}
+	if ForVersion("/a.css", 3) != ForVersion("/a.css", 3) {
+		t.Error("not deterministic")
+	}
+}
+
+// Property: any tag that round-trips through wire form still NoneMatch-es
+// correctly against itself (→ 304) and against a different version (→ 200).
+func TestNoneMatchQuick(t *testing.T) {
+	f := func(path string, v uint64) bool {
+		cur := ForVersion(path, v)
+		other := ForVersion(path, v+1)
+		return !NoneMatch(cur.String(), cur) && NoneMatch(other.String(), cur)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parsing the serialized form of any list member yields the member.
+func TestParseRoundTripQuick(t *testing.T) {
+	f := func(raw []byte, weak bool) bool {
+		// Build a legal opaque value: strip quotes, which are illegal inside.
+		opaque := strings.ReplaceAll(string(raw), `"`, "")
+		tag := Tag{Opaque: opaque, Weak: weak}
+		got, ok := Parse(tag.String())
+		return ok && got == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,415 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/stats"
+	"cachecatalyst/internal/webgen"
+)
+
+// DelayPoint is one revisit-delay slice of a sweep cell.
+type DelayPoint struct {
+	Delay            time.Duration
+	MeanReductionPct float64
+}
+
+// Cell aggregates one network condition of a paired sweep.
+type Cell struct {
+	Cond netsim.Conditions
+	// MeanReductionPct is the average PLT reduction of the treatment
+	// scheme relative to the baseline over sites × delays (Figure 3's bar
+	// height).
+	MeanReductionPct float64
+	// P10/P90ReductionPct bound the per-(site, delay) spread: a scheme
+	// whose mean hides regressions on some sites shows it here.
+	P10ReductionPct, P90ReductionPct float64
+	// FCPReductionPct is the mean First-Contentful-Paint reduction — the
+	// user-experience metric the paper defers to future work.
+	FCPReductionPct float64
+	ByDelay         []DelayPoint
+	// MeanBasePLT / MeanTreatPLT are mean warm-load PLTs.
+	MeanBasePLT, MeanTreatPLT time.Duration
+	Samples                   int
+}
+
+// SweepResult is a full paired sweep (e.g. Figure 3).
+type SweepResult struct {
+	Base, Treatment  Scheme
+	Cells            []Cell
+	OverallReduction float64
+}
+
+// RunFig3 reproduces Figure 3: conventional caching vs CacheCatalyst over
+// the throughput × latency grid, averaged over the corpus and the revisit
+// delays.
+func RunFig3(cfg Config) (*SweepResult, error) {
+	return RunPairedSweep(cfg, SchemeConventional, SchemeCatalyst)
+}
+
+// RunPairedSweep measures the PLT reduction of treatment over base for
+// every grid condition. For each (site, condition) pair both schemes load
+// the page cold at the virtual epoch and then reload at each delay; the
+// virtual clocks advance identically, so both schemes see identical content
+// trajectories and the comparison is paired.
+func RunPairedSweep(cfg Config, base, treatment Scheme) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Corpus.Sites
+	if p == 0 {
+		p = 100
+	}
+
+	type job struct{ condIdx, siteIdx int }
+
+	jobs := make(chan job)
+	samplesCh := make(chan []sampleOut)
+	var wg sync.WaitGroup
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var firstErr error
+	var errOnce sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out, err := runPairedTrial(cfg, base, treatment, j.condIdx, j.siteIdx)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				samplesCh <- out
+			}
+		}()
+	}
+	go func() {
+		for condIdx := range cfg.Grid {
+			for siteIdx := 0; siteIdx < p; siteIdx++ {
+				jobs <- job{condIdx, siteIdx}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(samplesCh)
+	}()
+
+	// reductions[cond][delay] accumulates per-site samples.
+	reductions := make([][][]float64, len(cfg.Grid))
+	fcpReductions := make([][]float64, len(cfg.Grid))
+	basePLTs := make([][]float64, len(cfg.Grid))
+	treatPLTs := make([][]float64, len(cfg.Grid))
+	for i := range reductions {
+		reductions[i] = make([][]float64, len(cfg.Delays))
+	}
+	for batch := range samplesCh {
+		for _, s := range batch {
+			reductions[s.condIdx][s.delayIdx] = append(reductions[s.condIdx][s.delayIdx], s.reduction)
+			fcpReductions[s.condIdx] = append(fcpReductions[s.condIdx], s.fcpReduction)
+			basePLTs[s.condIdx] = append(basePLTs[s.condIdx], float64(s.basePLT))
+			treatPLTs[s.condIdx] = append(treatPLTs[s.condIdx], float64(s.treatPLT))
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &SweepResult{Base: base, Treatment: treatment}
+	var all []float64
+	for condIdx, cond := range cfg.Grid {
+		cell := Cell{Cond: cond}
+		var condAll []float64
+		for delayIdx, d := range cfg.Delays {
+			xs := reductions[condIdx][delayIdx]
+			cell.ByDelay = append(cell.ByDelay, DelayPoint{Delay: d, MeanReductionPct: stats.Mean(xs)})
+			condAll = append(condAll, xs...)
+		}
+		cell.MeanReductionPct = stats.Mean(condAll)
+		cell.P10ReductionPct = stats.Percentile(condAll, 10)
+		cell.P90ReductionPct = stats.Percentile(condAll, 90)
+		cell.FCPReductionPct = stats.Mean(fcpReductions[condIdx])
+		cell.Samples = len(condAll)
+		cell.MeanBasePLT = time.Duration(stats.Mean(basePLTs[condIdx]))
+		cell.MeanTreatPLT = time.Duration(stats.Mean(treatPLTs[condIdx]))
+		res.Cells = append(res.Cells, cell)
+		all = append(all, condAll...)
+	}
+	res.OverallReduction = stats.Mean(all)
+	return res, nil
+}
+
+// runPairedTrial runs one (condition, site) pair through both schemes.
+func runPairedTrial(cfg Config, base, treatment Scheme, condIdx, siteIdx int) ([]sampleOut, error) {
+	cond := cfg.Grid[condIdx]
+	wBase := NewWorld(cfg.Corpus, siteIdx, base, cfg.Transport)
+	wTreat := NewWorld(cfg.Corpus, siteIdx, treatment, cfg.Transport)
+
+	// Cold loads at the epoch (not measured for the sweep; they warm the
+	// client state, as in the paper's methodology).
+	if _, err := wBase.Load(cond); err != nil {
+		return nil, err
+	}
+	if _, err := wTreat.Load(cond); err != nil {
+		return nil, err
+	}
+
+	var out []sampleOut
+	prev := time.Duration(0)
+	for delayIdx, d := range cfg.Delays {
+		step := d - prev
+		prev = d
+		wBase.Advance(step)
+		wTreat.Advance(step)
+		rBase, err := wBase.Load(cond)
+		if err != nil {
+			return nil, err
+		}
+		rTreat, err := wTreat.Load(cond)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sampleOut{
+			condIdx:      condIdx,
+			delayIdx:     delayIdx,
+			reduction:    stats.ReductionPercent(float64(rBase.PLT), float64(rTreat.PLT)),
+			fcpReduction: stats.ReductionPercent(float64(rBase.FCP), float64(rTreat.FCP)),
+			basePLT:      rBase.PLT,
+			treatPLT:     rTreat.PLT,
+		})
+	}
+	return out, nil
+}
+
+type sampleOut struct {
+	condIdx, delayIdx int
+	reduction         float64
+	fcpReduction      float64
+	basePLT, treatPLT time.Duration
+}
+
+// HeadlineResult captures the abstract's claims.
+type HeadlineResult struct {
+	// Median5GReduction is the mean PLT reduction at the 60 Mbps / 40 ms
+	// condition the paper calls the global 5G median.
+	Median5GReduction float64
+	// OverallReduction is the grid-wide mean (the paper's "average 30%").
+	OverallReduction float64
+	Sweep            *SweepResult
+}
+
+// RunHeadline computes the headline numbers from a Figure 3 sweep.
+func RunHeadline(cfg Config) (*HeadlineResult, error) {
+	sweep, err := RunFig3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &HeadlineResult{OverallReduction: sweep.OverallReduction, Sweep: sweep}
+	want := Median5G()
+	for _, c := range sweep.Cells {
+		if c.Cond == want {
+			res.Median5GReduction = c.MeanReductionPct
+		}
+	}
+	return res, nil
+}
+
+// BaselineRow is one scheme's row in the §5 comparison.
+type BaselineRow struct {
+	Scheme            Scheme
+	MeanColdPLT       time.Duration
+	MeanWarmPLT       time.Duration
+	MeanColdBytes     float64
+	MeanWarmBytes     float64
+	MeanWarmRequests  float64
+	MeanWarmLocalHits float64
+	MeanPushedUnused  float64
+}
+
+// RunBaselines compares all schemes at one condition and one revisit delay:
+// the multifaceted comparison the paper defers to future work.
+func RunBaselines(cfg Config, cond netsim.Conditions, delay time.Duration) ([]BaselineRow, error) {
+	if cfg.Corpus.Sites == 0 {
+		cfg.Corpus.Sites = 100
+	}
+	var rows []BaselineRow
+	for _, scheme := range AllSchemes {
+		var coldPLT, warmPLT, coldBytes, warmBytes, warmReqs, warmHits, unused []float64
+		for siteIdx := 0; siteIdx < cfg.Corpus.Sites; siteIdx++ {
+			w := NewWorld(cfg.Corpus, siteIdx, scheme, cfg.Transport)
+			cold, err := w.Load(cond)
+			if err != nil {
+				return nil, err
+			}
+			w.Advance(delay)
+			warm, err := w.Load(cond)
+			if err != nil {
+				return nil, err
+			}
+			coldPLT = append(coldPLT, float64(cold.PLT))
+			warmPLT = append(warmPLT, float64(warm.PLT))
+			coldBytes = append(coldBytes, float64(cold.BytesDown))
+			warmBytes = append(warmBytes, float64(warm.BytesDown))
+			warmReqs = append(warmReqs, float64(warm.NetworkRequests))
+			warmHits = append(warmHits, float64(warm.LocalHits))
+			unused = append(unused, float64(warm.PushedUnused))
+		}
+		rows = append(rows, BaselineRow{
+			Scheme:            scheme,
+			MeanColdPLT:       time.Duration(stats.Mean(coldPLT)),
+			MeanWarmPLT:       time.Duration(stats.Mean(warmPLT)),
+			MeanColdBytes:     stats.Mean(coldBytes),
+			MeanWarmBytes:     stats.Mean(warmBytes),
+			MeanWarmRequests:  stats.Mean(warmReqs),
+			MeanWarmLocalHits: stats.Mean(warmHits),
+			MeanPushedUnused:  stats.Mean(unused),
+		})
+	}
+	return rows, nil
+}
+
+// OverheadResult quantifies the X-Etag-Config ablation: what the proactive
+// tokens cost on the navigation response.
+type OverheadResult struct {
+	MeanEntries      float64
+	MeanMapBytes     float64
+	MeanNavBytes     float64
+	OverheadFraction float64
+}
+
+// RunHeaderOverhead measures the ETag-map header cost across the corpus.
+func RunHeaderOverhead(cfg Config) (*OverheadResult, error) {
+	if cfg.Corpus.Sites == 0 {
+		cfg.Corpus.Sites = 100
+	}
+	var entries, mapBytes, navBytes []float64
+	for siteIdx := 0; siteIdx < cfg.Corpus.Sites; siteIdx++ {
+		w := NewWorld(cfg.Corpus, siteIdx, SchemeCatalyst, cfg.Transport)
+		cond := Median5G()
+		if _, err := w.Load(cond); err != nil {
+			return nil, err
+		}
+		m := w.Server.Metrics.MapBytes.Load()
+		built := w.Server.Metrics.MapsBuilt.Load()
+		if built == 0 {
+			return nil, fmt.Errorf("harness: no maps built for site %d", siteIdx)
+		}
+		mapBytes = append(mapBytes, float64(m)/float64(built))
+		// The worker's map size ≈ entry count.
+		if worker, ok := w.Browser.Workers().Lookup(w.Site.Host); ok {
+			entries = append(entries, float64(len(worker.ETagMap())))
+		}
+		page, _ := w.Site.Content().Get(webgen.PagePath)
+		navBytes = append(navBytes, float64(len(page.Body)))
+	}
+	res := &OverheadResult{
+		MeanEntries:  stats.Mean(entries),
+		MeanMapBytes: stats.Mean(mapBytes),
+		MeanNavBytes: stats.Mean(navBytes),
+	}
+	if res.MeanNavBytes > 0 {
+		res.OverheadFraction = res.MeanMapBytes / (res.MeanMapBytes + res.MeanNavBytes)
+	}
+	return res, nil
+}
+
+// CrossPageRow reports one scheme's cross-page navigation cost.
+type CrossPageRow struct {
+	Scheme Scheme
+	// MeanSecondPagePLT is the PLT of navigating to a second page right
+	// after a cold homepage load.
+	MeanSecondPagePLT time.Duration
+	// MeanSecondPageRequests / LocalHits characterize how much of the
+	// shared template the client could reuse.
+	MeanSecondPageRequests  float64
+	MeanSecondPageLocalHits float64
+}
+
+// RunCrossPage measures the paper's §1 intra-site reuse scenario: a user
+// lands on the homepage (cold) and immediately navigates to a second page
+// that shares the site template. The second page's ETag map lets a
+// catalyst client reuse every shared asset with zero round trips, even the
+// no-cache ones a conventional client must revalidate.
+func RunCrossPage(cfg Config, cond netsim.Conditions) ([]CrossPageRow, error) {
+	if cfg.Corpus.Sites == 0 {
+		cfg.Corpus.Sites = 100
+	}
+	var rows []CrossPageRow
+	for _, scheme := range []Scheme{SchemeConventional, SchemeCatalyst, SchemeCatalystRecord} {
+		var plt, reqs, hits []float64
+		for siteIdx := 0; siteIdx < cfg.Corpus.Sites; siteIdx++ {
+			w := NewWorld(cfg.Corpus, siteIdx, scheme, cfg.Transport)
+			if _, err := w.Load(cond); err != nil {
+				return nil, err
+			}
+			second, err := w.LoadPage(cond, webgen.SecondaryPagePath)
+			if err != nil {
+				return nil, err
+			}
+			plt = append(plt, float64(second.PLT))
+			reqs = append(reqs, float64(second.NetworkRequests))
+			hits = append(hits, float64(second.LocalHits))
+		}
+		rows = append(rows, CrossPageRow{
+			Scheme:                  scheme,
+			MeanSecondPagePLT:       time.Duration(stats.Mean(plt)),
+			MeanSecondPageRequests:  stats.Mean(reqs),
+			MeanSecondPageLocalHits: stats.Mean(hits),
+		})
+	}
+	return rows, nil
+}
+
+// CoverageRow is one scheme's row in the coverage ablation.
+type CoverageRow struct {
+	Scheme            Scheme
+	MeanWarmRequests  float64
+	MeanWarmLocalHits float64
+	// CoveredFraction is the share of subresources served locally on a
+	// warm, unchanged revisit — the map's effective coverage.
+	CoveredFraction float64
+}
+
+// RunCoverage quantifies the static-extraction coverage gap (JS-discovered
+// resources) and how the recording extension closes it. The revisit
+// happens after one minute, when essentially nothing has changed, so every
+// network request on the warm load is a coverage miss.
+func RunCoverage(cfg Config, cond netsim.Conditions) ([]CoverageRow, error) {
+	if cfg.Corpus.Sites == 0 {
+		cfg.Corpus.Sites = 100
+	}
+	var rows []CoverageRow
+	for _, scheme := range []Scheme{SchemeCatalyst, SchemeCatalystRecord, SchemeCatalystFull} {
+		var reqs, hits, covered []float64
+		for siteIdx := 0; siteIdx < cfg.Corpus.Sites; siteIdx++ {
+			w := NewWorld(cfg.Corpus, siteIdx, scheme, cfg.Transport)
+			if _, err := w.Load(cond); err != nil {
+				return nil, err
+			}
+			w.Advance(time.Minute)
+			warm, err := w.Load(cond)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, float64(warm.NetworkRequests))
+			hits = append(hits, float64(warm.LocalHits))
+			sub := float64(warm.Resources - 1)
+			if sub > 0 {
+				covered = append(covered, float64(warm.LocalHits)/sub)
+			}
+		}
+		rows = append(rows, CoverageRow{
+			Scheme:            scheme,
+			MeanWarmRequests:  stats.Mean(reqs),
+			MeanWarmLocalHits: stats.Mean(hits),
+			CoveredFraction:   stats.Mean(covered),
+		})
+	}
+	return rows, nil
+}

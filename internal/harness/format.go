@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Table renders the sweep as the Figure-3 matrix: one row per condition,
+// one column per revisit delay, plus the per-condition mean — the series
+// the paper plots as grouped bars.
+func (r *SweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PLT reduction of %s vs %s (%% — positive = faster)\n", r.Treatment, r.Base)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	if len(r.Cells) > 0 {
+		fmt.Fprint(w, "condition")
+		for _, dp := range r.Cells[0].ByDelay {
+			fmt.Fprintf(w, "\t+%s", shortDur(dp.Delay))
+		}
+		fmt.Fprint(w, "\tmean\tspread\n")
+	}
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%s", c.Cond)
+		for _, dp := range c.ByDelay {
+			fmt.Fprintf(w, "\t%5.1f", dp.MeanReductionPct)
+		}
+		fmt.Fprintf(w, "\t%5.1f\t[p10 %4.1f, p90 %4.1f]\n",
+			c.MeanReductionPct, c.P10ReductionPct, c.P90ReductionPct)
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "overall mean reduction: %.1f%%\n", r.OverallReduction)
+	return b.String()
+}
+
+// Table renders the headline numbers.
+func (r *HeadlineResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mean PLT reduction at 5G median (60Mbps/40ms): %.1f%%\n", r.Median5GReduction)
+	fmt.Fprintf(&b, "mean PLT reduction across the grid:            %.1f%% (paper: ~30%%)\n", r.OverallReduction)
+	return b.String()
+}
+
+// BaselineTable renders the §5 scheme comparison.
+func BaselineTable(rows []BaselineRow, delay time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheme comparison (revisit after %s)\n", shortDur(delay))
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tcold PLT\twarm PLT\tcold KB\twarm KB\twarm reqs\twarm local\tpushed unused")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.0f\t%.1f\t%.1f\t%.1f\n",
+			r.Scheme, msDur(r.MeanColdPLT), msDur(r.MeanWarmPLT),
+			r.MeanColdBytes/1024, r.MeanWarmBytes/1024,
+			r.MeanWarmRequests, r.MeanWarmLocalHits, r.MeanPushedUnused)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table renders the header-overhead ablation.
+func (r *OverheadResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X-Etag-Config overhead: mean %.0f entries, %.0f bytes/navigation\n",
+		r.MeanEntries, r.MeanMapBytes)
+	fmt.Fprintf(&b, "share of navigation response: %.1f%% (HTML mean %.0f bytes)\n",
+		r.OverheadFraction*100, r.MeanNavBytes)
+	return b.String()
+}
+
+// CrossPageTable renders the intra-site navigation comparison.
+func CrossPageTable(rows []CrossPageRow) string {
+	var b strings.Builder
+	b.WriteString("second-page navigation right after a cold homepage load\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\t2nd-page PLT\trequests\tlocal")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\n",
+			r.Scheme, msDur(r.MeanSecondPagePLT), r.MeanSecondPageRequests, r.MeanSecondPageLocalHits)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CoverageTable renders the coverage ablation.
+func CoverageTable(rows []CoverageRow) string {
+	var b strings.Builder
+	b.WriteString("map coverage on an unchanged revisit (+1min)\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\twarm reqs\twarm local\tcovered")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f%%\n",
+			r.Scheme, r.MeanWarmRequests, r.MeanWarmLocalHits, r.CoveredFraction*100)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// shortDur renders durations the way the paper labels delays (1m, 1h, 6h,
+// 1d, 1w).
+func shortDur(d time.Duration) string {
+	day := 24 * time.Hour
+	switch {
+	case d >= 7*day && d%(7*day) == 0:
+		return fmt.Sprintf("%dw", d/(7*day))
+	case d >= day && d%day == 0:
+		return fmt.Sprintf("%dd", d/day)
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return d.String()
+	}
+}
+
+// msDur renders a duration in whole milliseconds.
+func msDur(d time.Duration) string {
+	return fmt.Sprintf("%dms", d.Milliseconds())
+}

@@ -1,0 +1,167 @@
+package headers
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseCacheControlBasics(t *testing.T) {
+	tests := []struct {
+		in   string
+		want CacheControl
+	}{
+		{"no-store", CacheControl{NoStore: true}},
+		{"no-cache", CacheControl{NoCache: true}},
+		{"max-age=3600", CacheControl{MaxAge: time.Hour, HasMaxAge: true}},
+		{"max-age=0", CacheControl{MaxAge: 0, HasMaxAge: true}},
+		{"public, max-age=604800", CacheControl{Public: true, MaxAge: 7 * 24 * time.Hour, HasMaxAge: true}},
+		{"private, no-cache", CacheControl{Private: true, NoCache: true}},
+		{"max-age=60, must-revalidate", CacheControl{MaxAge: time.Minute, HasMaxAge: true, MustRevalidate: true}},
+		{"immutable, max-age=31536000", CacheControl{Immutable: true, MaxAge: 365 * 24 * time.Hour, HasMaxAge: true}},
+		{"", CacheControl{}},
+	}
+	for _, tt := range tests {
+		got := ParseCacheControl(tt.in)
+		if !equalCC(got, tt.want) {
+			t.Errorf("ParseCacheControl(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func equalCC(a, b CacheControl) bool {
+	if a.NoStore != b.NoStore || a.NoCache != b.NoCache || a.HasMaxAge != b.HasMaxAge ||
+		a.MaxAge != b.MaxAge || a.MustRevalidate != b.MustRevalidate ||
+		a.Public != b.Public || a.Private != b.Private || a.Immutable != b.Immutable {
+		return false
+	}
+	if len(a.Extensions) != len(b.Extensions) {
+		return false
+	}
+	for k, v := range a.Extensions {
+		if b.Extensions[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseCacheControlCaseInsensitive(t *testing.T) {
+	got := ParseCacheControl("No-Store, MAX-AGE=10")
+	if !got.NoStore || !got.HasMaxAge || got.MaxAge != 10*time.Second {
+		t.Fatalf("case-insensitive parse failed: %+v", got)
+	}
+}
+
+func TestParseCacheControlWhitespaceAndQuotes(t *testing.T) {
+	got := ParseCacheControl(`  max-age = "120" ,  no-cache `)
+	if !got.NoCache || got.MaxAge != 2*time.Minute {
+		t.Fatalf("lenient parse failed: %+v", got)
+	}
+}
+
+func TestParseCacheControlMalformedMaxAge(t *testing.T) {
+	for _, in := range []string{"max-age=abc", "max-age=-5", "max-age="} {
+		got := ParseCacheControl(in)
+		if got.MaxAge != 0 {
+			t.Errorf("ParseCacheControl(%q).MaxAge = %v, want 0", in, got.MaxAge)
+		}
+	}
+	// Unparseable values must be treated as already stale (HasMaxAge set,
+	// MaxAge zero), not as "no freshness info".
+	if got := ParseCacheControl("max-age=abc"); !got.HasMaxAge {
+		t.Error("malformed max-age should still mark HasMaxAge")
+	}
+}
+
+func TestParseCacheControlUnknownDirectives(t *testing.T) {
+	got := ParseCacheControl("s-maxage=30, stale-while-revalidate=60, keep")
+	if got.Extensions["s-maxage"] != "30" {
+		t.Errorf("s-maxage extension = %q", got.Extensions["s-maxage"])
+	}
+	if got.Extensions["stale-while-revalidate"] != "60" {
+		t.Errorf("stale-while-revalidate extension = %q", got.Extensions["stale-while-revalidate"])
+	}
+	if v, ok := got.Extensions["keep"]; !ok || v != "" {
+		t.Errorf("valueless extension = %q, ok=%v", v, ok)
+	}
+}
+
+func TestCacheControlStringRoundTrip(t *testing.T) {
+	cases := []CacheControl{
+		{NoStore: true},
+		{NoCache: true, Private: true},
+		{MaxAge: time.Hour, HasMaxAge: true, Public: true},
+		{MaxAge: 0, HasMaxAge: true, MustRevalidate: true},
+		{Immutable: true, MaxAge: 24 * time.Hour, HasMaxAge: true},
+		{Extensions: map[string]string{"s-maxage": "10", "zz": ""}},
+	}
+	for _, cc := range cases {
+		got := ParseCacheControl(cc.String())
+		if !equalCC(got, cc) {
+			t.Errorf("round trip of %q: got %+v want %+v", cc.String(), got, cc)
+		}
+	}
+}
+
+// Property: String→Parse is the identity for max-age durations measured in
+// whole seconds.
+func TestCacheControlMaxAgeRoundTripQuick(t *testing.T) {
+	f := func(secs uint32) bool {
+		cc := CacheControl{MaxAge: time.Duration(secs) * time.Second, HasMaxAge: true}
+		return equalCC(ParseCacheControl(cc.String()), cc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(CacheControl{}).IsZero() {
+		t.Error("zero value should be IsZero")
+	}
+	if (CacheControl{NoCache: true}).IsZero() {
+		t.Error("no-cache should not be IsZero")
+	}
+	if (CacheControl{HasMaxAge: true}).IsZero() {
+		t.Error("max-age=0 should not be IsZero")
+	}
+}
+
+func TestHTTPDateRoundTrip(t *testing.T) {
+	ti := time.Date(2024, 11, 18, 15, 4, 5, 0, time.UTC)
+	s := FormatHTTPDate(ti)
+	if s != "Mon, 18 Nov 2024 15:04:05 GMT" {
+		t.Fatalf("FormatHTTPDate = %q", s)
+	}
+	got, ok := ParseHTTPDate(s)
+	if !ok || !got.Equal(ti) {
+		t.Fatalf("ParseHTTPDate(%q) = %v, %v", s, got, ok)
+	}
+}
+
+func TestParseHTTPDateLegacyFormats(t *testing.T) {
+	want := time.Date(1994, 11, 6, 8, 49, 37, 0, time.UTC)
+	for _, s := range []string{
+		"Sun, 06 Nov 1994 08:49:37 GMT",  // IMF-fixdate
+		"Sunday, 06-Nov-94 08:49:37 GMT", // RFC 850
+		"Sun Nov  6 08:49:37 1994",       // ANSI C asctime
+	} {
+		got, ok := ParseHTTPDate(s)
+		if !ok {
+			t.Errorf("ParseHTTPDate(%q) failed", s)
+			continue
+		}
+		if !got.UTC().Equal(want) {
+			t.Errorf("ParseHTTPDate(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestParseHTTPDateRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "yesterday", "2024-11-18T00:00:00Z"} {
+		if _, ok := ParseHTTPDate(s); ok {
+			t.Errorf("ParseHTTPDate(%q) unexpectedly succeeded", s)
+		}
+	}
+}

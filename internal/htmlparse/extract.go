@@ -1,0 +1,237 @@
+package htmlparse
+
+import (
+	"strings"
+
+	"cachecatalyst/internal/cssparse"
+)
+
+// ResourceKind classifies a discovered subresource; the browser emulator
+// uses it for scheduling and the corpus generator for size distributions.
+type ResourceKind int
+
+// Resource kinds.
+const (
+	KindStylesheet ResourceKind = iota
+	KindScript
+	KindImage
+	KindFont
+	KindMedia
+	KindDocument // iframes
+	KindFetch    // preload/prefetch of unknown type, object/embed
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case KindStylesheet:
+		return "stylesheet"
+	case KindScript:
+		return "script"
+	case KindImage:
+		return "image"
+	case KindFont:
+		return "font"
+	case KindMedia:
+		return "media"
+	case KindDocument:
+		return "document"
+	case KindFetch:
+		return "fetch"
+	}
+	return "unknown"
+}
+
+// Resource is a subresource reference discovered in a document.
+type Resource struct {
+	// URL as written in the document (unresolved).
+	URL  string
+	Kind ResourceKind
+	// Async is true for resources that do not block the parser
+	// (async/defer scripts, prefetch links).
+	Async bool
+	// Offset of the referencing attribute's element in the source.
+	Offset int
+}
+
+// ExtractResources walks a parsed document and returns every subresource a
+// browser would fetch, in document order, excluding non-fetchable URLs
+// (data:, javascript:, fragments). Duplicate URLs are retained; callers that
+// need a set deduplicate (a browser coalesces identical in-flight fetches,
+// which internal/browser models).
+func ExtractResources(doc *Node) []Resource {
+	var out []Resource
+	add := func(url string, kind ResourceKind, async bool, off int) {
+		if !cssparse.IsFetchable(url) {
+			return
+		}
+		out = append(out, Resource{URL: strings.TrimSpace(url), Kind: kind, Async: async, Offset: off})
+	}
+
+	doc.Walk(func(n *Node) bool {
+		if n.Type != ElementNode {
+			return true
+		}
+		// Inline style attributes can reference images/fonts.
+		if style, ok := n.Attr("style"); ok {
+			for _, ref := range cssparse.ExtractRefs(style) {
+				add(ref.URL, KindImage, false, n.Offset)
+			}
+		}
+		switch n.Data {
+		case "script":
+			if src, ok := n.Attr("src"); ok {
+				_, async := n.Attr("async")
+				_, deferred := n.Attr("defer")
+				add(src, KindScript, async || deferred, n.Offset)
+			}
+		case "link":
+			rel, _ := n.Attr("rel")
+			href, ok := n.Attr("href")
+			if !ok {
+				return true
+			}
+			switch {
+			case relContains(rel, "stylesheet"):
+				add(href, KindStylesheet, false, n.Offset)
+			case relContains(rel, "icon"), relContains(rel, "apple-touch-icon"):
+				add(href, KindImage, true, n.Offset)
+			case relContains(rel, "preload"), relContains(rel, "modulepreload"):
+				as, _ := n.Attr("as")
+				add(href, kindForPreloadAs(as), false, n.Offset)
+			case relContains(rel, "prefetch"):
+				add(href, KindFetch, true, n.Offset)
+			}
+		case "img":
+			if src, ok := n.Attr("src"); ok {
+				add(src, KindImage, false, n.Offset)
+			}
+			if srcset, ok := n.Attr("srcset"); ok {
+				for _, u := range ParseSrcset(srcset) {
+					add(u, KindImage, false, n.Offset)
+				}
+			}
+		case "source":
+			kind := KindMedia
+			if n.Parent != nil && n.Parent.Data == "picture" {
+				kind = KindImage
+			}
+			if src, ok := n.Attr("src"); ok {
+				add(src, kind, false, n.Offset)
+			}
+			if srcset, ok := n.Attr("srcset"); ok {
+				for _, u := range ParseSrcset(srcset) {
+					add(u, kind, false, n.Offset)
+				}
+			}
+		case "video":
+			if src, ok := n.Attr("src"); ok {
+				add(src, KindMedia, true, n.Offset)
+			}
+			if poster, ok := n.Attr("poster"); ok {
+				add(poster, KindImage, false, n.Offset)
+			}
+		case "audio":
+			if src, ok := n.Attr("src"); ok {
+				add(src, KindMedia, true, n.Offset)
+			}
+		case "iframe":
+			if src, ok := n.Attr("src"); ok {
+				add(src, KindDocument, false, n.Offset)
+			}
+		case "embed":
+			if src, ok := n.Attr("src"); ok {
+				add(src, KindFetch, false, n.Offset)
+			}
+		case "object":
+			if data, ok := n.Attr("data"); ok {
+				add(data, KindFetch, false, n.Offset)
+			}
+		case "input":
+			if typ, _ := n.Attr("type"); strings.EqualFold(typ, "image") {
+				if src, ok := n.Attr("src"); ok {
+					add(src, KindImage, false, n.Offset)
+				}
+			}
+		case "track":
+			if src, ok := n.Attr("src"); ok {
+				add(src, KindFetch, true, n.Offset)
+			}
+		case "style":
+			for _, ref := range cssparse.ExtractRefs(n.Text()) {
+				kind := KindImage
+				if ref.Import {
+					kind = KindStylesheet
+				}
+				add(ref.URL, kind, false, n.Offset)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ExtractFromHTML is the convenience composition Parse + ExtractResources.
+func ExtractFromHTML(src string) []Resource {
+	return ExtractResources(Parse(src))
+}
+
+// BaseHref returns the document's <base href> value, if present — the
+// reference that relative URLs resolve against instead of the document URL
+// (only the first base element counts, per WHATWG HTML).
+func BaseHref(doc *Node) (string, bool) {
+	base := doc.Find("base")
+	if base == nil {
+		return "", false
+	}
+	href, ok := base.Attr("href")
+	if !ok || strings.TrimSpace(href) == "" {
+		return "", false
+	}
+	return strings.TrimSpace(href), true
+}
+
+// relContains reports whether the space-separated rel attribute value
+// contains the given link type (case-insensitively).
+func relContains(rel, typ string) bool {
+	for _, f := range strings.Fields(rel) {
+		if strings.EqualFold(f, typ) {
+			return true
+		}
+	}
+	return false
+}
+
+func kindForPreloadAs(as string) ResourceKind {
+	switch strings.ToLower(as) {
+	case "style":
+		return KindStylesheet
+	case "script":
+		return KindScript
+	case "image":
+		return KindImage
+	case "font":
+		return KindFont
+	case "video", "audio":
+		return KindMedia
+	case "document":
+		return KindDocument
+	default:
+		return KindFetch
+	}
+}
+
+// ParseSrcset returns the URLs of an image srcset attribute
+// ("a.jpg 1x, b.jpg 2x" → ["a.jpg", "b.jpg"]). Width/density descriptors
+// are discarded; the emulated browser fetches one candidate, but the ETag
+// map must cover all of them.
+func ParseSrcset(v string) []string {
+	var out []string
+	for _, candidate := range strings.Split(v, ",") {
+		fields := strings.Fields(candidate)
+		if len(fields) == 0 {
+			continue
+		}
+		out = append(out, fields[0])
+	}
+	return out
+}

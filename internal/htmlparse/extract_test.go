@@ -1,0 +1,237 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func resourceURLs(rs []Resource) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.URL
+	}
+	return out
+}
+
+func find(rs []Resource, url string) (Resource, bool) {
+	for _, r := range rs {
+		if r.URL == url {
+			return r, true
+		}
+	}
+	return Resource{}, false
+}
+
+func TestExtractFigure1Example(t *testing.T) {
+	// The exact shape of Figure 1: a page linking a stylesheet and a script.
+	src := `<!DOCTYPE html><html><head>
+		<link rel="stylesheet" href="a.css">
+		<script src="b.js"></script>
+	</head><body></body></html>`
+	rs := ExtractFromHTML(src)
+	if len(rs) != 2 {
+		t.Fatalf("got %v", resourceURLs(rs))
+	}
+	if rs[0].URL != "a.css" || rs[0].Kind != KindStylesheet {
+		t.Errorf("rs[0] = %+v", rs[0])
+	}
+	if rs[1].URL != "b.js" || rs[1].Kind != KindScript {
+		t.Errorf("rs[1] = %+v", rs[1])
+	}
+}
+
+func TestExtractKinds(t *testing.T) {
+	src := `
+	<link rel="stylesheet" href="s.css">
+	<link rel="icon" href="fav.ico">
+	<link rel="preload" href="f.woff2" as="font">
+	<link rel="preload" href="p.js" as="script">
+	<link rel="prefetch" href="next.html">
+	<script src="m.js" defer></script>
+	<img src="i.png">
+	<video src="v.mp4" poster="p.jpg"></video>
+	<audio src="a.mp3"></audio>
+	<iframe src="frame.html"></iframe>
+	<embed src="e.swf">
+	<object data="o.bin"></object>
+	<input type="image" src="btn.png">
+	<track src="subs.vtt">
+	`
+	rs := ExtractFromHTML(src)
+	wantKinds := map[string]ResourceKind{
+		"s.css": KindStylesheet, "fav.ico": KindImage, "f.woff2": KindFont,
+		"p.js": KindScript, "next.html": KindFetch, "m.js": KindScript,
+		"i.png": KindImage, "v.mp4": KindMedia, "p.jpg": KindImage,
+		"a.mp3": KindMedia, "frame.html": KindDocument, "e.swf": KindFetch,
+		"o.bin": KindFetch, "btn.png": KindImage, "subs.vtt": KindFetch,
+	}
+	if len(rs) != len(wantKinds) {
+		t.Fatalf("got %d resources %v, want %d", len(rs), resourceURLs(rs), len(wantKinds))
+	}
+	for url, kind := range wantKinds {
+		r, ok := find(rs, url)
+		if !ok {
+			t.Errorf("missing %q", url)
+			continue
+		}
+		if r.Kind != kind {
+			t.Errorf("%q kind = %v, want %v", url, r.Kind, kind)
+		}
+	}
+}
+
+func TestExtractAsyncFlags(t *testing.T) {
+	src := `<script src="sync.js"></script>
+	<script src="async.js" async></script>
+	<script src="defer.js" defer></script>
+	<link rel="prefetch" href="pf.css">
+	<link rel="stylesheet" href="block.css">`
+	rs := ExtractFromHTML(src)
+	wantAsync := map[string]bool{
+		"sync.js": false, "async.js": true, "defer.js": true,
+		"pf.css": true, "block.css": false,
+	}
+	for url, async := range wantAsync {
+		r, ok := find(rs, url)
+		if !ok {
+			t.Fatalf("missing %q", url)
+		}
+		if r.Async != async {
+			t.Errorf("%q async = %v, want %v", url, r.Async, async)
+		}
+	}
+}
+
+func TestExtractSrcset(t *testing.T) {
+	src := `<img src="base.jpg" srcset="small.jpg 480w, big.jpg 1080w">
+	<picture><source srcset="webp.webp 1x" type="image/webp"><img src="fall.jpg"></picture>`
+	rs := ExtractFromHTML(src)
+	for _, want := range []string{"base.jpg", "small.jpg", "big.jpg", "webp.webp", "fall.jpg"} {
+		if _, ok := find(rs, want); !ok {
+			t.Errorf("missing %q in %v", want, resourceURLs(rs))
+		}
+	}
+	if r, _ := find(rs, "webp.webp"); r.Kind != KindImage {
+		t.Errorf("picture>source kind = %v, want image", r.Kind)
+	}
+}
+
+func TestParseSrcset(t *testing.T) {
+	got := ParseSrcset(" a.jpg 1x , b.jpg 2x, c.jpg ")
+	if strings.Join(got, "|") != "a.jpg|b.jpg|c.jpg" {
+		t.Fatalf("got %v", got)
+	}
+	if got := ParseSrcset(""); got != nil {
+		t.Fatalf("empty srcset: %v", got)
+	}
+}
+
+func TestExtractInlineStyleAndStyleElement(t *testing.T) {
+	src := `<div style="background: url(bg.png)"></div>
+	<style>@import "extra.css"; .x { background: url("hero.jpg"); }</style>`
+	rs := ExtractFromHTML(src)
+	if r, ok := find(rs, "bg.png"); !ok || r.Kind != KindImage {
+		t.Errorf("inline style url missing/wrong: %+v %v", r, ok)
+	}
+	if r, ok := find(rs, "extra.css"); !ok || r.Kind != KindStylesheet {
+		t.Errorf("@import in <style> missing/wrong: %+v %v", r, ok)
+	}
+	if _, ok := find(rs, "hero.jpg"); !ok {
+		t.Error("url() in <style> missing")
+	}
+}
+
+func TestExtractSkipsNonFetchable(t *testing.T) {
+	src := `<img src="data:image/png;base64,AAA=">
+	<a href="#top">x</a>
+	<script src=""></script>
+	<img src="real.png">`
+	rs := ExtractFromHTML(src)
+	if len(rs) != 1 || rs[0].URL != "real.png" {
+		t.Fatalf("got %v", resourceURLs(rs))
+	}
+}
+
+func TestExtractSkipsCommentedMarkup(t *testing.T) {
+	src := `<!-- <img src="ghost.png"> --><img src="real.png">`
+	rs := ExtractFromHTML(src)
+	if len(rs) != 1 || rs[0].URL != "real.png" {
+		t.Fatalf("got %v", resourceURLs(rs))
+	}
+}
+
+func TestExtractSkipsScriptBodyMarkup(t *testing.T) {
+	// Markup inside a script body is data, not DOM: a naive regex extractor
+	// would wrongly pick up ghost.png.
+	src := `<script>document.write('<img src="ghost.png">')</script><img src="real.png">`
+	rs := ExtractFromHTML(src)
+	if len(rs) != 1 || rs[0].URL != "real.png" {
+		t.Fatalf("got %v", resourceURLs(rs))
+	}
+}
+
+func TestExtractDocumentOrder(t *testing.T) {
+	src := `<link rel=stylesheet href=1.css><script src=2.js></script><img src=3.png>`
+	rs := ExtractFromHTML(src)
+	if strings.Join(resourceURLs(rs), "|") != "1.css|2.js|3.png" {
+		t.Fatalf("order: %v", resourceURLs(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Offset <= rs[i-1].Offset {
+			t.Fatalf("offsets not monotone: %+v", rs)
+		}
+	}
+}
+
+func TestExtractEntityDecodedURL(t *testing.T) {
+	rs := ExtractFromHTML(`<img src="/i?a=1&amp;b=2">`)
+	if len(rs) != 1 || rs[0].URL != "/i?a=1&b=2" {
+		t.Fatalf("got %v", resourceURLs(rs))
+	}
+}
+
+func TestExtractDuplicatesRetained(t *testing.T) {
+	rs := ExtractFromHTML(`<img src="x.png"><img src="x.png">`)
+	if len(rs) != 2 {
+		t.Fatalf("duplicates collapsed: %v", resourceURLs(rs))
+	}
+}
+
+func TestResourceKindStrings(t *testing.T) {
+	for k, want := range map[ResourceKind]string{
+		KindStylesheet: "stylesheet", KindScript: "script", KindImage: "image",
+		KindFont: "font", KindMedia: "media", KindDocument: "document",
+		KindFetch: "fetch", ResourceKind(42): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("ResourceKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindForPreloadAs(t *testing.T) {
+	for as, want := range map[string]ResourceKind{
+		"style": KindStylesheet, "script": KindScript, "image": KindImage,
+		"font": KindFont, "video": KindMedia, "audio": KindMedia,
+		"document": KindDocument, "": KindFetch, "weird": KindFetch,
+	} {
+		if got := kindForPreloadAs(as); got != want {
+			t.Errorf("kindForPreloadAs(%q) = %v, want %v", as, got, want)
+		}
+	}
+}
+
+func TestBaseHref(t *testing.T) {
+	if href, ok := BaseHref(Parse(`<head><base href="/v2/"><base href="/ignored/"></head>`)); !ok || href != "/v2/" {
+		t.Fatalf("BaseHref = %q, %v", href, ok)
+	}
+	if _, ok := BaseHref(Parse(`<head></head>`)); ok {
+		t.Fatal("invented a base")
+	}
+	if _, ok := BaseHref(Parse(`<base href="  ">`)); ok {
+		t.Fatal("blank base accepted")
+	}
+	if href, ok := BaseHref(Parse(`<base target="_blank" href=" /x/ ">`)); !ok || href != "/x/" {
+		t.Fatalf("BaseHref = %q, %v", href, ok)
+	}
+}

@@ -1,0 +1,172 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBuildsTree(t *testing.T) {
+	doc := Parse(`<html><head><title>T</title></head><body><p>hi</p></body></html>`)
+	html := doc.Find("html")
+	if html == nil {
+		t.Fatal("no html element")
+	}
+	if doc.Find("title") == nil || doc.Find("title").Text() != "T" {
+		t.Fatal("title missing or wrong")
+	}
+	p := doc.Find("p")
+	if p == nil || p.Text() != "hi" {
+		t.Fatal("p missing or wrong")
+	}
+	if p.Parent == nil || p.Parent.Data != "body" {
+		t.Fatalf("p parent = %+v", p.Parent)
+	}
+}
+
+func TestVoidElementsHaveNoChildren(t *testing.T) {
+	doc := Parse(`<body><img src="a.png"><p>text</p></body>`)
+	img := doc.Find("img")
+	if img == nil {
+		t.Fatal("img not found")
+	}
+	if len(img.Kids) != 0 {
+		t.Fatalf("void element got children: %+v", img.Kids)
+	}
+	// p must be a sibling of img, not its child.
+	p := doc.Find("p")
+	if p.Parent.Data != "body" {
+		t.Fatalf("p parent = %q", p.Parent.Data)
+	}
+}
+
+func TestImpliedEndTags(t *testing.T) {
+	doc := Parse(`<ul><li>one<li>two<li>three</ul>`)
+	lis := doc.FindAll("li")
+	if len(lis) != 3 {
+		t.Fatalf("got %d li elements", len(lis))
+	}
+	for i, li := range lis {
+		if li.Parent.Data != "ul" {
+			t.Errorf("li %d nested inside %q, want ul", i, li.Parent.Data)
+		}
+	}
+}
+
+func TestImpliedParagraphClose(t *testing.T) {
+	doc := Parse(`<body><p>one<p>two</body>`)
+	ps := doc.FindAll("p")
+	if len(ps) != 2 {
+		t.Fatalf("got %d p elements", len(ps))
+	}
+	if ps[1].Parent.Data != "body" {
+		t.Errorf("second p nested in %q", ps[1].Parent.Data)
+	}
+}
+
+func TestStrayEndTagIgnored(t *testing.T) {
+	doc := Parse(`<body></div><p>ok</p></body>`)
+	if doc.Find("p") == nil {
+		t.Fatal("parser derailed by stray end tag")
+	}
+}
+
+func TestMisnestedTagsRecovered(t *testing.T) {
+	doc := Parse(`<b><i>x</b></i>`)
+	if doc.Find("b") == nil || doc.Find("i") == nil {
+		t.Fatal("misnesting dropped elements")
+	}
+}
+
+func TestFindAllDocumentOrder(t *testing.T) {
+	doc := Parse(`<div id=a><div id=b></div></div><div id=c></div>`)
+	divs := doc.FindAll("div")
+	ids := make([]string, len(divs))
+	for i, d := range divs {
+		ids[i], _ = d.Attr("id")
+	}
+	if strings.Join(ids, "") != "abc" {
+		t.Fatalf("document order violated: %v", ids)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	doc := Parse(`<div><span>inner</span></div><p>after</p>`)
+	var visited []string
+	doc.Walk(func(n *Node) bool {
+		if n.Type == ElementNode {
+			visited = append(visited, n.Data)
+			return n.Data != "div" // prune below div
+		}
+		return true
+	})
+	if strings.Join(visited, ",") != "div,p" {
+		t.Fatalf("prune failed: %v", visited)
+	}
+}
+
+func TestRenderRoundTripPreservesStructure(t *testing.T) {
+	src := `<!DOCTYPE html><html><head><link rel="stylesheet" href="a.css"></head>` +
+		`<body class="x"><p>hi &amp; bye</p><script>let a = 1 < 2;</script></body></html>`
+	doc := Parse(src)
+	out := Render(doc)
+	doc2 := Parse(out)
+	// Structure must survive a second parse.
+	if Render(doc2) != out {
+		t.Fatalf("render not a fixed point:\n1: %s\n2: %s", out, Render(doc2))
+	}
+	if v, _ := doc2.Find("link").Attr("href"); v != "a.css" {
+		t.Fatal("attribute lost in round trip")
+	}
+	if doc2.Find("script").Text() != "let a = 1 < 2;" {
+		t.Fatalf("script body mangled: %q", doc2.Find("script").Text())
+	}
+	if doc2.Find("p").Text() != "hi & bye" {
+		t.Fatalf("text mangled: %q", doc2.Find("p").Text())
+	}
+}
+
+func TestRenderEscapesAttrAndText(t *testing.T) {
+	n := &Node{Type: ElementNode, Data: "a", Attrs: []Attr{{Name: "href", Value: `x"y&z`}}}
+	n.append(&Node{Type: TextNode, Data: "1 < 2 & 3"})
+	out := Render(n)
+	want := `<a href="x&quot;y&amp;z">1 &lt; 2 &amp; 3</a>`
+	if out != want {
+		t.Fatalf("Render = %q, want %q", out, want)
+	}
+}
+
+// Property: Parse never panics and Render(Parse(x)) is parseable with a
+// stable re-render (idempotence of the normal form) for arbitrary input.
+func TestParseRenderStableQuick(t *testing.T) {
+	f := func(input string) bool {
+		doc := Parse(input)
+		once := Render(doc)
+		twice := Render(Parse(once))
+		return twice == Render(Parse(twice))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every node except the root has a parent, and parent/child links
+// are consistent.
+func TestTreeLinksConsistentQuick(t *testing.T) {
+	f := func(input string) bool {
+		doc := Parse(input)
+		okAll := true
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Kids {
+				if c.Parent != n {
+					okAll = false
+				}
+			}
+			return true
+		})
+		return okAll && doc.Parent == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

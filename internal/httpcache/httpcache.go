@@ -1,0 +1,378 @@
+// Package httpcache implements the private (browser) HTTP cache that the
+// conventional-caching baseline uses: RFC 9111 storage rules, freshness
+// computation (max-age, Expires, heuristic freshness), Age accounting, and
+// the 304 header-update procedure.
+//
+// The paper's argument is that this machinery — correct as it is — costs a
+// round trip whenever a response is stale, because staleness can only be
+// resolved by a conditional request. The CacheCatalyst client (internal/sw)
+// reuses this package's storage but bypasses freshness entirely, deciding
+// reuse from proactively delivered ETags instead.
+package httpcache
+
+import (
+	"container/list"
+	"net/http"
+	"strings"
+	"time"
+
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/vclock"
+)
+
+// Response is the minimal response representation shared by the real
+// net/http path and the discrete-event simulator.
+type Response struct {
+	StatusCode int
+	Header     http.Header
+	Body       []byte
+}
+
+// Clone returns a deep copy of the response.
+func (r *Response) Clone() *Response {
+	out := &Response{StatusCode: r.StatusCode, Header: r.Header.Clone()}
+	out.Body = append([]byte(nil), r.Body...)
+	return out
+}
+
+// ETag returns the response's parsed entity tag, if any.
+func (r *Response) ETag() (etag.Tag, bool) {
+	return etag.Parse(r.Header.Get("Etag"))
+}
+
+// State classifies a cache lookup result.
+type State int
+
+// Lookup states.
+const (
+	// Miss: nothing usable stored.
+	Miss State = iota
+	// Fresh: the stored response may be reused without contacting the
+	// origin.
+	Fresh
+	// Stale: a stored response exists but must be validated with a
+	// conditional request before reuse.
+	Stale
+)
+
+func (s State) String() string {
+	switch s {
+	case Miss:
+		return "miss"
+	case Fresh:
+		return "fresh"
+	case Stale:
+		return "stale"
+	}
+	return "invalid"
+}
+
+// Entry is a stored response plus the metadata freshness math needs.
+type Entry struct {
+	URL      string
+	Response *Response
+	// RequestTime and ResponseTime bracket the exchange that produced the
+	// response (RFC 9111 §4.2.3).
+	RequestTime  time.Time
+	ResponseTime time.Time
+	// CC is the parsed Cache-Control of the stored response.
+	CC headers.CacheControl
+	// varyValues captures the request header values named by the
+	// response's Vary field at store time (lowercased name → value), for
+	// the RFC 9111 §4.1 secondary-key match. This cache stores one
+	// variant per URL, as the RFC permits.
+	varyValues map[string]string
+
+	lruElem *list.Element
+}
+
+// ETag returns the entry's parsed entity tag, if any.
+func (e *Entry) ETag() (etag.Tag, bool) { return e.Response.ETag() }
+
+// Size returns the entry's accounting size in bytes.
+func (e *Entry) Size() int64 {
+	n := int64(len(e.Response.Body)) + int64(len(e.URL))
+	for k, vs := range e.Response.Header {
+		n += int64(len(k))
+		for _, v := range vs {
+			n += int64(len(v))
+		}
+	}
+	return n
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes bounds the cache size; 0 means unlimited. Least-recently
+	// used entries are evicted first.
+	MaxBytes int64
+	// HeuristicFraction is the fraction of (Date − Last-Modified) used as
+	// the freshness lifetime when the response carries no explicit
+	// expiration (RFC 9111 §4.2.2 suggests 10%). Zero selects the default.
+	HeuristicFraction float64
+}
+
+// DefaultHeuristicFraction is the RFC-suggested 10%.
+const DefaultHeuristicFraction = 0.1
+
+// Cache is a private HTTP cache. It is not safe for concurrent use; each
+// emulated browser owns one.
+type Cache struct {
+	clock   vclock.Clock
+	opts    Options
+	entries map[string]*Entry
+	lru     *list.List // front = most recently used; values are URLs
+	bytes   int64
+
+	// Counters for experiment reporting.
+	Hits, Misses, Validations, Evictions int64
+}
+
+// New returns an empty cache driven by the given clock.
+func New(clock vclock.Clock, opts Options) *Cache {
+	if opts.HeuristicFraction == 0 {
+		opts.HeuristicFraction = DefaultHeuristicFraction
+	}
+	return &Cache{
+		clock:   clock,
+		opts:    opts,
+		entries: make(map[string]*Entry),
+		lru:     list.New(),
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Bytes returns the total accounting size of stored entries.
+func (c *Cache) Bytes() int64 { return c.bytes }
+
+// Storable reports whether a response may be stored at all
+// (RFC 9111 §3): 2xx status, no no-store directive.
+func Storable(resp *Response) bool {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNonAuthoritativeInfo &&
+		resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusPartialContent {
+		return false
+	}
+	cc := headers.ParseCacheControl(resp.Header.Get("Cache-Control"))
+	return !cc.NoStore
+}
+
+// Put stores a response received for url. requestTime/responseTime bracket
+// the network exchange. Responses that are not storable are ignored.
+func (c *Cache) Put(url string, resp *Response, requestTime, responseTime time.Time) {
+	c.PutWithRequest(url, nil, resp, requestTime, responseTime)
+}
+
+// PutWithRequest stores a response along with the request header values its
+// Vary field names, enabling the secondary-key check on later lookups.
+func (c *Cache) PutWithRequest(url string, reqHeader http.Header, resp *Response, requestTime, responseTime time.Time) {
+	if !Storable(resp) {
+		return
+	}
+	c.remove(url)
+	e := &Entry{
+		URL:          url,
+		Response:     resp.Clone(),
+		RequestTime:  requestTime,
+		ResponseTime: responseTime,
+		CC:           headers.ParseCacheControl(resp.Header.Get("Cache-Control")),
+		varyValues:   varyValues(resp.Header.Get("Vary"), reqHeader),
+	}
+	e.lruElem = c.lru.PushFront(url)
+	c.entries[url] = e
+	c.bytes += e.Size()
+	c.evict()
+}
+
+// varyValues snapshots the request header values named by a Vary field.
+// The special member "*" is recorded as such.
+func varyValues(vary string, reqHeader http.Header) map[string]string {
+	vary = strings.TrimSpace(vary)
+	if vary == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	for _, name := range strings.Split(vary, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			continue
+		}
+		if name == "*" {
+			out["*"] = ""
+			continue
+		}
+		if reqHeader != nil {
+			out[name] = reqHeader.Get(name)
+		} else {
+			out[name] = ""
+		}
+	}
+	return out
+}
+
+// Get looks up url and classifies the result at the current clock time.
+// A returned entry in state Stale carries the validator the caller should
+// send in If-None-Match.
+func (c *Cache) Get(url string) (*Entry, State) {
+	return c.GetWithRequest(url, nil)
+}
+
+// GetWithRequest additionally applies the RFC 9111 §4.1 secondary-key
+// check: a stored variant whose Vary'd request headers differ from this
+// request's is unusable (Miss); a response stored with "Vary: *" can never
+// be proven to match, so it always requires validation.
+func (c *Cache) GetWithRequest(url string, reqHeader http.Header) (*Entry, State) {
+	e, ok := c.entries[url]
+	if !ok {
+		c.Misses++
+		return nil, Miss
+	}
+	c.lru.MoveToFront(e.lruElem)
+	if _, star := e.varyValues["*"]; star {
+		c.Validations++
+		return e, Stale
+	}
+	for name, stored := range e.varyValues {
+		var got string
+		if reqHeader != nil {
+			got = reqHeader.Get(name)
+		}
+		if got != stored {
+			c.Misses++
+			return nil, Miss
+		}
+	}
+	if c.isFresh(e) {
+		c.Hits++
+		return e, Fresh
+	}
+	c.Validations++
+	return e, Stale
+}
+
+// Peek returns the entry without touching counters or LRU order.
+func (c *Cache) Peek(url string) (*Entry, bool) {
+	e, ok := c.entries[url]
+	return e, ok
+}
+
+// isFresh implements the RFC 9111 §4.2 freshness check.
+func (c *Cache) isFresh(e *Entry) bool {
+	if e.CC.NoCache {
+		return false // always requires validation
+	}
+	lifetime := c.freshnessLifetime(e)
+	if lifetime <= 0 {
+		return false
+	}
+	return c.currentAge(e) < lifetime
+}
+
+// freshnessLifetime computes the freshness lifetime per RFC 9111 §4.2.1:
+// max-age, then Expires − Date, then the heuristic.
+func (c *Cache) freshnessLifetime(e *Entry) time.Duration {
+	if e.CC.HasMaxAge {
+		return e.CC.MaxAge
+	}
+	date := c.dateValue(e)
+	if expires := e.Response.Header.Get("Expires"); expires != "" {
+		if t, ok := headers.ParseHTTPDate(expires); ok {
+			return t.Sub(date)
+		}
+		// Invalid Expires (e.g. "0") means already expired.
+		return 0
+	}
+	if lm := e.Response.Header.Get("Last-Modified"); lm != "" {
+		if t, ok := headers.ParseHTTPDate(lm); ok && date.After(t) {
+			return time.Duration(float64(date.Sub(t)) * c.opts.HeuristicFraction)
+		}
+	}
+	return 0
+}
+
+// currentAge computes the response's current age per RFC 9111 §4.2.3.
+func (c *Cache) currentAge(e *Entry) time.Duration {
+	var ageValue time.Duration
+	if ageHdr := e.Response.Header.Get("Age"); ageHdr != "" {
+		if d, err := time.ParseDuration(ageHdr + "s"); err == nil && d >= 0 {
+			ageValue = d
+		}
+	}
+	apparentAge := e.ResponseTime.Sub(c.dateValue(e))
+	if apparentAge < 0 {
+		apparentAge = 0
+	}
+	responseDelay := e.ResponseTime.Sub(e.RequestTime)
+	correctedAge := ageValue + responseDelay
+	correctedInitialAge := apparentAge
+	if correctedAge > correctedInitialAge {
+		correctedInitialAge = correctedAge
+	}
+	residentTime := c.clock.Now().Sub(e.ResponseTime)
+	return correctedInitialAge + residentTime
+}
+
+// dateValue returns the response's Date, defaulting to the response time.
+func (c *Cache) dateValue(e *Entry) time.Time {
+	if d := e.Response.Header.Get("Date"); d != "" {
+		if t, ok := headers.ParseHTTPDate(d); ok {
+			return t
+		}
+	}
+	return e.ResponseTime
+}
+
+// Refresh applies a 304 Not Modified to the stored entry per RFC 9111 §4.3.4:
+// the stored headers are updated from the 304 and the entry's clock fields
+// reset, renewing its freshness.
+func (c *Cache) Refresh(url string, notModified *Response, requestTime, responseTime time.Time) {
+	e, ok := c.entries[url]
+	if !ok {
+		return
+	}
+	c.bytes -= e.Size()
+	for k, vs := range notModified.Header {
+		if k == "Content-Length" {
+			continue
+		}
+		e.Response.Header[k] = append([]string(nil), vs...)
+	}
+	e.RequestTime = requestTime
+	e.ResponseTime = responseTime
+	e.CC = headers.ParseCacheControl(e.Response.Header.Get("Cache-Control"))
+	c.bytes += e.Size()
+	c.lru.MoveToFront(e.lruElem)
+}
+
+// Delete removes a stored entry.
+func (c *Cache) Delete(url string) { c.remove(url) }
+
+// Clear empties the cache (a "cold cache" load in the paper's methodology).
+func (c *Cache) Clear() {
+	c.entries = make(map[string]*Entry)
+	c.lru.Init()
+	c.bytes = 0
+}
+
+func (c *Cache) remove(url string) {
+	e, ok := c.entries[url]
+	if !ok {
+		return
+	}
+	c.lru.Remove(e.lruElem)
+	c.bytes -= e.Size()
+	delete(c.entries, url)
+}
+
+func (c *Cache) evict() {
+	if c.opts.MaxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.opts.MaxBytes && c.lru.Len() > 0 {
+		oldest := c.lru.Back()
+		c.remove(oldest.Value.(string))
+		c.Evictions++
+	}
+}

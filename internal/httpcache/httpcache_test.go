@@ -1,0 +1,350 @@
+package httpcache
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/vclock"
+)
+
+func respWith(h map[string]string, body string) *Response {
+	hdr := make(http.Header)
+	for k, v := range h {
+		hdr.Set(k, v)
+	}
+	return &Response{StatusCode: 200, Header: hdr, Body: []byte(body)}
+}
+
+func newTestCache() (*Cache, *vclock.Virtual) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	return New(clk, Options{}), clk
+}
+
+func put(c *Cache, clk *vclock.Virtual, url string, resp *Response) {
+	now := clk.Now()
+	resp.Header.Set("Date", headers.FormatHTTPDate(now))
+	c.Put(url, resp, now, now)
+}
+
+func TestMissOnEmptyCache(t *testing.T) {
+	c, _ := newTestCache()
+	if e, s := c.Get("/x"); s != Miss || e != nil {
+		t.Fatalf("Get on empty = %v, %v", e, s)
+	}
+	if c.Misses != 1 {
+		t.Fatalf("miss counter = %d", c.Misses)
+	}
+}
+
+func TestFreshWithinMaxAge(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/a.css", respWith(map[string]string{"Cache-Control": "max-age=3600"}, "body"))
+
+	clk.Advance(30 * time.Minute)
+	e, s := c.Get("/a.css")
+	if s != Fresh {
+		t.Fatalf("state = %v, want Fresh", s)
+	}
+	if string(e.Response.Body) != "body" {
+		t.Fatalf("body = %q", e.Response.Body)
+	}
+
+	clk.Advance(31 * time.Minute) // now past 1h
+	if _, s := c.Get("/a.css"); s != Stale {
+		t.Fatalf("state after expiry = %v, want Stale", s)
+	}
+}
+
+func TestNoCacheIsAlwaysStale(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/b.js", respWith(map[string]string{"Cache-Control": "no-cache", "Etag": `"v1"`}, "js"))
+	e, s := c.Get("/b.js")
+	if s != Stale {
+		t.Fatalf("no-cache entry state = %v, want Stale", s)
+	}
+	if tag, ok := e.ETag(); !ok || tag.Opaque != "v1" {
+		t.Fatalf("validator = %v, %v", tag, ok)
+	}
+}
+
+func TestNoStoreNotStored(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/d.jpg", respWith(map[string]string{"Cache-Control": "no-store"}, "img"))
+	if _, s := c.Get("/d.jpg"); s != Miss {
+		t.Fatalf("no-store was stored: %v", s)
+	}
+	if c.Len() != 0 {
+		t.Fatal("entry count nonzero")
+	}
+}
+
+func TestNon200NotStored(t *testing.T) {
+	c, clk := newTestCache()
+	resp := respWith(map[string]string{"Cache-Control": "max-age=60"}, "nope")
+	resp.StatusCode = 404
+	put(c, clk, "/missing", resp)
+	if _, s := c.Get("/missing"); s != Miss {
+		t.Fatal("404 was stored")
+	}
+}
+
+func TestMaxAgeZeroImmediatelyStale(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/x", respWith(map[string]string{"Cache-Control": "max-age=0", "Etag": `"e"`}, "x"))
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatalf("max-age=0 state = %v", s)
+	}
+}
+
+func TestNoValidatorNoLifetimeIsStale(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/x", respWith(nil, "x"))
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatal("response without freshness info should be stale (validate)")
+	}
+}
+
+func TestExpiresHeader(t *testing.T) {
+	c, clk := newTestCache()
+	resp := respWith(nil, "x")
+	resp.Header.Set("Expires", headers.FormatHTTPDate(clk.Now().Add(time.Hour)))
+	put(c, clk, "/x", resp)
+
+	if _, s := c.Get("/x"); s != Fresh {
+		t.Fatal("within Expires should be fresh")
+	}
+	clk.Advance(2 * time.Hour)
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatal("past Expires should be stale")
+	}
+}
+
+func TestInvalidExpiresMeansStale(t *testing.T) {
+	c, clk := newTestCache()
+	resp := respWith(map[string]string{"Expires": "0"}, "x")
+	put(c, clk, "/x", resp)
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatal("Expires: 0 should be immediately stale")
+	}
+}
+
+func TestMaxAgeBeatsExpires(t *testing.T) {
+	c, clk := newTestCache()
+	resp := respWith(map[string]string{
+		"Cache-Control": "max-age=10",
+		"Expires":       headers.FormatHTTPDate(clk.Now().Add(24 * time.Hour)),
+	}, "x")
+	put(c, clk, "/x", resp)
+	clk.Advance(time.Minute)
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatal("max-age must take precedence over Expires")
+	}
+}
+
+func TestHeuristicFreshness(t *testing.T) {
+	c, clk := newTestCache()
+	// Last-Modified 10 days ago → heuristic lifetime = 1 day.
+	resp := respWith(map[string]string{
+		"Last-Modified": headers.FormatHTTPDate(clk.Now().Add(-10 * 24 * time.Hour)),
+	}, "x")
+	put(c, clk, "/x", resp)
+
+	clk.Advance(12 * time.Hour)
+	if _, s := c.Get("/x"); s != Fresh {
+		t.Fatal("within heuristic lifetime should be fresh")
+	}
+	clk.Advance(13 * time.Hour)
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatal("past heuristic lifetime should be stale")
+	}
+}
+
+func TestAgeHeaderReducesFreshness(t *testing.T) {
+	c, clk := newTestCache()
+	// Response already spent 3500s in an intermediary cache.
+	resp := respWith(map[string]string{"Cache-Control": "max-age=3600", "Age": "3500"}, "x")
+	put(c, clk, "/x", resp)
+	clk.Advance(2 * time.Minute) // 3500 + 120 > 3600
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatal("Age header not accounted")
+	}
+}
+
+func TestRefreshAfter304RenewsFreshness(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/x", respWith(map[string]string{"Cache-Control": "max-age=60", "Etag": `"v1"`}, "body"))
+	clk.Advance(2 * time.Minute)
+	if _, s := c.Get("/x"); s != Stale {
+		t.Fatal("precondition: should be stale")
+	}
+
+	nm := &Response{StatusCode: 304, Header: make(http.Header)}
+	nm.Header.Set("Cache-Control", "max-age=120")
+	nm.Header.Set("Date", headers.FormatHTTPDate(clk.Now()))
+	c.Refresh("/x", nm, clk.Now(), clk.Now())
+
+	e, s := c.Get("/x")
+	if s != Fresh {
+		t.Fatalf("state after refresh = %v", s)
+	}
+	if string(e.Response.Body) != "body" {
+		t.Fatal("refresh must keep the stored body")
+	}
+	if e.CC.MaxAge != 2*time.Minute {
+		t.Fatalf("refreshed CC = %+v", e.CC)
+	}
+}
+
+func TestRefreshUnknownURLIsNoop(t *testing.T) {
+	c, clk := newTestCache()
+	nm := &Response{StatusCode: 304, Header: make(http.Header)}
+	c.Refresh("/ghost", nm, clk.Now(), clk.Now())
+	if c.Len() != 0 {
+		t.Fatal("refresh created an entry")
+	}
+}
+
+func TestPutReplacesEntry(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/x", respWith(map[string]string{"Cache-Control": "max-age=60"}, "v1"))
+	put(c, clk, "/x", respWith(map[string]string{"Cache-Control": "max-age=60"}, "v2"))
+	e, _ := c.Get("/x")
+	if string(e.Response.Body) != "v2" {
+		t.Fatalf("body = %q", e.Response.Body)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	var entrySize int64
+	{
+		probe := New(clk, Options{})
+		put(probe, clk, "/r0", respWith(map[string]string{"Cache-Control": "max-age=600"}, "0123456789"))
+		e, _ := probe.Peek("/r0")
+		entrySize = e.Size()
+	}
+	c := New(clk, Options{MaxBytes: 3 * entrySize})
+	for i := 0; i < 3; i++ {
+		put(c, clk, fmt.Sprintf("/r%d", i), respWith(map[string]string{"Cache-Control": "max-age=600"}, "0123456789"))
+	}
+	// Touch r0 so r1 becomes LRU.
+	c.Get("/r0")
+	put(c, clk, "/r3", respWith(map[string]string{"Cache-Control": "max-age=600"}, "0123456789"))
+	if _, ok := c.Peek("/r1"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Peek("/r0"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Evictions == 0 {
+		t.Fatal("eviction counter not bumped")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/x", respWith(map[string]string{"Cache-Control": "max-age=60"}, "x"))
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("Clear left %d entries, %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/x", respWith(map[string]string{"Cache-Control": "max-age=60"}, "x"))
+	c.Delete("/x")
+	if _, s := c.Get("/x"); s != Miss {
+		t.Fatal("entry survived Delete")
+	}
+	c.Delete("/ghost") // must not panic
+}
+
+func TestPutClonesResponse(t *testing.T) {
+	c, clk := newTestCache()
+	resp := respWith(map[string]string{"Cache-Control": "max-age=60"}, "orig")
+	put(c, clk, "/x", resp)
+	resp.Body[0] = 'X'
+	resp.Header.Set("Cache-Control", "no-store")
+	e, _ := c.Get("/x")
+	if string(e.Response.Body) != "orig" {
+		t.Fatal("stored body aliases caller's slice")
+	}
+	if e.Response.Header.Get("Cache-Control") != "max-age=60" {
+		t.Fatal("stored header aliases caller's map")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Miss: "miss", Fresh: "fresh", Stale: "stale", State(9): "invalid"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q", s, got)
+		}
+	}
+}
+
+// Property: freshness is monotone — once an entry goes stale it never
+// becomes fresh again without a Refresh or Put.
+func TestFreshnessMonotoneQuick(t *testing.T) {
+	f := func(maxAgeSecs uint16, steps []uint16) bool {
+		clk := vclock.NewVirtual(vclock.Epoch)
+		c := New(clk, Options{})
+		resp := respWith(map[string]string{
+			"Cache-Control": fmt.Sprintf("max-age=%d", maxAgeSecs),
+		}, "x")
+		put(c, clk, "/x", resp)
+		seenStale := false
+		for _, step := range steps {
+			clk.Advance(time.Duration(step) * time.Second)
+			_, s := c.Get("/x")
+			if s == Stale {
+				seenStale = true
+			}
+			if seenStale && s == Fresh {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte accounting is exact under arbitrary put/delete sequences.
+func TestByteAccountingQuick(t *testing.T) {
+	f := func(ops []struct {
+		URL  uint8
+		Del  bool
+		Size uint8
+	}) bool {
+		clk := vclock.NewVirtual(vclock.Epoch)
+		c := New(clk, Options{})
+		for _, op := range ops {
+			url := fmt.Sprintf("/r%d", op.URL%8)
+			if op.Del {
+				c.Delete(url)
+			} else {
+				put(c, clk, url, respWith(map[string]string{"Cache-Control": "max-age=60"},
+					string(make([]byte, op.Size))))
+			}
+		}
+		var want int64
+		for _, u := range []string{"/r0", "/r1", "/r2", "/r3", "/r4", "/r5", "/r6", "/r7"} {
+			if e, ok := c.Peek(u); ok {
+				want += e.Size()
+			}
+		}
+		return c.Bytes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package httpcache
+
+import (
+	"net/http"
+	"testing"
+
+	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/vclock"
+)
+
+func reqHeader(kv map[string]string) http.Header {
+	h := make(http.Header)
+	for k, v := range kv {
+		h.Set(k, v)
+	}
+	return h
+}
+
+func putVary(c *Cache, clk *vclock.Virtual, url string, vary string, reqH http.Header, body string) {
+	resp := respWith(map[string]string{"Cache-Control": "max-age=3600"}, body)
+	if vary != "" {
+		resp.Header.Set("Vary", vary)
+	}
+	resp.Header.Set("Date", headers.FormatHTTPDate(clk.Now()))
+	c.PutWithRequest(url, reqH, resp, clk.Now(), clk.Now())
+}
+
+func TestVaryMatchingRequestHits(t *testing.T) {
+	c, clk := newTestCache()
+	putVary(c, clk, "/r", "Accept-Encoding", reqHeader(map[string]string{"Accept-Encoding": "gzip"}), "gz-body")
+	e, s := c.GetWithRequest("/r", reqHeader(map[string]string{"Accept-Encoding": "gzip"}))
+	if s != Fresh || string(e.Response.Body) != "gz-body" {
+		t.Fatalf("state=%v", s)
+	}
+}
+
+func TestVaryMismatchedRequestMisses(t *testing.T) {
+	c, clk := newTestCache()
+	putVary(c, clk, "/r", "Accept-Encoding", reqHeader(map[string]string{"Accept-Encoding": "gzip"}), "gz-body")
+	if _, s := c.GetWithRequest("/r", reqHeader(map[string]string{"Accept-Encoding": "br"})); s != Miss {
+		t.Fatalf("mismatched variant state = %v, want Miss", s)
+	}
+	// Absent header also mismatches a stored non-empty value.
+	if _, s := c.GetWithRequest("/r", nil); s != Miss {
+		t.Fatalf("absent header state = %v, want Miss", s)
+	}
+}
+
+func TestVaryMultipleFields(t *testing.T) {
+	c, clk := newTestCache()
+	req := reqHeader(map[string]string{"Accept-Encoding": "gzip", "Accept-Language": "de"})
+	putVary(c, clk, "/r", "Accept-Encoding, Accept-Language", req, "de-gz")
+	if _, s := c.GetWithRequest("/r", req); s != Fresh {
+		t.Fatalf("full match state = %v", s)
+	}
+	half := reqHeader(map[string]string{"Accept-Encoding": "gzip", "Accept-Language": "en"})
+	if _, s := c.GetWithRequest("/r", half); s != Miss {
+		t.Fatalf("partial match state = %v, want Miss", s)
+	}
+}
+
+func TestVaryStarAlwaysValidates(t *testing.T) {
+	c, clk := newTestCache()
+	putVary(c, clk, "/r", "*", nil, "body")
+	e, s := c.GetWithRequest("/r", nil)
+	if s != Stale || e == nil {
+		t.Fatalf("Vary:* state = %v, want Stale (validate)", s)
+	}
+	// Even a byte-identical repeat request can't be proven to match.
+	if _, s := c.GetWithRequest("/r", reqHeader(map[string]string{"X": "y"})); s != Stale {
+		t.Fatalf("state = %v", s)
+	}
+}
+
+func TestNoVaryIgnoresRequestHeaders(t *testing.T) {
+	c, clk := newTestCache()
+	put(c, clk, "/r", respWith(map[string]string{"Cache-Control": "max-age=60"}, "x"))
+	if _, s := c.GetWithRequest("/r", reqHeader(map[string]string{"Accept-Encoding": "br"})); s != Fresh {
+		t.Fatalf("vary-less entry should match any request: %v", s)
+	}
+}
+
+func TestVaryCaseInsensitiveFieldNames(t *testing.T) {
+	c, clk := newTestCache()
+	putVary(c, clk, "/r", "ACCEPT-ENCODING", reqHeader(map[string]string{"accept-encoding": "gzip"}), "b")
+	if _, s := c.GetWithRequest("/r", reqHeader(map[string]string{"Accept-Encoding": "gzip"})); s != Fresh {
+		t.Fatalf("case sensitivity broke Vary matching: %v", s)
+	}
+}
+
+func TestVaryReplacedOnNewPut(t *testing.T) {
+	// One variant per URL: storing the br variant replaces the gzip one.
+	c, clk := newTestCache()
+	putVary(c, clk, "/r", "Accept-Encoding", reqHeader(map[string]string{"Accept-Encoding": "gzip"}), "gz")
+	putVary(c, clk, "/r", "Accept-Encoding", reqHeader(map[string]string{"Accept-Encoding": "br"}), "br")
+	e, s := c.GetWithRequest("/r", reqHeader(map[string]string{"Accept-Encoding": "br"}))
+	if s != Fresh || string(e.Response.Body) != "br" {
+		t.Fatalf("replacement failed: %v", s)
+	}
+	if _, s := c.GetWithRequest("/r", reqHeader(map[string]string{"Accept-Encoding": "gzip"})); s != Miss {
+		t.Fatalf("old variant still served: %v", s)
+	}
+}

@@ -1,0 +1,114 @@
+// Package netem shapes real network connections: it adds one-way
+// propagation delay and token-bucket bandwidth limiting to a net.Conn.
+//
+// The discrete-event simulator (internal/netsim) runs the paper's sweeps in
+// virtual time; netem provides the wall-clock counterpart, so integration
+// tests can run the real net/http server and a real HTTP client over
+// loopback under the same latency/throughput conditions and confirm that
+// the simulated effects (revalidation round trips cost real time; catalyst
+// revisits avoid them) reproduce on actual sockets.
+package netem
+
+import (
+	"net"
+	"time"
+)
+
+// Shaper describes one direction's network conditions.
+type Shaper struct {
+	// Delay is the one-way propagation delay added to received data
+	// (apply to both ends of a connection to model a full RTT).
+	Delay time.Duration
+	// BitsPerSec limits read throughput; 0 means unlimited.
+	BitsPerSec float64
+}
+
+// Conn wraps c so that data read from it arrives subject to the shaper's
+// delay and bandwidth. Writes pass through unshaped (shape the peer's
+// reads instead).
+func (s Shaper) Conn(c net.Conn) net.Conn {
+	sc := &shapedConn{Conn: c, shaper: s, chunks: make(chan chunk, 64)}
+	go sc.pump()
+	return sc
+}
+
+// Listener wraps l so accepted connections are shaped.
+func (s Shaper) Listener(l net.Listener) net.Listener {
+	return &shapedListener{Listener: l, shaper: s}
+}
+
+type shapedListener struct {
+	net.Listener
+	shaper Shaper
+}
+
+func (l *shapedListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.shaper.Conn(c), nil
+}
+
+type chunk struct {
+	data    []byte
+	readyAt time.Time
+	err     error
+}
+
+type shapedConn struct {
+	net.Conn
+	shaper Shaper
+	chunks chan chunk
+
+	// pending is the partially consumed head chunk.
+	pending []byte
+}
+
+// pump reads from the underlying connection and timestamps each chunk with
+// its delivery time: transmission (token bucket at BitsPerSec) plus
+// propagation delay.
+func (c *shapedConn) pump() {
+	var lastTxEnd time.Time
+	for {
+		buf := make([]byte, 16*1024)
+		n, err := c.Conn.Read(buf)
+		now := time.Now()
+		if n > 0 {
+			txStart := now
+			if lastTxEnd.After(txStart) {
+				txStart = lastTxEnd
+			}
+			txEnd := txStart
+			if c.shaper.BitsPerSec > 0 {
+				txEnd = txStart.Add(time.Duration(float64(n*8) / c.shaper.BitsPerSec * float64(time.Second)))
+			}
+			lastTxEnd = txEnd
+			c.chunks <- chunk{data: buf[:n], readyAt: txEnd.Add(c.shaper.Delay)}
+		}
+		if err != nil {
+			c.chunks <- chunk{err: err, readyAt: now.Add(c.shaper.Delay)}
+			return
+		}
+	}
+}
+
+// Read implements net.Conn with shaped delivery.
+func (c *shapedConn) Read(p []byte) (int, error) {
+	if len(c.pending) == 0 {
+		ch, ok := <-c.chunks
+		if !ok {
+			return 0, net.ErrClosed
+		}
+		if wait := time.Until(ch.readyAt); wait > 0 {
+			time.Sleep(wait)
+		}
+		if ch.err != nil {
+			return 0, ch.err
+		}
+		c.pending = ch.data
+	}
+	n := copy(p, c.pending)
+	c.pending = c.pending[n:]
+	return n, nil
+}

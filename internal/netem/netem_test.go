@@ -1,0 +1,157 @@
+package netem
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of a real TCP connection over loopback.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-done
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	client, server := pipePair(t)
+	shaped := Shaper{Delay: 50 * time.Millisecond}.Conn(client)
+
+	start := time.Now()
+	go func() {
+		_, _ = server.Write([]byte("ping"))
+	}()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(shaped, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 45*time.Millisecond {
+		t.Fatalf("read completed in %v, want ≥ ~50ms", elapsed)
+	}
+	if !bytes.Equal(buf, []byte("ping")) {
+		t.Fatalf("data corrupted: %q", buf)
+	}
+}
+
+func TestBandwidthLimitsThroughput(t *testing.T) {
+	client, server := pipePair(t)
+	// 1 Mbps: 25 KB should take ~200ms.
+	shaped := Shaper{BitsPerSec: 1e6}.Conn(client)
+
+	payload := make([]byte, 25_000)
+	go func() {
+		_, _ = server.Write(payload)
+	}()
+	start := time.Now()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(shaped, got); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("25KB at 1Mbps took %v, want ≥ ~200ms", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("took %v, shaping too aggressive", elapsed)
+	}
+}
+
+func TestUnshapedIsFast(t *testing.T) {
+	client, server := pipePair(t)
+	shaped := Shaper{}.Conn(client)
+	go func() { _, _ = server.Write(make([]byte, 100_000)) }()
+	start := time.Now()
+	if _, err := io.ReadFull(shaped, make([]byte, 100_000)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("unshaped read took %v", elapsed)
+	}
+}
+
+func TestDataIntegrityAcrossChunks(t *testing.T) {
+	client, server := pipePair(t)
+	shaped := Shaper{Delay: time.Millisecond}.Conn(client)
+	payload := make([]byte, 200_000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		_, _ = server.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(shaped, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted through shaping")
+	}
+}
+
+func TestEOFPropagates(t *testing.T) {
+	client, server := pipePair(t)
+	shaped := Shaper{Delay: time.Millisecond}.Conn(client)
+	go func() {
+		_, _ = server.Write([]byte("bye"))
+		server.Close()
+	}()
+	data, err := io.ReadAll(shaped)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(data) != "bye" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestListenerShapesAccepted(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped := Shaper{Delay: 30 * time.Millisecond}.Listener(l)
+	defer shaped.Close()
+
+	go func() {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return
+		}
+		_, _ = c.Write([]byte("hello"))
+		c.Close()
+	}()
+	conn, err := shaped.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("accepted connection not shaped")
+	}
+}

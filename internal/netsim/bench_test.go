@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/httpcache"
+)
+
+// BenchmarkEventLoop measures raw scheduler throughput.
+func BenchmarkEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSim()
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j)*time.Microsecond, func() {})
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkPipeSharing measures the fluid-flow recompute cost with many
+// concurrent transfers.
+func BenchmarkPipeSharing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSim()
+		p := NewPipe(s, 60e6)
+		done := 0
+		for j := 0; j < 100; j++ {
+			p.Start(int64(1000+j*37), func() { done++ })
+		}
+		s.Run()
+		if done != 100 {
+			b.Fatal("transfers lost")
+		}
+	}
+}
+
+// BenchmarkEndpointBurst measures a 50-request HTTP/1.1 burst through the
+// full connection model.
+func BenchmarkEndpointBurst(b *testing.B) {
+	origin := originFunc(func(req *Request) *httpcache.Response {
+		return &httpcache.Response{StatusCode: 200, Header: make(http.Header), Body: make([]byte, 8192)}
+	})
+	cond := Conditions{RTT: 40 * time.Millisecond, DownlinkBps: 60e6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSim()
+		e := NewEndpoint(s, cond, origin, TransportOptions{})
+		count := 0
+		s.After(0, func() {
+			for j := 0; j < 50; j++ {
+				path := fmt.Sprintf("/r%d", j)
+				e.Fetch(&Request{Method: "GET", Path: path, Header: make(http.Header)}, func(FetchResult) { count++ })
+			}
+		})
+		s.Run()
+		if count != 50 {
+			b.Fatal("requests lost")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package netsim
+
+import (
+	"net/http"
+
+	"cachecatalyst/internal/httpcache"
+)
+
+// FaultyOrigin wraps an origin with deterministic failure injection: every
+// n-th request (1-based counting) is answered with a 503 instead of being
+// forwarded. Experiments use it to check that clients degrade gracefully —
+// a failed subresource must cost an error, never a hang or a crash, and
+// must not poison caches.
+type FaultyOrigin struct {
+	// Inner serves the requests that are not failed.
+	Inner Origin
+	// FailEvery fails request numbers n, 2n, 3n, …; values < 2 fail
+	// every request.
+	FailEvery int
+
+	count int64
+	// Failed counts injected failures.
+	Failed int64
+}
+
+// RoundTrip implements Origin.
+func (f *FaultyOrigin) RoundTrip(req *Request) *httpcache.Response {
+	f.count++
+	n := int64(f.FailEvery)
+	if n < 2 || f.count%n == 0 {
+		f.Failed++
+		h := make(http.Header)
+		h.Set("Content-Type", "text/plain")
+		h.Set("Cache-Control", "no-store")
+		return &httpcache.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Header:     h,
+			Body:       []byte("injected failure"),
+		}
+	}
+	return f.Inner.RoundTrip(req)
+}

@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/httpcache"
+)
+
+// staticOrigin serves fixed bodies by path.
+type staticOrigin struct {
+	bodies map[string]string
+	// requests logs the paths served, in arrival order.
+	requests []string
+}
+
+func (o *staticOrigin) RoundTrip(req *Request) *httpcache.Response {
+	o.requests = append(o.requests, req.Path)
+	body, ok := o.bodies[req.Path]
+	if !ok {
+		return &httpcache.Response{StatusCode: 404, Header: make(http.Header)}
+	}
+	return &httpcache.Response{StatusCode: 200, Header: make(http.Header), Body: []byte(body)}
+}
+
+func msCond(rttMS int, mbps float64) Conditions {
+	return Conditions{RTT: time.Duration(rttMS) * time.Millisecond, DownlinkBps: mbps * 1e6, UplinkBps: 0}
+}
+
+func TestSingleFetchTiming(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{"/x": "hello"}}
+	// 40ms RTT, unlimited bandwidth: fetch = 1 RTT handshake + 1 RTT
+	// request/response = 80ms.
+	e := NewEndpoint(s, msCond(40, 0), origin, TransportOptions{})
+	var res FetchResult
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/x", Header: make(http.Header)}, func(r FetchResult) { res = r })
+	})
+	s.Run()
+	if res.Resp == nil || string(res.Resp.Body) != "hello" {
+		t.Fatalf("resp = %+v", res.Resp)
+	}
+	if want := 80 * time.Millisecond; !approxDuration(res.End, want, time.Millisecond) {
+		t.Fatalf("fetch completed at %v, want ~%v", res.End, want)
+	}
+	if !res.NewConnection {
+		t.Fatal("first fetch should pay connection setup")
+	}
+}
+
+func TestTLSHandshakeAddsRTT(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{"/x": "h"}}
+	e := NewEndpoint(s, msCond(40, 0), origin, TransportOptions{TLSHandshakeRTTs: 1})
+	var end time.Duration
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/x", Header: make(http.Header)}, func(r FetchResult) { end = r.End })
+	})
+	s.Run()
+	if want := 120 * time.Millisecond; !approxDuration(end, want, time.Millisecond) {
+		t.Fatalf("TLS fetch completed at %v, want ~%v", end, want)
+	}
+}
+
+func TestTransmissionTimeAddsToRTT(t *testing.T) {
+	s := NewSim()
+	body := make([]byte, 125_000) // 1 Mbit
+	origin := &staticOrigin{bodies: map[string]string{"/big": string(body)}}
+	e := NewEndpoint(s, msCond(40, 1.0), origin, TransportOptions{}) // 1 Mbps → 1s for the body
+	var end time.Duration
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/big", Header: make(http.Header)}, func(r FetchResult) { end = r.End })
+	})
+	s.Run()
+	// 2 RTT (handshake + exchange) + ~1s transmission (body + head).
+	if end < 1*time.Second+80*time.Millisecond || end > 1100*time.Millisecond {
+		t.Fatalf("big fetch completed at %v", end)
+	}
+}
+
+func TestKeepAliveReusesConnection(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{"/a": "a", "/b": "b"}}
+	e := NewEndpoint(s, msCond(40, 0), origin, TransportOptions{MaxConns: 1})
+	var ends []time.Duration
+	var second FetchResult
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/a", Header: make(http.Header)}, func(r FetchResult) {
+			ends = append(ends, r.End)
+			e.Fetch(&Request{Method: "GET", Path: "/b", Header: make(http.Header)}, func(r2 FetchResult) {
+				second = r2
+				ends = append(ends, r2.End)
+			})
+		})
+	})
+	s.Run()
+	// First: 80ms. Second reuses the warm connection: +40ms = 120ms.
+	if !approxDuration(ends[1], 120*time.Millisecond, time.Millisecond) {
+		t.Fatalf("second fetch at %v, want ~120ms (ends=%v)", ends[1], ends)
+	}
+	if second.NewConnection {
+		t.Fatal("second fetch should reuse the connection")
+	}
+	if e.Stats().Handshakes != 1 {
+		t.Fatalf("handshakes = %d", e.Stats().Handshakes)
+	}
+}
+
+func TestH1ParallelismBoundedByMaxConns(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{}}
+	for i := 0; i < 4; i++ {
+		origin.bodies[fmt.Sprintf("/r%d", i)] = "x"
+	}
+	e := NewEndpoint(s, msCond(40, 0), origin, TransportOptions{MaxConns: 2})
+	var ends []time.Duration
+	s.After(0, func() {
+		for i := 0; i < 4; i++ {
+			path := fmt.Sprintf("/r%d", i)
+			e.Fetch(&Request{Method: "GET", Path: path, Header: make(http.Header)}, func(r FetchResult) {
+				ends = append(ends, r.End)
+			})
+		}
+	})
+	end := s.Run()
+	if len(ends) != 4 {
+		t.Fatalf("completed %d fetches", len(ends))
+	}
+	// 2 conns: first pair at 80ms, second pair (queued, reuse) at 120ms.
+	if !approxDuration(end, 120*time.Millisecond, time.Millisecond) {
+		t.Fatalf("4 fetches over 2 conns finished at %v, want ~120ms", end)
+	}
+	if e.Stats().Handshakes != 2 {
+		t.Fatalf("handshakes = %d, want 2", e.Stats().Handshakes)
+	}
+}
+
+func TestH2MultiplexesOverOneConnection(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{}}
+	for i := 0; i < 8; i++ {
+		origin.bodies[fmt.Sprintf("/r%d", i)] = "x"
+	}
+	e := NewEndpoint(s, msCond(40, 0), origin, TransportOptions{H2: true})
+	count := 0
+	s.After(0, func() {
+		for i := 0; i < 8; i++ {
+			path := fmt.Sprintf("/r%d", i)
+			e.Fetch(&Request{Method: "GET", Path: path, Header: make(http.Header)}, func(r FetchResult) { count++ })
+		}
+	})
+	end := s.Run()
+	if count != 8 {
+		t.Fatalf("completed %d", count)
+	}
+	// One handshake (40ms) then all 8 exchanges concurrently (40ms).
+	if !approxDuration(end, 80*time.Millisecond, time.Millisecond) {
+		t.Fatalf("h2 burst finished at %v, want ~80ms", end)
+	}
+	if e.Stats().Handshakes != 1 {
+		t.Fatalf("handshakes = %d", e.Stats().Handshakes)
+	}
+}
+
+func TestH2LateRequestAfterHandshake(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{"/a": "a", "/b": "b"}}
+	e := NewEndpoint(s, msCond(40, 0), origin, TransportOptions{H2: true})
+	var endB time.Duration
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/a", Header: make(http.Header)}, func(FetchResult) {})
+	})
+	s.After(100*time.Millisecond, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/b", Header: make(http.Header)}, func(r FetchResult) { endB = r.End })
+	})
+	s.Run()
+	if want := 140 * time.Millisecond; !approxDuration(endB, want, time.Millisecond) {
+		t.Fatalf("late h2 request finished at %v, want ~%v", endB, want)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{"/x": "0123456789"}}
+	e := NewEndpoint(s, msCond(10, 0), origin, TransportOptions{})
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/x", Header: make(http.Header)}, func(FetchResult) {})
+	})
+	s.Run()
+	st := e.Stats()
+	if st.Requests != 1 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if st.ResponseBytes != 10 {
+		t.Errorf("response bytes = %d", st.ResponseBytes)
+	}
+	if st.BytesDown <= st.ResponseBytes {
+		t.Errorf("BytesDown (%d) should exceed body size (head bytes)", st.BytesDown)
+	}
+	if st.BytesUp <= 0 {
+		t.Errorf("BytesUp = %d", st.BytesUp)
+	}
+}
+
+func TestServerThinkTime(t *testing.T) {
+	s := NewSim()
+	origin := &staticOrigin{bodies: map[string]string{"/x": "x"}}
+	e := NewEndpoint(s, msCond(40, 0), origin, TransportOptions{ServerThink: 15 * time.Millisecond})
+	var end time.Duration
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/x", Header: make(http.Header)}, func(r FetchResult) { end = r.End })
+	})
+	s.Run()
+	if want := 95 * time.Millisecond; !approxDuration(end, want, time.Millisecond) {
+		t.Fatalf("fetch with think time at %v, want ~%v", end, want)
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	req := &Request{Method: "GET", Path: "/x", Header: http.Header{"If-None-Match": {`"v1"`}}}
+	// GET /x HTTP/1.1\r\n (17) + If-None-Match: "v1"\r\n (21) + \r\n (2)
+	if got := RequestWireSize(req); got != 17+21+2 {
+		t.Fatalf("RequestWireSize = %d", got)
+	}
+	resp := &httpcache.Response{StatusCode: 200, Header: http.Header{"Etag": {`"v1"`}}, Body: []byte("12345")}
+	// HTTP/1.1 200 OK\r\n (17) + Etag: "v1"\r\n (12) + \r\n (2) + 5
+	if got := ResponseWireSize(resp); got != 17+12+2+5 {
+		t.Fatalf("ResponseWireSize = %d", got)
+	}
+}
+
+func TestConditionsString(t *testing.T) {
+	c := Conditions{RTT: 40 * time.Millisecond, DownlinkBps: 60e6}
+	if got := c.String(); got != "60Mbps/40ms" {
+		t.Fatalf("Conditions.String() = %q", got)
+	}
+}
+
+func TestHeaderBytesChargedToDownlink(t *testing.T) {
+	// The X-Etag-Config honesty check: header bytes must cost transmission
+	// time. Serve a response whose header is 1 Mbit.
+	s := NewSim()
+	huge := make([]byte, 125_000)
+	for i := range huge {
+		huge[i] = 'a'
+	}
+	hdr := make(http.Header)
+	hdr.Set("X-Etag-Config", string(huge))
+	origin := originFunc(func(req *Request) *httpcache.Response {
+		return &httpcache.Response{StatusCode: 200, Header: hdr, Body: nil}
+	})
+	e := NewEndpoint(s, msCond(0, 1.0), origin, TransportOptions{})
+	var end time.Duration
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/", Header: make(http.Header)}, func(r FetchResult) { end = r.End })
+	})
+	s.Run()
+	if end < time.Second {
+		t.Fatalf("1Mbit header at 1Mbps finished at %v; header bytes not charged", end)
+	}
+}
+
+type originFunc func(req *Request) *httpcache.Response
+
+func (f originFunc) RoundTrip(req *Request) *httpcache.Response { return f(req) }

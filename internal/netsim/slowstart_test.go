@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/httpcache"
+)
+
+// bigOrigin serves a body of the given size at every path.
+func bigOrigin(size int) Origin {
+	return originFunc(func(req *Request) *httpcache.Response {
+		return &httpcache.Response{StatusCode: 200, Header: make(http.Header), Body: make([]byte, size)}
+	})
+}
+
+func fetchOnce(t *testing.T, e *Endpoint, s *Sim, path string) time.Duration {
+	t.Helper()
+	var end time.Duration
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: path, Header: make(http.Header)}, func(r FetchResult) { end = r.End })
+	})
+	s.Run()
+	return end
+}
+
+func TestSlowStartStallsLargeResponse(t *testing.T) {
+	// 100 KB ≈ 69 segments. IW10 doubling: 10+20+40 ≥ 69 → 3 rounds →
+	// 2 extra RTTs versus the no-slow-start case.
+	const size = 100_000
+	cond := Conditions{RTT: 100 * time.Millisecond, DownlinkBps: 0}
+
+	sOff := NewSim()
+	off := NewEndpoint(sOff, cond, bigOrigin(size), TransportOptions{})
+	baseline := fetchOnce(t, off, sOff, "/x")
+
+	sOn := NewSim()
+	on := NewEndpoint(sOn, cond, bigOrigin(size), TransportOptions{SlowStart: true})
+	got := fetchOnce(t, on, sOn, "/x")
+
+	want := baseline + 2*cond.RTT
+	if !approxDuration(got, want, time.Millisecond) {
+		t.Fatalf("slow-start fetch = %v, want ~%v (baseline %v)", got, want, baseline)
+	}
+}
+
+func TestSlowStartSmallResponseUnaffected(t *testing.T) {
+	// 10 KB fits in IW10 (14.6 KB): no stall.
+	cond := Conditions{RTT: 100 * time.Millisecond, DownlinkBps: 0}
+	sOff := NewSim()
+	baseline := fetchOnce(t, NewEndpoint(sOff, cond, bigOrigin(10_000), TransportOptions{}), sOff, "/x")
+	sOn := NewSim()
+	got := fetchOnce(t, NewEndpoint(sOn, cond, bigOrigin(10_000), TransportOptions{SlowStart: true}), sOn, "/x")
+	if got != baseline {
+		t.Fatalf("small response stalled: %v vs %v", got, baseline)
+	}
+}
+
+func TestSlowStartWindowPersistsAcrossExchanges(t *testing.T) {
+	// Same connection, same size twice: the second transfer rides the
+	// grown window and stalls less.
+	cond := Conditions{RTT: 100 * time.Millisecond, DownlinkBps: 0}
+	s := NewSim()
+	e := NewEndpoint(s, cond, bigOrigin(100_000), TransportOptions{SlowStart: true, MaxConns: 1})
+	var first, second time.Duration
+	s.After(0, func() {
+		e.Fetch(&Request{Method: "GET", Path: "/a", Header: make(http.Header)}, func(r1 FetchResult) {
+			first = r1.End - r1.Start
+			e.Fetch(&Request{Method: "GET", Path: "/b", Header: make(http.Header)}, func(r2 FetchResult) {
+				second = r2.End - r2.Start
+			})
+		})
+	})
+	s.Run()
+	// First: handshake + exchange + 2 stall RTTs. Second reuses the
+	// connection (no handshake) and the window now covers 69 segments
+	// (grown to 80): no stall.
+	if second >= first {
+		t.Fatalf("second transfer (%v) not faster than first (%v)", second, first)
+	}
+	if want := 100 * time.Millisecond; !approxDuration(second, want, time.Millisecond) {
+		t.Fatalf("warm-window transfer = %v, want ~%v", second, want)
+	}
+}
+
+func TestSlowStartCustomInitialWindow(t *testing.T) {
+	// IW4: 100 KB ≈ 69 segs; 4+8+16+32+64 → 5 rounds → 4 extra RTTs.
+	cond := Conditions{RTT: 50 * time.Millisecond, DownlinkBps: 0}
+	sOff := NewSim()
+	baseline := fetchOnce(t, NewEndpoint(sOff, cond, bigOrigin(100_000), TransportOptions{}), sOff, "/x")
+	sOn := NewSim()
+	got := fetchOnce(t, NewEndpoint(sOn, cond, bigOrigin(100_000), TransportOptions{SlowStart: true, InitialWindow: 4}), sOn, "/x")
+	if want := baseline + 4*cond.RTT; !approxDuration(got, want, time.Millisecond) {
+		t.Fatalf("IW4 fetch = %v, want ~%v", got, want)
+	}
+}
+
+func TestSlowStartCapsAtMaxWindow(t *testing.T) {
+	// A gigantic response must not loop forever: window growth caps.
+	cond := Conditions{RTT: 10 * time.Millisecond, DownlinkBps: 0}
+	s := NewSim()
+	e := NewEndpoint(s, cond, bigOrigin(50_000_000), TransportOptions{SlowStart: true})
+	end := fetchOnce(t, e, s, "/big")
+	if end <= 0 {
+		t.Fatal("giant transfer did not complete")
+	}
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/vclock"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Catalyst enables the paper's mechanism: X-Etag-Config on HTML
+	// responses, Service-Worker registration injection, and serving the
+	// worker script at core.ServiceWorkerPath.
+	Catalyst bool
+	// Record enables the §3 alternative: per-session recording of
+	// first-visit resource URLs, folded into later ETag maps so that
+	// JS-discovered resources are covered on revisits.
+	Record bool
+	// MapOptions tunes the ETag-map builder.
+	MapOptions core.BuildOptions
+	// Clock supplies Date headers; nil means the system clock.
+	Clock vclock.Clock
+	// AccessLogSize keeps a ring of the most recent requests for the
+	// debug/metrics endpoint; 0 disables access logging.
+	AccessLogSize int
+}
+
+// Metrics counts server activity. All fields are atomics: the real
+// net/http path serves concurrently.
+type Metrics struct {
+	Requests    atomic.Int64
+	NotModified atomic.Int64
+	NotFound    atomic.Int64
+	BodyBytes   atomic.Int64
+	MapsBuilt   atomic.Int64
+	// MapBytes accumulates encoded X-Etag-Config sizes, the overhead the
+	// ablation benchmarks quantify.
+	MapBytes atomic.Int64
+}
+
+// Server is the web server under study. It implements http.Handler.
+type Server struct {
+	content  Content
+	opts     Options
+	recorder *Recorder
+	access   *accessLog
+	Metrics  Metrics
+}
+
+// New returns a server over content.
+func New(content Content, opts Options) *Server {
+	if opts.Clock == nil {
+		opts.Clock = vclock.System{}
+	}
+	s := &Server{content: content, opts: opts}
+	if opts.Record {
+		s.recorder = NewRecorder()
+	}
+	if opts.AccessLogSize > 0 {
+		s.access = newAccessLog(opts.AccessLogSize)
+	}
+	return s
+}
+
+// Content returns the content source the server serves.
+func (s *Server) Content() Content { return s.content }
+
+// Recorder returns the session recorder, or nil when recording is off.
+func (s *Server) Recorder() *Recorder { return s.recorder }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.Metrics.Requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.logAccess(r, http.StatusMethodNotAllowed, 0, 0)
+		return
+	}
+	p := r.URL.Path
+	if r.URL.RawQuery != "" {
+		p += "?" + r.URL.RawQuery
+	}
+
+	if s.opts.Catalyst && p == core.ServiceWorkerPath {
+		s.serveWorkerScript(w)
+		s.logAccess(r, http.StatusOK, len(core.ServiceWorkerScript), 0)
+		return
+	}
+
+	res, ok := s.content.Get(p)
+	if !ok {
+		s.Metrics.NotFound.Add(1)
+		http.NotFound(w, r)
+		s.logAccess(r, http.StatusNotFound, 0, 0)
+		return
+	}
+
+	h := w.Header()
+	h.Set("Date", headers.FormatHTTPDate(s.opts.Clock.Now()))
+	h.Set("Content-Type", res.ContentType)
+	if cc := res.Policy.CacheControl(); cc != "" {
+		h.Set("Cache-Control", cc)
+	}
+	if !res.LastModified.IsZero() {
+		h.Set("Last-Modified", headers.FormatHTTPDate(res.LastModified))
+	}
+
+	body := res.Body
+	tag := res.ETag
+	sessionID := ""
+	mapEntries := 0
+	if s.recorder != nil {
+		sessionID = s.recorder.SessionID(w, r)
+	}
+
+	if s.opts.Catalyst && IsHTML(res.ContentType) {
+		m := s.buildMap(p, string(body), sessionID)
+		mapEntries = len(m)
+		h.Set(core.HeaderName, m.Encode())
+		s.Metrics.MapsBuilt.Add(1)
+		s.Metrics.MapBytes.Add(int64(m.WireSize()))
+		injected := core.InjectRegistration(string(body))
+		body = []byte(injected)
+		// The served entity differs from the stored one, so its
+		// validator must too; derive it from the bytes actually sent.
+		tag = etag.ForBytes(body)
+	} else if s.recorder != nil && !IsHTML(res.ContentType) {
+		// Recording mode: remember which subresources this session's
+		// page loads actually requested.
+		s.recorder.RecordFetch(sessionID, r.Referer(), p)
+	}
+
+	h.Set("Etag", tag.String())
+
+	if s.notModified(r, tag, res.LastModified) {
+		s.Metrics.NotModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		s.logAccess(r, http.StatusNotModified, 0, mapEntries)
+		return
+	}
+
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method == http.MethodHead {
+		s.logAccess(r, http.StatusOK, 0, mapEntries)
+		return
+	}
+	n, _ := w.Write(body)
+	s.Metrics.BodyBytes.Add(int64(n))
+	s.logAccess(r, http.StatusOK, n, mapEntries)
+}
+
+// notModified evaluates the request's conditional headers per RFC 9110
+// §13.2.2 precedence: If-None-Match wins when present; If-Modified-Since is
+// only consulted otherwise.
+func (s *Server) notModified(r *http.Request, tag etag.Tag, lastModified time.Time) bool {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		return !etag.NoneMatch(inm, tag)
+	}
+	ims := r.Header.Get("If-Modified-Since")
+	if ims == "" || lastModified.IsZero() {
+		return false
+	}
+	t, ok := headers.ParseHTTPDate(ims)
+	if !ok {
+		return false
+	}
+	// HTTP dates have second granularity; truncate before comparing.
+	return !lastModified.Truncate(time.Second).After(t)
+}
+
+// buildMap constructs the X-Etag-Config map for an HTML page, folding in
+// session-recorded resources when recording is enabled.
+func (s *Server) buildMap(pageURL, body, sessionID string) core.ETagMap {
+	res := &contentResolver{content: s.content}
+	m := core.BuildMap(pageURL, body, res, s.opts.MapOptions)
+	if s.recorder != nil && sessionID != "" {
+		for _, extra := range s.recorder.Recorded(sessionID, pageURL) {
+			if _, covered := m[extra]; covered {
+				continue
+			}
+			if t, ok := res.ETagFor(extra); ok {
+				m[extra] = t
+			}
+		}
+	}
+	return m
+}
+
+// serveWorkerScript serves the JavaScript Service Worker. It is marked
+// no-cache so browsers revalidate it, matching how deployments keep SW
+// logic updatable.
+func (s *Server) serveWorkerScript(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/javascript; charset=utf-8")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Date", headers.FormatHTTPDate(s.opts.Clock.Now()))
+	h.Set("Etag", etag.ForBytes([]byte(core.ServiceWorkerScript)).String())
+	_, _ = w.Write([]byte(core.ServiceWorkerScript))
+}
+
+// contentResolver adapts Content to core.Resolver.
+type contentResolver struct {
+	content Content
+}
+
+func (c *contentResolver) ETagFor(path string) (etag.Tag, bool) {
+	r, ok := c.content.Get(path)
+	if !ok {
+		return etag.Tag{}, false
+	}
+	return r.ETag, true
+}
+
+func (c *contentResolver) StylesheetBody(path string) (string, bool) {
+	r, ok := c.content.Get(path)
+	if !ok || !IsCSS(r.ContentType) {
+		return "", false
+	}
+	return string(r.Body), true
+}

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"net/http/httptest"
+
+	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/netsim"
+)
+
+// NewOrigin adapts a *Server to the simulator's Origin interface, so
+// discrete-event experiments exercise the same header logic as real
+// deployments. The handler runs synchronously in zero simulated time;
+// network costs are the transport model's job (TransportOptions.ServerThink
+// charges processing time if desired).
+func NewOrigin(s *Server) netsim.Origin { return &originAdapter{s: s} }
+
+type originAdapter struct {
+	s *Server
+}
+
+// RoundTrip implements netsim.Origin.
+func (a *originAdapter) RoundTrip(req *netsim.Request) *httpcache.Response {
+	method := req.Method
+	if method == "" {
+		method = "GET"
+	}
+	r := httptest.NewRequest(method, req.Path, nil)
+	for k, vs := range req.Header {
+		for _, v := range vs {
+			r.Header.Add(k, v)
+		}
+	}
+	rec := httptest.NewRecorder()
+	a.s.ServeHTTP(rec, r)
+	return &httpcache.Response{
+		StatusCode: rec.Code,
+		Header:     rec.Header(),
+		Body:       rec.Body.Bytes(),
+	}
+}

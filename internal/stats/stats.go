@@ -1,0 +1,147 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness reports with: means, medians, percentiles, standard
+// deviation and relative-change helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks, or NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or NaN
+// for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// GeoMean returns the geometric mean; inputs must be positive, or the
+// result is NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Min returns the smallest value, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ReductionPercent returns the relative reduction from baseline to
+// treatment in percent — the quantity Figure 3 plots. Positive values mean
+// the treatment is faster (smaller). NaN when baseline is zero.
+func ReductionPercent(baseline, treatment float64) float64 {
+	if baseline == 0 {
+		return math.NaN()
+	}
+	return (baseline - treatment) / baseline * 100
+}
+
+// Summary is a five-number-plus description of a sample.
+type Summary struct {
+	N            int
+	Mean, Median float64
+	Min, Max     float64
+	StdDev       float64
+	P10, P90     float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Median(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		StdDev: StdDev(xs),
+		P10:    Percentile(xs, 10),
+		P90:    Percentile(xs, 90),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f median=%.2f sd=%.2f min=%.2f p10=%.2f p90=%.2f max=%.2f",
+		s.N, s.Mean, s.Median, s.StdDev, s.Min, s.P10, s.P90, s.Max)
+}

@@ -1,0 +1,264 @@
+// Package sw emulates the browser Service Worker machinery the paper's
+// client side builds on (§3, Figure 2): a domain-scoped request interceptor
+// with its own cache storage.
+//
+// The Worker type is a faithful Go port of the JavaScript Service Worker in
+// internal/core (ServiceWorkerScript): on each navigation it captures the
+// X-Etag-Config map; on each subresource fetch it serves straight from its
+// cache when the cached entity tag equals the proactively delivered one, and
+// otherwise forwards to the network and re-caches under the new tag.
+package sw
+
+import (
+	"container/list"
+	"net/http"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/httpcache"
+)
+
+// CacheStorage emulates the Cache interface available to Service Workers:
+// a URL-keyed response store with none of the RFC 9111 freshness machinery
+// (Service Worker caches never expire entries on their own). Browsers do
+// impose storage quotas, so the store supports an optional byte bound with
+// least-recently-used eviction.
+type CacheStorage struct {
+	entries map[string]*httpcache.Response
+	lru     *list.List // front = most recent; values are keys
+	elems   map[string]*list.Element
+	bytes   int64
+	// maxBytes bounds stored body bytes; 0 = unbounded.
+	maxBytes int64
+
+	// Evictions counts quota evictions, for experiments on storage
+	// pressure.
+	Evictions int64
+}
+
+// NewCacheStorage returns an empty, unbounded store.
+func NewCacheStorage() *CacheStorage {
+	return NewBoundedCacheStorage(0)
+}
+
+// NewBoundedCacheStorage returns an empty store evicting least-recently
+// used entries beyond maxBytes of body data (0 = unbounded).
+func NewBoundedCacheStorage(maxBytes int64) *CacheStorage {
+	return &CacheStorage{
+		entries:  make(map[string]*httpcache.Response),
+		lru:      list.New(),
+		elems:    make(map[string]*list.Element),
+		maxBytes: maxBytes,
+	}
+}
+
+// Match returns the stored response for path, if any.
+func (c *CacheStorage) Match(path string) (*httpcache.Response, bool) {
+	r, ok := c.entries[path]
+	if ok {
+		c.lru.MoveToFront(c.elems[path])
+	}
+	return r, ok
+}
+
+// Put stores a clone of resp under path, replacing any previous entry.
+// Responses marked no-store are not cached, matching the paper's rule that
+// the Service Worker stores "all resources received from the server ...
+// provided they do not have a no-store header".
+func (c *CacheStorage) Put(path string, resp *httpcache.Response) {
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	cc := headers.ParseCacheControl(resp.Header.Get("Cache-Control"))
+	if cc.NoStore {
+		return
+	}
+	if old, ok := c.entries[path]; ok {
+		c.bytes -= int64(len(old.Body))
+		c.lru.MoveToFront(c.elems[path])
+	} else {
+		c.elems[path] = c.lru.PushFront(path)
+	}
+	clone := resp.Clone()
+	c.entries[path] = clone
+	c.bytes += int64(len(clone.Body))
+	c.evict()
+}
+
+// evict enforces the byte quota, least-recently-used first.
+func (c *CacheStorage) evict() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		oldest := c.lru.Back()
+		c.Delete(oldest.Value.(string))
+		c.Evictions++
+	}
+}
+
+// Delete removes the entry for path.
+func (c *CacheStorage) Delete(path string) {
+	if old, ok := c.entries[path]; ok {
+		c.bytes -= int64(len(old.Body))
+		delete(c.entries, path)
+		c.lru.Remove(c.elems[path])
+		delete(c.elems, path)
+	}
+}
+
+// Clear empties the store.
+func (c *CacheStorage) Clear() {
+	c.entries = make(map[string]*httpcache.Response)
+	c.lru.Init()
+	c.elems = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// Len returns the number of stored responses.
+func (c *CacheStorage) Len() int { return len(c.entries) }
+
+// Bytes returns the total stored body bytes.
+func (c *CacheStorage) Bytes() int64 { return c.bytes }
+
+// SiteWorker is an existing, site-provided Service Worker the CacheCatalyst
+// worker must coexist with (§6, third issue). If it claims a request the
+// catalyst logic steps aside.
+type SiteWorker interface {
+	// HandleFetch may answer a request itself (e.g. an offline page).
+	// ok=false passes the request through.
+	HandleFetch(path string) (resp *httpcache.Response, ok bool)
+}
+
+// Stats counts Worker activity for experiments.
+type Stats struct {
+	// LocalHits are requests answered from cache with zero round trips.
+	LocalHits int64
+	// NetworkFetches are requests forwarded to the origin.
+	NetworkFetches int64
+	// MapUpdates counts navigations that delivered an ETag map.
+	MapUpdates int64
+	// DelegatedFetches were answered by a coexisting site worker.
+	DelegatedFetches int64
+}
+
+// Worker is the CacheCatalyst Service Worker for one origin.
+type Worker struct {
+	cache *CacheStorage
+	etags core.ETagMap
+	site  SiteWorker
+	stats Stats
+}
+
+// NewWorker returns a freshly installed worker with an empty cache and no
+// ETag map (the state right after first registration).
+func NewWorker() *Worker {
+	return &Worker{cache: NewCacheStorage(), etags: core.ETagMap{}}
+}
+
+// WithSiteWorker attaches a coexisting site-provided worker. The catalyst
+// worker consults it first for subresource fetches, mirroring the
+// composition the paper's future work calls for.
+func (w *Worker) WithSiteWorker(s SiteWorker) *Worker {
+	w.site = s
+	return w
+}
+
+// Cache exposes the worker's cache storage (tests and the browser emulator
+// need to inspect and warm it).
+func (w *Worker) Cache() *CacheStorage { return w.cache }
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// ETagMap returns the most recently delivered map.
+func (w *Worker) ETagMap() core.ETagMap { return w.etags }
+
+// OnNavigationResponse processes the response to a navigation (base HTML)
+// request: it captures the proactively delivered ETag map. A navigation
+// without the header leaves the previous map in place — the worker degrades
+// to plain pass-through behaviour on servers that don't speak CacheCatalyst.
+func (w *Worker) OnNavigationResponse(resp *httpcache.Response) {
+	cfg := resp.Header.Get(core.HeaderName)
+	if cfg == "" {
+		return
+	}
+	m, err := core.DecodeMap(cfg)
+	if err != nil {
+		return
+	}
+	w.etags = m
+	w.stats.MapUpdates++
+}
+
+// HandleFetch answers a subresource request locally when possible.
+// ok=true delivers the response with zero network round trips; ok=false
+// means the caller must fetch from the network (and should then call
+// OnSubresourceResponse with the result).
+func (w *Worker) HandleFetch(path string) (*httpcache.Response, bool) {
+	if w.site != nil {
+		if resp, handled := w.site.HandleFetch(path); handled {
+			w.stats.DelegatedFetches++
+			return resp, true
+		}
+	}
+	cached, ok := w.cache.Match(path)
+	if ok {
+		var cachedTag etag.Tag
+		if t, has := cached.ETag(); has {
+			cachedTag = t
+		}
+		if core.Decide(w.etags, path, cachedTag) == core.ServeFromCache {
+			w.stats.LocalHits++
+			return cached, true
+		}
+	}
+	w.stats.NetworkFetches++
+	return nil, false
+}
+
+// OnSubresourceResponse stores a network-fetched subresource under its new
+// entity tag so subsequent visits can serve it locally.
+func (w *Worker) OnSubresourceResponse(path string, resp *httpcache.Response) {
+	w.cache.Put(path, resp)
+}
+
+// Registry tracks installed workers per origin, emulating the
+// domain-specificity of real Service Workers: a worker only ever intercepts
+// requests for the origin that registered it.
+type Registry struct {
+	workers map[string]*Worker
+}
+
+// NewRegistry returns an empty registry (a browser profile with no
+// installed workers).
+func NewRegistry() *Registry {
+	return &Registry{workers: make(map[string]*Worker)}
+}
+
+// Lookup returns the worker installed for origin, if any.
+func (r *Registry) Lookup(origin string) (*Worker, bool) {
+	w, ok := r.workers[origin]
+	return w, ok
+}
+
+// Register installs a worker for origin if none exists and returns the
+// origin's worker. Registration is idempotent, like repeated
+// serviceWorker.register calls in a real browser.
+func (r *Registry) Register(origin string) *Worker {
+	if w, ok := r.workers[origin]; ok {
+		return w
+	}
+	w := NewWorker()
+	r.workers[origin] = w
+	return w
+}
+
+// Unregister removes origin's worker and its cache.
+func (r *Registry) Unregister(origin string) {
+	delete(r.workers, origin)
+}
+
+// Len returns the number of installed workers.
+func (r *Registry) Len() int { return len(r.workers) }

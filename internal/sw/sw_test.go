@@ -1,0 +1,317 @@
+package sw
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"testing/quick"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/httpcache"
+)
+
+func resp(tag string, body string, extra map[string]string) *httpcache.Response {
+	h := make(http.Header)
+	if tag != "" {
+		h.Set("Etag", etag.Tag{Opaque: tag}.String())
+	}
+	for k, v := range extra {
+		h.Set(k, v)
+	}
+	return &httpcache.Response{StatusCode: 200, Header: h, Body: []byte(body)}
+}
+
+func navResp(m core.ETagMap) *httpcache.Response {
+	h := make(http.Header)
+	h.Set(core.HeaderName, m.Encode())
+	return &httpcache.Response{StatusCode: 200, Header: h, Body: []byte("<html>")}
+}
+
+func TestCacheStoragePutMatch(t *testing.T) {
+	c := NewCacheStorage()
+	c.Put("/a", resp("v1", "body", nil))
+	got, ok := c.Match("/a")
+	if !ok || string(got.Body) != "body" {
+		t.Fatalf("Match = %+v, %v", got, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != 4 {
+		t.Fatalf("Len=%d Bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestCacheStorageRejectsNoStore(t *testing.T) {
+	c := NewCacheStorage()
+	c.Put("/a", resp("v1", "x", map[string]string{"Cache-Control": "no-store"}))
+	if _, ok := c.Match("/a"); ok {
+		t.Fatal("no-store response cached")
+	}
+}
+
+func TestCacheStorageRejectsNon200(t *testing.T) {
+	c := NewCacheStorage()
+	r := resp("", "missing", nil)
+	r.StatusCode = 404
+	c.Put("/a", r)
+	if c.Len() != 0 {
+		t.Fatal("404 cached")
+	}
+}
+
+func TestCacheStorageReplaceAccountsBytes(t *testing.T) {
+	c := NewCacheStorage()
+	c.Put("/a", resp("v1", "0123456789", nil))
+	c.Put("/a", resp("v2", "xyz", nil))
+	if c.Bytes() != 3 || c.Len() != 1 {
+		t.Fatalf("Bytes=%d Len=%d", c.Bytes(), c.Len())
+	}
+}
+
+func TestCacheStorageDeleteAndClear(t *testing.T) {
+	c := NewCacheStorage()
+	c.Put("/a", resp("v1", "aa", nil))
+	c.Put("/b", resp("v1", "bb", nil))
+	c.Delete("/a")
+	if _, ok := c.Match("/a"); ok || c.Bytes() != 2 {
+		t.Fatalf("delete failed: bytes=%d", c.Bytes())
+	}
+	c.Delete("/ghost")
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestCacheStoragePutClones(t *testing.T) {
+	c := NewCacheStorage()
+	r := resp("v1", "orig", nil)
+	c.Put("/a", r)
+	r.Body[0] = 'X'
+	got, _ := c.Match("/a")
+	if string(got.Body) != "orig" {
+		t.Fatal("stored response aliases caller's body")
+	}
+}
+
+func TestWorkerNavigationCapturesMap(t *testing.T) {
+	w := NewWorker()
+	m := core.ETagMap{"/a.css": {Opaque: "v1"}}
+	w.OnNavigationResponse(navResp(m))
+	if got, ok := w.ETagMap().Get("/a.css"); !ok || got.Opaque != "v1" {
+		t.Fatalf("map not captured: %v %v", got, ok)
+	}
+	if w.Stats().MapUpdates != 1 {
+		t.Fatal("MapUpdates not counted")
+	}
+}
+
+func TestWorkerNavigationWithoutHeaderKeepsMap(t *testing.T) {
+	w := NewWorker()
+	w.OnNavigationResponse(navResp(core.ETagMap{"/a": {Opaque: "1"}}))
+	plain := &httpcache.Response{StatusCode: 200, Header: make(http.Header)}
+	w.OnNavigationResponse(plain)
+	if _, ok := w.ETagMap().Get("/a"); !ok {
+		t.Fatal("map dropped on header-less navigation")
+	}
+}
+
+func TestWorkerNavigationBadMapIgnored(t *testing.T) {
+	w := NewWorker()
+	w.OnNavigationResponse(navResp(core.ETagMap{"/a": {Opaque: "1"}}))
+	bad := &httpcache.Response{StatusCode: 200, Header: make(http.Header)}
+	bad.Header.Set(core.HeaderName, "{malformed")
+	w.OnNavigationResponse(bad)
+	if _, ok := w.ETagMap().Get("/a"); !ok {
+		t.Fatal("malformed map clobbered a good one")
+	}
+}
+
+func TestWorkerServesMatchingCachedResource(t *testing.T) {
+	w := NewWorker()
+	w.OnSubresourceResponse("/a.css", resp("v1", "css-body", nil))
+	w.OnNavigationResponse(navResp(core.ETagMap{"/a.css": {Opaque: "v1"}}))
+
+	got, ok := w.HandleFetch("/a.css")
+	if !ok || string(got.Body) != "css-body" {
+		t.Fatalf("HandleFetch = %+v, %v", got, ok)
+	}
+	if w.Stats().LocalHits != 1 || w.Stats().NetworkFetches != 0 {
+		t.Fatalf("stats = %+v", w.Stats())
+	}
+}
+
+func TestWorkerFetchesOnTagMismatch(t *testing.T) {
+	w := NewWorker()
+	w.OnSubresourceResponse("/a.css", resp("v1", "old", nil))
+	w.OnNavigationResponse(navResp(core.ETagMap{"/a.css": {Opaque: "v2"}}))
+
+	if _, ok := w.HandleFetch("/a.css"); ok {
+		t.Fatal("stale resource served from cache")
+	}
+	// Network returns the new version; worker must re-cache it.
+	w.OnSubresourceResponse("/a.css", resp("v2", "new", nil))
+	got, ok := w.HandleFetch("/a.css")
+	if !ok || string(got.Body) != "new" {
+		t.Fatalf("updated resource not served: %+v, %v", got, ok)
+	}
+}
+
+func TestWorkerFetchesWhenMapLacksPath(t *testing.T) {
+	w := NewWorker()
+	w.OnSubresourceResponse("/dyn.js", resp("v1", "x", nil))
+	w.OnNavigationResponse(navResp(core.ETagMap{})) // empty map
+	if _, ok := w.HandleFetch("/dyn.js"); ok {
+		t.Fatal("served resource not covered by the map")
+	}
+}
+
+func TestWorkerFetchesOnCacheMiss(t *testing.T) {
+	w := NewWorker()
+	w.OnNavigationResponse(navResp(core.ETagMap{"/a.css": {Opaque: "v1"}}))
+	if _, ok := w.HandleFetch("/a.css"); ok {
+		t.Fatal("served a resource that was never cached")
+	}
+	if w.Stats().NetworkFetches != 1 {
+		t.Fatalf("stats = %+v", w.Stats())
+	}
+}
+
+func TestWorkerCachedResponseWithoutETagNotServed(t *testing.T) {
+	w := NewWorker()
+	w.OnSubresourceResponse("/a.css", resp("", "untagged", nil))
+	w.OnNavigationResponse(navResp(core.ETagMap{"/a.css": {Opaque: "v1"}}))
+	if _, ok := w.HandleFetch("/a.css"); ok {
+		t.Fatal("served an untagged cached response")
+	}
+}
+
+func TestBoundedCacheStorageEvictsLRU(t *testing.T) {
+	c := NewBoundedCacheStorage(25)
+	c.Put("/a", resp("v1", "0123456789", nil)) // 10 bytes
+	c.Put("/b", resp("v1", "0123456789", nil)) // 20 bytes
+	// Touch /a so /b becomes least recently used.
+	if _, ok := c.Match("/a"); !ok {
+		t.Fatal("miss")
+	}
+	c.Put("/c", resp("v1", "0123456789", nil)) // 30 > 25 → evict /b
+	if _, ok := c.Match("/b"); ok {
+		t.Fatal("LRU entry survived quota eviction")
+	}
+	if _, ok := c.Match("/a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+	if c.Bytes() > 25 {
+		t.Fatalf("bytes = %d over quota", c.Bytes())
+	}
+}
+
+func TestBoundedCacheStorageReplaceWithinQuota(t *testing.T) {
+	c := NewBoundedCacheStorage(15)
+	c.Put("/a", resp("v1", "0123456789", nil))
+	c.Put("/a", resp("v2", "01234", nil)) // replacement shrinks usage
+	if c.Bytes() != 5 || c.Len() != 1 || c.Evictions != 0 {
+		t.Fatalf("bytes=%d len=%d evictions=%d", c.Bytes(), c.Len(), c.Evictions)
+	}
+}
+
+func TestBoundedCacheStorageSingleHugeEntry(t *testing.T) {
+	c := NewBoundedCacheStorage(5)
+	c.Put("/big", resp("v1", "0123456789", nil))
+	// The entry exceeds the quota on its own; it must be evicted (the
+	// store never sits above quota) without corrupting accounting.
+	if c.Bytes() > 5 {
+		t.Fatalf("bytes = %d over quota", c.Bytes())
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Store still usable afterwards.
+	c.Put("/ok", resp("v1", "abc", nil))
+	if _, ok := c.Match("/ok"); !ok {
+		t.Fatal("store broken after over-quota put")
+	}
+}
+
+type fakeSiteWorker struct {
+	claims map[string]*httpcache.Response
+}
+
+func (f *fakeSiteWorker) HandleFetch(path string) (*httpcache.Response, bool) {
+	r, ok := f.claims[path]
+	return r, ok
+}
+
+func TestCoexistenceWithSiteWorker(t *testing.T) {
+	offline := resp("", "offline page", nil)
+	site := &fakeSiteWorker{claims: map[string]*httpcache.Response{"/app-shell": offline}}
+	w := NewWorker().WithSiteWorker(site)
+	w.OnSubresourceResponse("/app-shell", resp("v1", "cached", nil))
+	w.OnNavigationResponse(navResp(core.ETagMap{"/app-shell": {Opaque: "v1"}}))
+
+	got, ok := w.HandleFetch("/app-shell")
+	if !ok || string(got.Body) != "offline page" {
+		t.Fatalf("site worker not consulted first: %+v", got)
+	}
+	if w.Stats().DelegatedFetches != 1 {
+		t.Fatalf("stats = %+v", w.Stats())
+	}
+	// Paths the site worker does not claim fall through to catalyst logic.
+	w.OnSubresourceResponse("/a.css", resp("v1", "css", nil))
+	w.OnNavigationResponse(navResp(core.ETagMap{"/a.css": {Opaque: "v1"}}))
+	if _, ok := w.HandleFetch("/a.css"); !ok {
+		t.Fatal("catalyst logic bypassed for unclaimed path")
+	}
+}
+
+func TestRegistryDomainScoping(t *testing.T) {
+	r := NewRegistry()
+	wa := r.Register("a.example")
+	wb := r.Register("b.example")
+	if wa == wb {
+		t.Fatal("origins share a worker")
+	}
+	wa.OnSubresourceResponse("/x", resp("v1", "a-body", nil))
+	if _, ok := wb.Cache().Match("/x"); ok {
+		t.Fatal("cache leaked across origins")
+	}
+	if again := r.Register("a.example"); again != wa {
+		t.Fatal("re-registration replaced the worker")
+	}
+	if _, ok := r.Lookup("a.example"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("nope.example"); ok {
+		t.Fatal("lookup invented a worker")
+	}
+	r.Unregister("a.example")
+	if _, ok := r.Lookup("a.example"); ok || r.Len() != 1 {
+		t.Fatal("unregister failed")
+	}
+}
+
+// Property (the paper's safety invariant): the worker never serves a body
+// whose ETag differs from the proactively delivered current tag.
+func TestWorkerNeverServesStaleQuick(t *testing.T) {
+	f := func(vCached, vCurrent uint8) bool {
+		w := NewWorker()
+		path := "/r.js"
+		cachedTag := etag.ForVersion(path, uint64(vCached))
+		currentTag := etag.ForVersion(path, uint64(vCurrent))
+		body := fmt.Sprintf("body-%d", vCached)
+		h := make(http.Header)
+		h.Set("Etag", cachedTag.String())
+		w.OnSubresourceResponse(path, &httpcache.Response{StatusCode: 200, Header: h, Body: []byte(body)})
+		w.OnNavigationResponse(navResp(core.ETagMap{path: currentTag}))
+		got, ok := w.HandleFetch(path)
+		if vCached == vCurrent {
+			return ok && string(got.Body) == body
+		}
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace exports page-load waterfalls as HTTP Archive (HAR) 1.2
+// documents, so the emulator's fetch timelines open in standard HAR
+// viewers (browser devtools, har-viewer) next to captures from real
+// browsers — handy when comparing the emulation against reality.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"cachecatalyst/internal/browser"
+)
+
+// HAR is the top-level document.
+type HAR struct {
+	Log Log `json:"log"`
+}
+
+// Log is the HAR log object.
+type Log struct {
+	Version string  `json:"version"`
+	Creator Creator `json:"creator"`
+	Pages   []Page  `json:"pages"`
+	Entries []Entry `json:"entries"`
+}
+
+// Creator identifies the producing tool.
+type Creator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// Page is one page load.
+type Page struct {
+	StartedDateTime string      `json:"startedDateTime"`
+	ID              string      `json:"id"`
+	Title           string      `json:"title"`
+	PageTimings     PageTimings `json:"pageTimings"`
+}
+
+// PageTimings carries the onLoad metric.
+type PageTimings struct {
+	OnLoad float64 `json:"onLoad"` // milliseconds
+}
+
+// Entry is one resource fetch.
+type Entry struct {
+	Pageref         string   `json:"pageref"`
+	StartedDateTime string   `json:"startedDateTime"`
+	Time            float64  `json:"time"` // milliseconds
+	Request         Request  `json:"request"`
+	Response        Response `json:"response"`
+	// Source is a HAR custom field ("_"-prefixed per spec) recording
+	// where the emulator delivered the resource from.
+	Source string `json:"_source"`
+}
+
+// Request is the request summary.
+type Request struct {
+	Method string `json:"method"`
+	URL    string `json:"url"`
+}
+
+// Response is the response summary.
+type Response struct {
+	Status     int    `json:"status"`
+	StatusText string `json:"statusText"`
+}
+
+// Collector accumulates FetchEvents for one page load. Attach its Record
+// method to browser.Browser.OnFetch.
+type Collector struct {
+	start  time.Time
+	events []browser.FetchEvent
+}
+
+// NewCollector returns a collector; start anchors virtual offsets to
+// absolute HAR timestamps.
+func NewCollector(start time.Time) *Collector {
+	return &Collector{start: start}
+}
+
+// Record implements the browser.Browser.OnFetch contract.
+func (c *Collector) Record(ev browser.FetchEvent) {
+	c.events = append(c.events, ev)
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Reset drops recorded events (between page loads).
+func (c *Collector) Reset() { c.events = nil }
+
+// HAR builds the document for one recorded load.
+func (c *Collector) HAR(pageURL string, plt time.Duration) HAR {
+	h := HAR{Log: Log{
+		Version: "1.2",
+		Creator: Creator{Name: "cachecatalyst", Version: "1.0"},
+		Pages: []Page{{
+			StartedDateTime: c.start.UTC().Format(time.RFC3339Nano),
+			ID:              "page_1",
+			Title:           pageURL,
+			PageTimings:     PageTimings{OnLoad: float64(plt.Microseconds()) / 1000},
+		}},
+	}}
+	for _, ev := range c.events {
+		h.Log.Entries = append(h.Log.Entries, Entry{
+			Pageref:         "page_1",
+			StartedDateTime: c.start.Add(ev.Start).UTC().Format(time.RFC3339Nano),
+			Time:            float64((ev.End - ev.Start).Microseconds()) / 1000,
+			Request:         Request{Method: "GET", URL: "https://" + ev.Host + ev.Path},
+			Response:        Response{Status: status(ev), StatusText: statusText(ev)},
+			Source:          ev.Source,
+		})
+	}
+	return h
+}
+
+// Marshal renders the document as indented JSON.
+func (h HAR) Marshal() ([]byte, error) {
+	return json.MarshalIndent(h, "", "  ")
+}
+
+func status(ev browser.FetchEvent) int {
+	if ev.Revalidated {
+		return 304
+	}
+	return ev.Status
+}
+
+func statusText(ev browser.FetchEvent) string {
+	switch {
+	case ev.Revalidated:
+		return "Not Modified"
+	case ev.Status == 200:
+		return "OK"
+	case ev.Status == 404:
+		return "Not Found"
+	default:
+		return fmt.Sprintf("HTTP %d", ev.Status)
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/browser"
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/vclock"
+)
+
+func TestCollectorHARFromRealLoad(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	content := server.NewMemContent()
+	content.SetBody("/index.html", `<img src="/a.png"><img src="/missing.png">`, server.CachePolicy{NoCache: true})
+	content.SetBody("/a.png", "PNG", server.CachePolicy{MaxAge: time.Hour, HasMaxAge: true})
+	srv := server.New(content, server.Options{Clock: clock})
+	origins := browser.OriginMap{"site.example": server.NewOrigin(srv)}
+
+	b := browser.New(clock, browser.Conventional, netsim.TransportOptions{})
+	col := NewCollector(clock.Now())
+	b.OnFetch = col.Record
+	res, err := b.Load(origins, netsim.Conditions{RTT: 40 * time.Millisecond, DownlinkBps: 60e6}, "site.example", "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 3 {
+		t.Fatalf("events = %d, want 3", col.Len())
+	}
+
+	h := col.HAR("https://site.example/index.html", res.PLT)
+	data, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The document must be valid JSON with HAR structure.
+	var parsed map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	log := parsed["log"].(map[string]any)
+	if log["version"] != "1.2" {
+		t.Fatalf("version = %v", log["version"])
+	}
+	entries := log["entries"].([]any)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	first := entries[0].(map[string]any)
+	req := first["request"].(map[string]any)
+	if !strings.HasPrefix(req["url"].(string), "https://site.example/") {
+		t.Fatalf("url = %v", req["url"])
+	}
+	pages := log["pages"].([]any)
+	timings := pages[0].(map[string]any)["pageTimings"].(map[string]any)
+	if timings["onLoad"].(float64) <= 0 {
+		t.Fatal("onLoad not positive")
+	}
+
+	// One entry must be the 404.
+	found404 := false
+	for _, e := range entries {
+		if e.(map[string]any)["response"].(map[string]any)["status"].(float64) == 404 {
+			found404 = true
+		}
+	}
+	if !found404 {
+		t.Fatal("404 entry missing")
+	}
+}
+
+func TestCollectorRevalidationShowsAs304(t *testing.T) {
+	col := NewCollector(vclock.Epoch)
+	col.Record(browser.FetchEvent{
+		Host: "h", Path: "/x", Start: 0, End: 40 * time.Millisecond,
+		Source: "network", Status: 200, Revalidated: true,
+	})
+	h := col.HAR("https://h/", 40*time.Millisecond)
+	if h.Log.Entries[0].Response.Status != 304 || h.Log.Entries[0].Response.StatusText != "Not Modified" {
+		t.Fatalf("entry = %+v", h.Log.Entries[0])
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	col := NewCollector(vclock.Epoch)
+	col.Record(browser.FetchEvent{Status: 200})
+	col.Reset()
+	if col.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestEntryTimesMapToOffsets(t *testing.T) {
+	start := vclock.Epoch
+	col := NewCollector(start)
+	col.Record(browser.FetchEvent{
+		Host: "h", Path: "/a", Start: 100 * time.Millisecond, End: 150 * time.Millisecond,
+		Source: "network", Status: 200,
+	})
+	h := col.HAR("https://h/", time.Second)
+	e := h.Log.Entries[0]
+	if e.Time != 50 {
+		t.Fatalf("Time = %v ms", e.Time)
+	}
+	wantStart := start.Add(100 * time.Millisecond).UTC().Format(time.RFC3339Nano)
+	if e.StartedDateTime != wantStart {
+		t.Fatalf("StartedDateTime = %s, want %s", e.StartedDateTime, wantStart)
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	if statusText(browser.FetchEvent{Status: 500}) != "HTTP 500" {
+		t.Fatal("default status text wrong")
+	}
+	if statusText(browser.FetchEvent{Status: 404}) != "Not Found" {
+		t.Fatal("404 text wrong")
+	}
+}

@@ -1,0 +1,67 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2024, 11, 18, 9, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(Epoch)
+	v.Advance(2 * time.Hour)
+	want := Epoch.Add(2 * time.Hour)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceNegativeIgnored(t *testing.T) {
+	v := NewVirtual(Epoch)
+	v.Advance(-time.Hour)
+	if got := v.Now(); !got.Equal(Epoch) {
+		t.Fatalf("negative Advance moved clock to %v", got)
+	}
+}
+
+func TestVirtualSetForwardOnly(t *testing.T) {
+	v := NewVirtual(Epoch)
+	v.Set(Epoch.Add(time.Minute))
+	v.Set(Epoch) // backwards, must be ignored
+	if got := v.Now(); !got.Equal(Epoch.Add(time.Minute)) {
+		t.Fatalf("Set allowed time travel: %v", got)
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(Epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Advance(time.Second)
+			_ = v.Now()
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(Epoch.Add(50 * time.Second)) {
+		t.Fatalf("concurrent advances lost updates: %v", got)
+	}
+}
+
+func TestSystemClockIsCurrent(t *testing.T) {
+	before := time.Now()
+	got := System{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("System.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

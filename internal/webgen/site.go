@@ -1,0 +1,350 @@
+package webgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/htmlparse"
+	"cachecatalyst/internal/jsexec"
+	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/vclock"
+)
+
+// PagePath is the homepage path of every generated site.
+const PagePath = "/index.html"
+
+// SecondaryPagePath is the second page every site serves; it shares the
+// site-wide stylesheets/scripts with the homepage (the "other pages within
+// the same website" reuse scenario of §1).
+const SecondaryPagePath = "/about.html"
+
+// resourceSpec describes one generated resource and its dynamics.
+type resourceSpec struct {
+	path   string
+	kind   htmlparse.ResourceKind
+	size   int
+	policy server.CachePolicy
+	// period is the content-change interval; 0 = never changes.
+	period time.Duration
+	// phase desynchronizes change times across resources.
+	phase time.Duration
+	// ageAtGen backdates the initial Last-Modified.
+	ageAtGen time.Duration
+	// crossOrigin places the resource on the CDN host.
+	crossOrigin bool
+	// refs are URLs referenced from this resource's markup: tags for the
+	// page, url() values for stylesheets.
+	refs []string
+	// imports are child stylesheets (@import).
+	imports []string
+	// fetches are runtime fetch directives (scripts only).
+	fetches []string
+	// async marks non-parser-blocking scripts.
+	async bool
+	// fingerprinted assets are referenced by version-stamped URLs
+	// (?v=N) with an immutable TTL — the manual cache-busting best
+	// practice. Their reference in HTML changes when they do.
+	fingerprinted bool
+}
+
+// Site is one generated website. It exposes two server.Content views: the
+// main origin and the site's CDN origin (cross-origin resources).
+//
+// A Site is not safe for concurrent use; experiments run one goroutine per
+// simulation.
+type Site struct {
+	// Host is the main origin, e.g. "site042.example".
+	Host string
+	// CDNHost serves the cross-origin resources.
+	CDNHost string
+
+	clock vclock.Clock
+	epoch time.Time
+	specs map[string]*resourceSpec
+	order []string
+	cache map[string]*materialized
+}
+
+type materialized struct {
+	version uint64
+	res     *server.Resource
+}
+
+func newSite(host string, clock vclock.Clock, epoch time.Time) *Site {
+	return &Site{
+		Host:    host,
+		CDNHost: "cdn." + host,
+		clock:   clock,
+		epoch:   epoch,
+		specs:   make(map[string]*resourceSpec),
+		cache:   make(map[string]*materialized),
+	}
+}
+
+func (s *Site) add(spec *resourceSpec) {
+	s.specs[spec.path] = spec
+	s.order = append(s.order, spec.path)
+}
+
+// normPhase returns the spec's phase normalized into [0, period).
+func normPhase(spec *resourceSpec) time.Duration {
+	if spec.period <= 0 {
+		return 0
+	}
+	return spec.phase % spec.period
+}
+
+// version returns how many times the resource has changed since the site
+// epoch at time now.
+func (s *Site) version(spec *resourceSpec, now time.Time) uint64 {
+	if spec.period <= 0 {
+		return 0
+	}
+	elapsed := now.Sub(s.epoch)
+	if elapsed < 0 {
+		return 0
+	}
+	return uint64((elapsed + normPhase(spec)) / spec.period)
+}
+
+// lastModified returns the time of the resource's most recent change.
+func (s *Site) lastModified(spec *resourceSpec, now time.Time) time.Time {
+	v := s.version(spec, now)
+	if v == 0 {
+		return s.epoch.Add(-spec.ageAtGen)
+	}
+	return s.epoch.Add(time.Duration(v)*spec.period - normPhase(spec))
+}
+
+// ChangedBetween reports whether the resource at path changes content
+// between times a and b (a ≤ b). Used by corpus statistics.
+func (s *Site) ChangedBetween(path string, a, b time.Time) bool {
+	spec, ok := s.specs[path]
+	if !ok {
+		return false
+	}
+	return s.version(spec, a) != s.version(spec, b)
+}
+
+// lookupSpec resolves a request path to its spec. Fingerprinted assets are
+// requested with a ?v= query; the server serves the same file regardless of
+// the stamp, like real static servers do.
+func (s *Site) lookupSpec(path string) (*resourceSpec, bool) {
+	if spec, ok := s.specs[path]; ok {
+		return spec, true
+	}
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		if base, ok := s.specs[path[:i]]; ok && base.fingerprinted {
+			return base, true
+		}
+	}
+	return nil, false
+}
+
+// get materializes the resource at path for the current clock time.
+func (s *Site) get(path string) (*server.Resource, bool) {
+	spec, ok := s.lookupSpec(path)
+	if !ok {
+		return nil, false
+	}
+	now := s.clock.Now()
+	v := s.version(spec, now)
+	if spec.kind == htmlparse.KindDocument {
+		// The page's bytes embed the current ?v= stamps of fingerprinted
+		// dependencies, so its effective version must change when theirs
+		// do — otherwise the materialization cache would serve stale refs.
+		for _, ref := range spec.refs {
+			if target, okT := s.specByRef(ref); okT && target.fingerprinted {
+				v = v*1000003 + s.version(target, now) + 1
+			}
+		}
+	}
+	if m, ok := s.cache[path]; ok && m.version == v {
+		return m.res, true
+	}
+	res := &server.Resource{
+		Body:         s.materialize(spec, v),
+		ContentType:  server.TypeByPath(path),
+		ETag:         etag.ForVersion(s.Host+path, v),
+		Policy:       spec.policy,
+		LastModified: s.lastModified(spec, now),
+	}
+	s.cache[path] = &materialized{version: v, res: res}
+	return res, true
+}
+
+// materialize renders the resource body for a given version.
+func (s *Site) materialize(spec *resourceSpec, v uint64) []byte {
+	switch spec.kind {
+	case htmlparse.KindDocument:
+		return s.renderPage(spec, v)
+	case htmlparse.KindStylesheet:
+		return renderCSS(spec, v)
+	case htmlparse.KindScript:
+		return renderJS(spec, v)
+	default:
+		return renderBinary(spec, v)
+	}
+}
+
+// refFor renders the URL a page uses to reference target: fingerprinted
+// assets carry their current version as a cache-busting query.
+func (s *Site) refFor(ref string) string {
+	target, ok := s.specByRef(ref)
+	if !ok || !target.fingerprinted {
+		return ref
+	}
+	return fmt.Sprintf("%s?v=%d", ref, s.version(target, s.clock.Now()))
+}
+
+// renderPage emits the homepage HTML listing the spec's refs as the
+// appropriate tags.
+func (s *Site) renderPage(spec *resourceSpec, v uint64) []byte {
+	var b strings.Builder
+	b.Grow(spec.size + 256)
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<!-- %s v=%d -->\n<html><head>\n<title>%s</title>\n", s.Host, v, s.Host)
+	for _, ref := range spec.refs {
+		target, ok := s.specByRef(ref)
+		if !ok {
+			continue
+		}
+		switch target.kind {
+		case htmlparse.KindStylesheet:
+			fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"%s\">\n", s.refFor(ref))
+		case htmlparse.KindScript:
+			if target.async {
+				fmt.Fprintf(&b, "<script src=\"%s\" async></script>\n", s.refFor(ref))
+			} else {
+				fmt.Fprintf(&b, "<script src=\"%s\"></script>\n", s.refFor(ref))
+			}
+		}
+	}
+	b.WriteString("</head><body>\n")
+	for _, ref := range spec.refs {
+		target, ok := s.specByRef(ref)
+		if !ok {
+			continue
+		}
+		switch target.kind {
+		case htmlparse.KindImage:
+			fmt.Fprintf(&b, "<img src=\"%s\" alt=\"\">\n", ref)
+		case htmlparse.KindMedia:
+			fmt.Fprintf(&b, "<video src=\"%s\"></video>\n", ref)
+		}
+	}
+	padText(&b, spec.size, "<p>", "</p>\n")
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+// specByRef resolves a page/CSS reference (path or absolute CDN URL) to its
+// spec.
+func (s *Site) specByRef(ref string) (*resourceSpec, bool) {
+	if strings.HasPrefix(ref, "https://") {
+		if i := strings.Index(ref[len("https://"):], "/"); i >= 0 {
+			ref = ref[len("https://")+i:]
+		}
+	}
+	spec, ok := s.specs[ref]
+	return spec, ok
+}
+
+func renderCSS(spec *resourceSpec, v uint64) []byte {
+	var b strings.Builder
+	b.Grow(spec.size + 256)
+	fmt.Fprintf(&b, "/* %s v=%d */\n", spec.path, v)
+	for _, imp := range spec.imports {
+		fmt.Fprintf(&b, "@import \"%s\";\n", imp)
+	}
+	for i, ref := range spec.refs {
+		if strings.Contains(ref, "/fonts/") {
+			fmt.Fprintf(&b, "@font-face { font-family: F%d; src: url(%s); }\n", i, ref)
+		} else {
+			fmt.Fprintf(&b, ".c%d { background-image: url(%s); }\n", i, ref)
+		}
+	}
+	padText(&b, spec.size, "/* ", " */\n")
+	return []byte(b.String())
+}
+
+func renderJS(spec *resourceSpec, v uint64) []byte {
+	var b strings.Builder
+	b.Grow(spec.size + 256)
+	fmt.Fprintf(&b, "// %s v=%d\n", spec.path, v)
+	for _, f := range spec.fetches {
+		b.WriteString(jsexec.Directive(f))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "console.log(%q);\n", spec.path)
+	padText(&b, spec.size, "// ", "\n")
+	return []byte(b.String())
+}
+
+func renderBinary(spec *resourceSpec, v uint64) []byte {
+	stamp := fmt.Sprintf("BIN %s v=%d ", spec.path, v)
+	if spec.size <= len(stamp) {
+		return []byte(stamp)
+	}
+	body := make([]byte, spec.size)
+	copy(body, stamp)
+	return body
+}
+
+// fillerLine is sized so padding converges in few iterations.
+const fillerLine = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod tempor incididunt ut labore et dolore magna aliqua"
+
+// padText appends wrapped filler lines until the builder reaches target
+// bytes (plus at most one line of overshoot).
+func padText(b *strings.Builder, target int, open, close string) {
+	for b.Len() < target {
+		b.WriteString(open)
+		b.WriteString(fillerLine)
+		b.WriteString(close)
+	}
+}
+
+// Content returns the main-origin server.Content view.
+func (s *Site) Content() server.Content { return &originView{site: s, cdn: false} }
+
+// CDNContent returns the CDN-origin view (cross-origin resources only).
+func (s *Site) CDNContent() server.Content { return &originView{site: s, cdn: true} }
+
+type originView struct {
+	site *Site
+	cdn  bool
+}
+
+func (v *originView) Get(path string) (*server.Resource, bool) {
+	spec, ok := v.site.lookupSpec(path)
+	if !ok || spec.crossOrigin != v.cdn {
+		return nil, false
+	}
+	return v.site.get(path)
+}
+
+func (v *originView) Paths() []string {
+	var out []string
+	for _, p := range v.site.order {
+		if v.site.specs[p].crossOrigin == v.cdn {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumResources returns the total number of resources on the site,
+// including the page itself and cross-origin resources.
+func (s *Site) NumResources() int { return len(s.specs) }
+
+// TotalBytes returns the sum of nominal resource sizes (page weight).
+func (s *Site) TotalBytes() int64 {
+	var n int64
+	for _, spec := range s.specs {
+		n += int64(spec.size)
+	}
+	return n
+}

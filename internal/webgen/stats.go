@@ -1,0 +1,151 @@
+package webgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cachecatalyst/internal/htmlparse"
+)
+
+// CorpusStats reports the cache-pathology statistics the corpus is
+// calibrated to, mirroring the numbers §2 of the paper cites. The corpus
+// experiment (cmd/pltbench -experiment corpus) prints these next to the
+// paper's figures.
+type CorpusStats struct {
+	Sites                int
+	MeanResourcesPerPage float64
+	MeanPageBytes        float64
+
+	// Cache-Control distribution over subresources.
+	FracNoStore   float64
+	FracNoHeaders float64
+	FracNoCache   float64
+	FracShortTTL  float64 // max-age < 1 day
+	FracLongTTL   float64 // max-age ≥ 1 day
+
+	// FracStored is the share of subresources a browser stores at all.
+	FracStored float64
+	// FracReusableNoValidation is the share servable from cache without a
+	// round trip while fresh (explicit max-age) — the reading under which
+	// "only ~50% of cacheable resources are actually cached".
+	FracReusableNoValidation float64
+
+	// ShortTTLUnchangedWithin24h: of the short-TTL resources, the share
+	// whose content does not change within a day (paper: 86%).
+	ShortTTLUnchangedWithin24h float64
+
+	// SpuriousExpiry maps a revisit delay to the share of stored
+	// subresources that have expired by then although their content is
+	// unchanged (paper: 47%) — each one a wasted revalidation RTT.
+	SpuriousExpiry map[time.Duration]float64
+}
+
+// Stats computes corpus statistics; SpuriousExpiry is evaluated at each of
+// the given delays.
+func (c *Corpus) Stats(delays []time.Duration) CorpusStats {
+	var st CorpusStats
+	st.Sites = len(c.Sites)
+	st.SpuriousExpiry = make(map[time.Duration]float64)
+
+	var resources, noStore, noHeaders, noCache, shortTTL, longTTL float64
+	var shortTTLTotal, shortTTLUnchanged float64
+	spuriousNum := make(map[time.Duration]float64)
+	spuriousDen := make(map[time.Duration]float64)
+	var pageBytes float64
+	day := 24 * time.Hour
+
+	for _, site := range c.Sites {
+		pageBytes += float64(site.TotalBytes())
+		for _, spec := range site.specs {
+			if spec.kind == htmlparse.KindDocument {
+				continue // navigation, not a cached subresource
+			}
+			resources++
+			switch {
+			case spec.policy.NoStore:
+				noStore++
+			case spec.policy.NoCache:
+				noCache++
+			case spec.policy.HasMaxAge && spec.policy.MaxAge < day:
+				shortTTL++
+			case spec.policy.HasMaxAge:
+				longTTL++
+			default:
+				noHeaders++
+			}
+			if spec.policy.HasMaxAge && spec.policy.MaxAge < day {
+				shortTTLTotal++
+				if !site.ChangedBetween(spec.path, site.epoch, site.epoch.Add(day)) {
+					shortTTLUnchanged++
+				}
+			}
+			if spec.policy.NoStore {
+				continue
+			}
+			ttl := effectiveTTL(spec)
+			for _, d := range delays {
+				spuriousDen[d]++
+				if ttl < d && !site.ChangedBetween(spec.path, site.epoch, site.epoch.Add(d)) {
+					spuriousNum[d]++
+				}
+			}
+		}
+	}
+
+	if resources > 0 {
+		st.MeanResourcesPerPage = resources/float64(len(c.Sites)) + 1 // +1 for the page
+		st.MeanPageBytes = pageBytes / float64(len(c.Sites))
+		st.FracNoStore = noStore / resources
+		st.FracNoHeaders = noHeaders / resources
+		st.FracNoCache = noCache / resources
+		st.FracShortTTL = shortTTL / resources
+		st.FracLongTTL = longTTL / resources
+		st.FracStored = 1 - st.FracNoStore
+		st.FracReusableNoValidation = (shortTTL + longTTL) / resources
+	}
+	if shortTTLTotal > 0 {
+		st.ShortTTLUnchangedWithin24h = shortTTLUnchanged / shortTTLTotal
+	}
+	for _, d := range delays {
+		if spuriousDen[d] > 0 {
+			st.SpuriousExpiry[d] = spuriousNum[d] / spuriousDen[d]
+		}
+	}
+	return st
+}
+
+// effectiveTTL approximates the freshness lifetime a browser cache assigns
+// at first fetch: explicit max-age, else the 10% heuristic from the
+// resource's age, else zero (no-cache).
+func effectiveTTL(spec *resourceSpec) time.Duration {
+	if spec.policy.NoCache {
+		return 0
+	}
+	if spec.policy.HasMaxAge {
+		return spec.policy.MaxAge
+	}
+	return spec.ageAtGen / 10
+}
+
+// String renders the stats as the table the corpus experiment prints.
+func (st CorpusStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sites=%d mean-resources/page=%.1f mean-page-bytes=%.0f\n",
+		st.Sites, st.MeanResourcesPerPage, st.MeanPageBytes)
+	fmt.Fprintf(&b, "cache-control: no-store=%.1f%% none=%.1f%% no-cache=%.1f%% ttl<1d=%.1f%% ttl>=1d=%.1f%%\n",
+		st.FracNoStore*100, st.FracNoHeaders*100, st.FracNoCache*100,
+		st.FracShortTTL*100, st.FracLongTTL*100)
+	fmt.Fprintf(&b, "stored=%.1f%% reusable-without-validation=%.1f%% shortTTL-unchanged-24h=%.1f%%\n",
+		st.FracStored*100, st.FracReusableNoValidation*100, st.ShortTTLUnchangedWithin24h*100)
+	delays := make([]time.Duration, 0, len(st.SpuriousExpiry))
+	for d := range st.SpuriousExpiry {
+		delays = append(delays, d)
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	for _, d := range delays {
+		fmt.Fprintf(&b, "spurious-expiry@%v=%.1f%%\n", d, st.SpuriousExpiry[d]*100)
+	}
+	return b.String()
+}
