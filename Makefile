@@ -1,0 +1,32 @@
+# Developer entry points. `make verify` is the gate every change must pass:
+# vet, build, and the full test suite (chaos matrix included) under the race
+# detector.
+
+GO ?= go
+
+.PHONY: verify build test race vet fuzz chaos
+
+verify: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over the hostile-input parsers (X-Etag-Config decoding,
+# map building). The corpus seeds also run as part of plain `go test`.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeMap -fuzztime=10s ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzBuildMap -fuzztime=10s ./internal/core/
+
+# Fault-injection table: warm PLT / errors / retries per fault cell for both
+# schemes (see EXPERIMENTS.md, "Fault model and chaos experiment").
+chaos:
+	$(GO) run ./examples/chaos

@@ -1,16 +1,60 @@
 package catalyst
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 )
+
+// ClientOptions tunes the client's resilience behaviour. The zero value
+// preserves the historical semantics: no timeout, no retries, errors
+// surface immediately.
+type ClientOptions struct {
+	// Timeout bounds one Get end to end — connection, all retry
+	// attempts, backoff sleeps and body reads together. When the budget
+	// expires the call returns promptly with a timeout error (or a stale
+	// cached copy, when StaleIfError allows one). Zero means no timeout.
+	Timeout time.Duration
+	// MaxRetries is how many times a transient failure (transport error
+	// or 5xx response) is re-attempted. Zero means a single attempt.
+	MaxRetries int
+	// BackoffBase is the first retry delay; attempt n waits
+	// min(2ⁿ·BackoffBase, BackoffMax) plus deterministic jitter derived
+	// from the URL, so a fleet of clients retrying the same origin does
+	// not thunder in lockstep yet tests replay exactly. Zero selects
+	// 50 ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth. Zero selects 2 s.
+	BackoffMax time.Duration
+	// StaleIfError serves a cached copy — flagged Source "stale" — when
+	// the network fails (transport error, timeout, or 5xx after
+	// retries) and an entry for the URL exists. The RFC 5861 trade:
+	// possibly-outdated content beats an error page.
+	StaleIfError bool
+}
+
+func (o ClientOptions) backoffBase() time.Duration {
+	if o.BackoffBase > 0 {
+		return o.BackoffBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (o ClientOptions) backoffMax() time.Duration {
+	if o.BackoffMax > 0 {
+		return o.BackoffMax
+	}
+	return 2 * time.Second
+}
 
 // Client is a CacheCatalyst-aware HTTP client for Go programs — the
 // non-browser counterpart of the Service Worker. Crawlers, monitors and
@@ -25,12 +69,15 @@ type Client struct {
 	// HTTP performs the actual requests; nil means http.DefaultClient.
 	HTTP *http.Client
 
+	opts ClientOptions
+
 	mu    sync.Mutex
 	maps  map[string]ETagMap // per origin ("scheme://host")
 	cache map[string]*cachedResponse
 
 	// Stats counters (read with Snapshot).
-	localHits, networkFetches, revalidations int64
+	localHits, networkFetches, revalidations  int64
+	retries, timeouts, staleServes, netErrors int64
 }
 
 type cachedResponse struct {
@@ -55,22 +102,41 @@ type ClientResponse struct {
 	Header     http.Header
 	Body       []byte
 	// Source tells where the body came from: "network", "cache"
-	// (zero round trips, proven current by the proactive map), or
-	// "revalidated" (a conditional request answered 304).
+	// (zero round trips, proven current by the proactive map),
+	// "revalidated" (a conditional request answered 304), or "stale"
+	// (the network failed and StaleIfError served the cached copy).
 	Source string
 }
 
 // ClientStats is a snapshot of client activity.
 type ClientStats struct {
-	LocalHits      int64
-	NetworkFetches int64
-	Revalidations  int64
+	LocalHits      int64 `json:"localHits"`
+	NetworkFetches int64 `json:"networkFetches"`
+	Revalidations  int64 `json:"revalidations"`
+	// Retries counts re-attempts after transient failures.
+	Retries int64 `json:"retries"`
+	// Timeouts counts Gets that exhausted their time budget.
+	Timeouts int64 `json:"timeouts"`
+	// StaleServes counts responses served from cache under Source
+	// "stale" because the network failed.
+	StaleServes int64 `json:"staleServes"`
+	// NetErrors counts Gets whose final attempt still failed (before
+	// any stale fallback).
+	NetErrors int64 `json:"netErrors"`
 }
 
-// NewClient returns an empty-cache client over hc.
+// NewClient returns an empty-cache client over hc with zero-value options
+// (no timeout, no retries).
 func NewClient(hc *http.Client) *Client {
+	return NewClientWithOptions(hc, ClientOptions{})
+}
+
+// NewClientWithOptions returns an empty-cache client over hc with the
+// given resilience options.
+func NewClientWithOptions(hc *http.Client, opts ClientOptions) *Client {
 	return &Client{
 		HTTP:  hc,
+		opts:  opts,
 		maps:  make(map[string]ETagMap),
 		cache: make(map[string]*cachedResponse),
 	}
@@ -80,7 +146,15 @@ func NewClient(hc *http.Client) *Client {
 func (c *Client) Snapshot() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return ClientStats{LocalHits: c.localHits, NetworkFetches: c.networkFetches, Revalidations: c.revalidations}
+	return ClientStats{
+		LocalHits:      c.localHits,
+		NetworkFetches: c.networkFetches,
+		Revalidations:  c.revalidations,
+		Retries:        c.retries,
+		Timeouts:       c.timeouts,
+		StaleServes:    c.staleServes,
+		NetErrors:      c.netErrors,
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -92,7 +166,9 @@ func (c *Client) httpClient() *http.Client {
 
 // Get fetches rawURL with CacheCatalyst semantics. HTML responses refresh
 // the origin's ETag map; subresources covered by a current map entry are
-// served from the local cache without touching the network.
+// served from the local cache without touching the network. Transient
+// network failures are retried per ClientOptions, and — with StaleIfError —
+// answered from cache with Source "stale" as a last resort.
 func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 	u, err := url.Parse(rawURL)
 	if err != nil {
@@ -124,21 +200,30 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 	}
 	c.mu.Unlock()
 
-	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
-	if err != nil {
-		return nil, err
+	ctx := context.Background()
+	if c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
 	}
-	if cachedTag != "" {
-		req.Header.Set("If-None-Match", cachedTag)
-	}
-	httpResp, err := c.httpClient().Do(req)
+
+	httpResp, body, err := c.fetchWithRetries(ctx, rawURL, cachedTag)
 	if err != nil {
-		return nil, err
-	}
-	body, err := io.ReadAll(httpResp.Body)
-	httpResp.Body.Close()
-	if err != nil {
-		return nil, err
+		c.mu.Lock()
+		c.netErrors++
+		if ctx.Err() != nil {
+			c.timeouts++
+		}
+		if c.opts.StaleIfError {
+			if cached := c.cache[cacheKey]; cached != nil {
+				c.staleServes++
+				resp := cached.response("stale")
+				c.mu.Unlock()
+				return resp, nil
+			}
+		}
+		c.mu.Unlock()
+		return nil, fmt.Errorf("catalyst client: %w", err)
 	}
 
 	c.mu.Lock()
@@ -185,6 +270,72 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 		}
 	}
 	return out, nil
+}
+
+// fetchWithRetries performs the network exchange with capped exponential
+// backoff. It retries transport errors and 5xx responses; anything else —
+// including 4xx — is a definitive answer. The returned body is fully read
+// and the response closed.
+func (c *Client) fetchWithRetries(ctx context.Context, rawURL, cachedTag string) (*http.Response, []byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cachedTag != "" {
+			req.Header.Set("If-None-Match", cachedTag)
+		}
+		httpResp, err := c.httpClient().Do(req)
+		if err == nil {
+			var body []byte
+			body, err = io.ReadAll(httpResp.Body)
+			httpResp.Body.Close()
+			if err == nil {
+				if httpResp.StatusCode < 500 {
+					return httpResp, body, nil
+				}
+				err = fmt.Errorf("origin answered %d", httpResp.StatusCode)
+			}
+		}
+		lastErr = err
+		if attempt >= c.opts.MaxRetries || ctx.Err() != nil {
+			return nil, nil, lastErr
+		}
+		c.mu.Lock()
+		c.retries++
+		c.mu.Unlock()
+		if err := sleepCtx(ctx, c.backoff(rawURL, attempt)); err != nil {
+			return nil, nil, lastErr
+		}
+	}
+}
+
+// backoff computes the delay before re-attempt number attempt:
+// min(2ᵃᵗᵗᵉᵐᵖᵗ·base, max), plus up to 50 % deterministic jitter keyed on
+// (URL, attempt) — spread between clients, reproducible within one.
+func (c *Client) backoff(rawURL string, attempt int) time.Duration {
+	d := c.opts.backoffBase() << uint(attempt)
+	if maxd := c.opts.backoffMax(); d > maxd || d <= 0 {
+		d = maxd
+	}
+	h := fnv.New64a()
+	io.WriteString(h, rawURL)
+	h.Write([]byte{byte(attempt)})
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	return d/2 + jitter
+}
+
+// sleepCtx waits for d or the context's cancellation, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Clear drops all cached responses and maps.

@@ -3,6 +3,7 @@ package catalyst
 import (
 	"encoding/json"
 	"net/http"
+	"sync/atomic"
 
 	"cachecatalyst/internal/server"
 )
@@ -25,4 +26,52 @@ func WithMetrics(srv *server.Server) http.Handler {
 	})
 	mux.Handle("/", srv)
 	return mux
+}
+
+// MiddlewareMetrics exposes the middleware's resilience counters. Pass a
+// pointer in MiddlewareOptions.Metrics to observe a wrapped handler; all
+// fields are atomics and safe to read while serving.
+type MiddlewareMetrics struct {
+	// PanicsRecovered counts inner-handler panics converted to 500s.
+	PanicsRecovered atomic.Int64
+	// BreakerTrips counts per-path probe circuit breakers opening after
+	// repeated probe failures.
+	BreakerTrips atomic.Int64
+	// ProbesSwept counts expired probe-cache entries removed by the
+	// size-cap sweep.
+	ProbesSwept atomic.Int64
+	// MapEntriesDropped counts X-Etag-Config entries removed to respect
+	// MiddlewareOptions.MaxMapBytes.
+	MapEntriesDropped atomic.Int64
+}
+
+// MiddlewareMetricsSnapshot is the JSON form of MiddlewareMetrics.
+type MiddlewareMetricsSnapshot struct {
+	PanicsRecovered   int64 `json:"panicsRecovered"`
+	BreakerTrips      int64 `json:"breakerTrips"`
+	ProbesSwept       int64 `json:"probesSwept"`
+	MapEntriesDropped int64 `json:"mapEntriesDropped"`
+}
+
+// Snapshot returns the counters as plain values.
+func (m *MiddlewareMetrics) Snapshot() MiddlewareMetricsSnapshot {
+	return MiddlewareMetricsSnapshot{
+		PanicsRecovered:   m.PanicsRecovered.Load(),
+		BreakerTrips:      m.BreakerTrips.Load(),
+		ProbesSwept:       m.ProbesSwept.Load(),
+		MapEntriesDropped: m.MapEntriesDropped.Load(),
+	}
+}
+
+// ClientMetricsHandler serves c's counters — including the resilience
+// counters (retries, timeouts, stale serves) — as JSON, for mounting at a
+// debug path next to WithMetrics.
+func ClientMetricsHandler(c *Client) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		if err := json.NewEncoder(w).Encode(c.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 }

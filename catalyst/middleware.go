@@ -3,6 +3,7 @@ package catalyst
 import (
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,11 +17,42 @@ import (
 type MiddlewareOptions struct {
 	// MaxMapEntries caps the X-Etag-Config size; 0 means unlimited.
 	MaxMapEntries int
+	// MaxMapBytes caps the *encoded* X-Etag-Config value in bytes; maps
+	// that encode larger have entries dropped (highest-sorting paths
+	// first) until they fit, so one huge page cannot blow the response
+	// head past proxy header limits. 0 means unlimited.
+	MaxMapBytes int
 	// ProbeTTL bounds how long a subresource's probed ETag may be reused
 	// before re-probing the inner handler. Zero selects 1 second — fresh
 	// enough that a deployed map is never stale longer than that, cheap
 	// enough that hot pages don't probe every sibling per request.
 	ProbeTTL time.Duration
+	// BreakerThreshold is the number of consecutive failed probes after
+	// which a path's circuit breaker opens: the path stops being probed
+	// (and stays out of the map) until BreakerCooldown passes. Zero
+	// selects 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker suppresses probes of
+	// its path. Zero selects 30 seconds.
+	BreakerCooldown time.Duration
+	// MaxProbeEntries bounds the probe cache. On overflow, expired
+	// entries are swept first, then the cache is cleared — a crawler
+	// walking a million distinct paths must not grow server memory
+	// without bound. Zero selects 4096.
+	MaxProbeEntries int
+	// Metrics, when set, receives the middleware's resilience counters
+	// (panics recovered, breaker trips, map trims, probe sweeps).
+	Metrics *MiddlewareMetrics
+}
+
+func (o MiddlewareOptions) breakerThreshold() int {
+	if o.BreakerThreshold < 0 {
+		return 0 // disabled
+	}
+	if o.BreakerThreshold == 0 {
+		return 3
+	}
+	return o.BreakerThreshold
 }
 
 // Middleware retrofits CacheCatalyst onto any http.Handler:
@@ -34,9 +66,23 @@ type MiddlewareOptions struct {
 //
 // Non-HTML responses pass through untouched, so the middleware composes
 // with whatever caching headers the inner handler already emits.
+//
+// The middleware also hardens the wrapped handler: a panic in the inner
+// handler is recovered and answered 500 (never a crashed connection), and
+// subresource probing is protected by a per-path circuit breaker so a
+// handler that errors on one path cannot be hammered by re-probes.
 func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 	if opts.ProbeTTL <= 0 {
 		opts.ProbeTTL = time.Second
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 30 * time.Second
+	}
+	if opts.MaxProbeEntries <= 0 {
+		opts.MaxProbeEntries = 4096
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = &MiddlewareMetrics{}
 	}
 	m := &middleware{next: next, opts: opts, probes: make(map[string]probe)}
 	return m
@@ -55,6 +101,22 @@ type probe struct {
 	isCSS   bool
 	ok      bool
 	expires time.Time
+	// fails counts consecutive failed probes of this path; at the
+	// breaker threshold the entry's expiry is pushed out to the cooldown.
+	fails int
+}
+
+// serveInner runs the inner handler, converting a panic into a recovered
+// flag so one bad request handler can never take the whole server down.
+func (m *middleware) serveInner(w http.ResponseWriter, r *http.Request) (panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			m.opts.Metrics.PanicsRecovered.Add(1)
+			panicked = true
+		}
+	}()
+	m.next.ServeHTTP(w, r)
+	return false
 }
 
 func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -67,12 +129,17 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		m.next.ServeHTTP(w, r)
+		if m.serveInner(w, r) {
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}
 		return
 	}
 
 	rec := httptest.NewRecorder()
-	m.next.ServeHTTP(rec, cloneWithoutConditionals(r))
+	if m.serveInner(rec, cloneWithoutConditionals(r)) {
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return
+	}
 	resp := rec.Result()
 	defer resp.Body.Close()
 
@@ -81,7 +148,10 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// semantics by replaying the inner handler with the original
 		// request.
 		rec2 := httptest.NewRecorder()
-		m.next.ServeHTTP(rec2, r)
+		if m.serveInner(rec2, r) {
+			http.Error(w, "internal error", http.StatusInternalServerError)
+			return
+		}
 		copyResponse(w, rec2)
 		return
 	}
@@ -113,14 +183,34 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // buildMap runs the core map builder with a resolver that probes the inner
-// handler.
+// handler, then enforces the encoded-size cap.
 func (m *middleware) buildMap(r *http.Request, html string) ETagMap {
 	res := &probeResolver{m: m, req: r}
 	pageURL := r.URL.Path
 	if r.URL.RawQuery != "" {
 		pageURL += "?" + r.URL.RawQuery
 	}
-	return core.BuildMap(pageURL, html, res, core.BuildOptions{MaxEntries: m.opts.MaxMapEntries})
+	etags := core.BuildMap(pageURL, html, res, core.BuildOptions{MaxEntries: m.opts.MaxMapEntries})
+	return m.capMapBytes(etags)
+}
+
+// capMapBytes drops entries (highest-sorting paths first, the reverse of
+// the canonical encode order) until the encoded map fits MaxMapBytes.
+func (m *middleware) capMapBytes(etags ETagMap) ETagMap {
+	max := m.opts.MaxMapBytes
+	if max <= 0 || len(etags.Encode()) <= max {
+		return etags
+	}
+	paths := make([]string, 0, len(etags))
+	for p := range etags {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for i := len(paths) - 1; i >= 0 && len(etags.Encode()) > max; i-- {
+		delete(etags, paths[i])
+		m.opts.Metrics.MapEntriesDropped.Add(1)
+	}
+	return etags
 }
 
 type probeResolver struct {
@@ -142,21 +232,26 @@ func (p *probeResolver) StylesheetBody(path string) (string, bool) {
 }
 
 // probe GETs path against the inner handler, caching the result briefly.
+// Failed probes trip a per-path circuit breaker: after breakerThreshold
+// consecutive failures the path is left alone (and out of the map) for
+// BreakerCooldown, so an inner handler erroring on one path is not
+// hammered on every page render.
 func (m *middleware) probe(path string, via *http.Request) probe {
 	m.mu.Lock()
-	if pr, ok := m.probes[path]; ok && time.Now().Before(pr.expires) {
+	prev, had := m.probes[path]
+	if had && time.Now().Before(prev.expires) {
 		m.mu.Unlock()
-		return pr
+		return prev
 	}
 	m.mu.Unlock()
 
 	req := httptest.NewRequest(http.MethodGet, path, nil)
 	req.Host = via.Host
 	rec := httptest.NewRecorder()
-	m.next.ServeHTTP(rec, req)
+	panicked := m.serveInner(rec, req)
 
 	pr := probe{expires: time.Now().Add(m.opts.ProbeTTL)}
-	if rec.Code == http.StatusOK {
+	if !panicked && rec.Code == http.StatusOK {
 		if t, ok := etag.Parse(rec.Header().Get("Etag")); ok {
 			pr.tag = t
 		} else {
@@ -169,12 +264,41 @@ func (m *middleware) probe(path string, via *http.Request) probe {
 			pr.isCSS = true
 			pr.cssBody = rec.Body.String()
 		}
+	} else if threshold := m.opts.breakerThreshold(); threshold > 0 {
+		if had {
+			pr.fails = prev.fails + 1
+		} else {
+			pr.fails = 1
+		}
+		if pr.fails >= threshold {
+			pr.expires = time.Now().Add(m.opts.BreakerCooldown)
+			m.opts.Metrics.BreakerTrips.Add(1)
+		}
 	}
 
 	m.mu.Lock()
-	m.probes[path] = pr
+	m.storeProbe(path, pr)
 	m.mu.Unlock()
 	return pr
+}
+
+// storeProbe inserts under the size cap: on overflow it sweeps expired
+// entries, and if everything is live it drops the cache wholesale —
+// re-probing is cheap; unbounded growth is not. Callers hold m.mu.
+func (m *middleware) storeProbe(path string, pr probe) {
+	if _, exists := m.probes[path]; !exists && len(m.probes) >= m.opts.MaxProbeEntries {
+		now := time.Now()
+		for p, old := range m.probes {
+			if now.After(old.expires) {
+				delete(m.probes, p)
+				m.opts.Metrics.ProbesSwept.Add(1)
+			}
+		}
+		if len(m.probes) >= m.opts.MaxProbeEntries {
+			m.probes = make(map[string]probe)
+		}
+	}
+	m.probes[path] = pr
 }
 
 // cloneWithoutConditionals strips validators so the inner handler returns

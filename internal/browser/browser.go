@@ -101,9 +101,16 @@ type LoadResult struct {
 	BytesDown, BytesUp int64
 	// Handshakes counts connection setups.
 	Handshakes int64
-	// Errors counts resources that could not be fetched (unknown origin
-	// or non-200 response).
+	// Errors counts resources that could not be fetched (unknown origin,
+	// non-200 response, or truncated body after retries).
 	Errors int
+	// Retries counts network re-attempts after retryable failures (5xx
+	// responses and truncated bodies); zero unless the browser has a
+	// retry budget (MaxFetchRetries).
+	Retries int64
+	// TruncatedResponses counts deliveries whose body arrived cut short.
+	// Truncated bodies are never cached and never processed as content.
+	TruncatedResponses int64
 	// PushedResources / PushedUnused count resources delivered ahead by a
 	// bundling origin (Bundled mode), and how many of those the load never
 	// needed — the wasted bandwidth §5 attributes to push-all.
@@ -130,7 +137,17 @@ type Browser struct {
 	// waterfall data behind Figure-1-style timelines. It runs inside the
 	// simulation; it must not call back into the browser.
 	OnFetch func(FetchEvent)
+
+	// MaxFetchRetries is the per-resource retry budget for retryable
+	// failures (5xx responses, truncated bodies). Zero preserves the
+	// historical behaviour: one attempt, failure counts an error.
+	// Retries back off exponentially (retryBackoffBase, doubling per
+	// attempt) in virtual time.
+	MaxFetchRetries int
 }
+
+// retryBackoffBase is the first retry delay; attempt n waits 2ⁿ× this.
+const retryBackoffBase = 25 * time.Millisecond
 
 // FetchEvent describes one resource delivery during a load.
 type FetchEvent struct {
@@ -505,7 +522,8 @@ func (l *loader) fetchBundled(host, path string, kind htmlparse.ResourceKind, is
 
 // networkFetch issues a request; intercept post-processes the raw response
 // (cache bookkeeping) and returns the response to hand to content
-// processing.
+// processing. Retryable failures (5xx, truncated bodies) are re-attempted
+// within the browser's retry budget before counting an error.
 func (l *loader) networkFetch(host, path string, kind htmlparse.ResourceKind, hdr http.Header, intercept func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response) {
 	ep, ok := l.endpoint(host)
 	if !ok {
@@ -517,10 +535,48 @@ func (l *loader) networkFetch(host, path string, kind htmlparse.ResourceKind, hd
 	if c := l.b.cookieHeader(host); c != "" {
 		hdr.Set("Cookie", c)
 	}
+	l.attemptFetch(ep, host, path, kind, hdr, intercept, 0)
+}
+
+// retryable reports whether a response may be cured by re-requesting: a
+// server-side error or a body cut short in transit.
+func retryable(resp *httpcache.Response) bool {
+	return resp.Truncated || resp.StatusCode >= 500
+}
+
+// attemptFetch performs one network attempt, scheduling a backed-off retry
+// on retryable failure while budget remains.
+func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlparse.ResourceKind, hdr http.Header, intercept func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response, attempt int) {
 	l.result.NetworkRequests++
 	reqAt := l.sim.Now()
 	ep.Fetch(&netsim.Request{Method: "GET", Path: path, Header: hdr}, func(fr netsim.FetchResult) {
+		if retryable(fr.Resp) && attempt < l.b.MaxFetchRetries {
+			l.result.Retries++
+			if fr.Resp.Truncated {
+				l.result.TruncatedResponses++
+			}
+			backoff := retryBackoffBase << attempt
+			l.sim.After(backoff, func() {
+				l.attemptFetch(ep, host, path, kind, hdr, intercept, attempt+1)
+			})
+			return
+		}
 		l.b.storeCookies(host, fr.Resp)
+		if fr.Resp.Truncated {
+			// The body is a prefix of the real entity: never cache it,
+			// never process it as content — the resource simply failed.
+			l.result.TruncatedResponses++
+			l.result.Errors++
+			if l.b.OnFetch != nil {
+				l.b.OnFetch(FetchEvent{
+					Host: host, Path: path,
+					Start: reqAt, End: fr.End,
+					Source: "network", Status: fr.Resp.StatusCode,
+				})
+			}
+			l.completeBlocking(host, path)
+			return
+		}
 		resp := intercept(fr.Resp, reqAt, fr.End)
 		if l.b.OnFetch != nil {
 			l.b.OnFetch(FetchEvent{

@@ -22,11 +22,11 @@ func TestLoadSurvivesInjectedFailures(t *testing.T) {
 	w, faulty := faultWorld(false, 3) // every 3rd request 503s
 	b := New(w.clock, Conventional, netsim.TransportOptions{})
 	res := mustLoad(t, b, w)
-	if faulty.Failed == 0 {
+	if faulty.Failed() == 0 {
 		t.Fatal("no failures injected")
 	}
-	if res.Errors != int(faulty.Failed) {
-		t.Fatalf("errors = %d, injected = %d", res.Errors, faulty.Failed)
+	if res.Errors != int(faulty.Failed()) {
+		t.Fatalf("errors = %d, injected = %d", res.Errors, faulty.Failed())
 	}
 	// The load terminates with a finite PLT despite failures.
 	if res.PLT <= 0 || res.PLT > time.Minute {

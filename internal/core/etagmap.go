@@ -80,10 +80,22 @@ func (m ETagMap) WireSize() int {
 	return len(HeaderName) + len(": ") + len(m.Encode()) + len("\r\n")
 }
 
+// MaxEncodedMapBytes bounds the header value DecodeMap will touch. A
+// legitimate map for even a thousand-resource page encodes well under
+// 100 KB; anything larger is hostile or corrupt, and parsing it would let
+// one bad response burn client CPU and memory.
+const MaxEncodedMapBytes = 1 << 20
+
 // DecodeMap parses the wire form produced by Encode. Unknown or malformed
 // entries are skipped rather than failing the whole map, so one bad tag
-// cannot disable caching for a page.
+// cannot disable caching for a page; oversized or structurally invalid
+// input is rejected with an error (callers treat that like an absent
+// header). DecodeMap never panics, whatever the input — the client's whole
+// fault tolerance rests on that.
 func DecodeMap(s string) (ETagMap, error) {
+	if len(s) > MaxEncodedMapBytes {
+		return nil, fmt.Errorf("etag map: %d bytes exceeds limit %d", len(s), MaxEncodedMapBytes)
+	}
 	if strings.TrimSpace(s) == "" {
 		return ETagMap{}, nil
 	}

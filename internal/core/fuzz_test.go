@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"cachecatalyst/internal/etag"
@@ -8,7 +9,9 @@ import (
 
 // FuzzDecodeMap checks the X-Etag-Config decoder against hostile header
 // values: a malicious or corrupted header must fail cleanly (error or
-// partial map), never panic, and a re-encoded decode must be stable.
+// partial map), never panic, and a re-encoded decode must be stable. The
+// seeds cover the chaos fault model: truncated JSON (mid-transfer header
+// corruption), duplicated keys, oversized values, and non-UTF-8 bytes.
 func FuzzDecodeMap(f *testing.F) {
 	f.Add(`{}`)
 	f.Add(`{"/a.css":"\"v1\""}`)
@@ -16,6 +19,19 @@ func FuzzDecodeMap(f *testing.F) {
 	f.Add(`[1,2,3]`)
 	f.Add(`{"dup":"\"1\"","dup":"\"2\""}`)
 	f.Add(`{"` + "\x00" + `":"\"v\""}`)
+	// Truncation points a ChaosOrigin would produce: a valid encoding cut
+	// mid-key, mid-value, and mid-structure.
+	full := (ETagMap{"/a.css": {Opaque: "v1"}, "/b.js": {Opaque: "v2"}}).Encode()
+	f.Add(full[:len(full)/2])
+	f.Add(full[:len(full)-1])
+	f.Add(`{"/a.css`)
+	// Oversized single value and oversized whole header.
+	f.Add(`{"/big":"` + strings.Repeat("A", 4096) + `"}`)
+	f.Add(`{` + strings.Repeat(`"/x":"v",`, 2048) + `}`)
+	// Non-UTF-8 and control bytes, raw and escaped.
+	f.Add("{\"/\xff\xfe\":\"\\\"v\\\"\"}")
+	f.Add("\x80\x81\x82")
+	f.Add(`{"/a":"` + "\x1b[31m" + `"}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		m, err := DecodeMap(input)
 		if err != nil {
@@ -59,6 +75,46 @@ func FuzzBuildMap(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestDecodeMapRejectsHostileHeaders pins the decoder's behaviour on the
+// exact corruption shapes the chaos suite injects: truncated JSON is an
+// error (treated upstream like an absent header), oversized headers are
+// refused outright, and salvageable maps drop only their bad entries.
+func TestDecodeMapRejectsHostileHeaders(t *testing.T) {
+	full := (ETagMap{"/a.css": {Opaque: "v1"}, "/b.js": {Opaque: "v2"}}).Encode()
+	for _, tc := range []struct {
+		name, in string
+		wantErr  bool
+		wantLen  int
+	}{
+		{"truncated-half", full[:len(full)/2], true, 0},
+		{"truncated-last-byte", full[:len(full)-1], true, 0},
+		{"not-an-object", `["/a.css"]`, true, 0},
+		{"number", `42`, true, 0},
+		{"oversized", `{"/a":"` + strings.Repeat("x", MaxEncodedMapBytes) + `"}`, true, 0},
+		{"non-utf8-garbage", "\xff\xfe{\x00", true, 0},
+		{"empty", "", false, 0},
+		{"whitespace", "  \t ", false, 0},
+		{"bad-entry-skipped", `{"/good":"\"v1\"","/bad":"no quotes"}`, false, 1},
+		{"intact", full, false, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := DecodeMap(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("DecodeMap(%q) accepted garbage: %v", tc.in[:min(len(tc.in), 40)], m)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("DecodeMap failed: %v", err)
+			}
+			if len(m) != tc.wantLen {
+				t.Fatalf("len = %d, want %d (%v)", len(m), tc.wantLen, m)
+			}
+		})
+	}
 }
 
 type acceptAllResolver struct{}

@@ -27,11 +27,16 @@ type Response struct {
 	StatusCode int
 	Header     http.Header
 	Body       []byte
+	// Truncated marks a body cut short by a mid-transfer failure
+	// (connection reset, injected truncation). A truncated response must
+	// never be cached or processed as content; Storable enforces the
+	// former.
+	Truncated bool
 }
 
 // Clone returns a deep copy of the response.
 func (r *Response) Clone() *Response {
-	out := &Response{StatusCode: r.StatusCode, Header: r.Header.Clone()}
+	out := &Response{StatusCode: r.StatusCode, Header: r.Header.Clone(), Truncated: r.Truncated}
 	out.Body = append([]byte(nil), r.Body...)
 	return out
 }
@@ -149,8 +154,11 @@ func (c *Cache) Len() int { return len(c.entries) }
 func (c *Cache) Bytes() int64 { return c.bytes }
 
 // Storable reports whether a response may be stored at all
-// (RFC 9111 §3): 2xx status, no no-store directive.
+// (RFC 9111 §3): 2xx status, complete body, no no-store directive.
 func Storable(resp *Response) bool {
+	if resp.Truncated {
+		return false
+	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNonAuthoritativeInfo &&
 		resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusPartialContent {
 		return false
@@ -256,6 +264,16 @@ func (c *Cache) GetWithRequest(url string, reqHeader http.Header) (*Entry, State
 func (c *Cache) Peek(url string) (*Entry, bool) {
 	e, ok := c.entries[url]
 	return e, ok
+}
+
+// Keys returns the URLs of all stored entries, in no particular order —
+// chaos tests use it to audit the whole cache for poisoned entries.
+func (c *Cache) Keys() []string {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	return keys
 }
 
 // isFresh implements the RFC 9111 §4.2 freshness check.

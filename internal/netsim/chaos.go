@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"cachecatalyst/internal/httpcache"
+)
+
+// etagConfigHeader is the proactive-token header ChaosOrigin can corrupt.
+// Duplicated from internal/core to keep netsim free of a core dependency.
+const etagConfigHeader = "X-Etag-Config"
+
+// ChaosConfig describes one cell of the fault-injection matrix: each knob
+// is an independent failure mode, and any combination may be enabled at
+// once. All randomness is driven by Seed, so a cell replays identically —
+// the property the chaos suite's catalyst-vs-conventional comparisons and
+// cache-poisoning audits depend on.
+type ChaosConfig struct {
+	// Seed drives the probabilistic faults; runs with equal seeds and
+	// equal request sequences inject identical faults.
+	Seed int64
+
+	// FailProb is the probability a request is answered with an
+	// uncacheable 503 before reaching the inner origin.
+	FailProb float64
+
+	// TruncateProb is the probability a successful 200 response with a
+	// body is cut mid-body (a connection reset after the headers): the
+	// client receives a prefix of the body with Truncated set.
+	TruncateProb float64
+
+	// CorruptMapProb is the probability an X-Etag-Config header is
+	// truncated in transit, leaving undecodable JSON. Clients must treat
+	// the mangled map as absent, never fail the load.
+	CorruptMapProb float64
+
+	// StallProb/StallFor inject latency spikes: with probability
+	// StallProb the origin stalls StallFor of extra virtual time before
+	// answering.
+	StallProb float64
+	StallFor  time.Duration
+
+	// UpFor/DownFor make the origin flap: it answers UpFor requests
+	// normally, then 503s the next DownFor, repeating (healthy → down →
+	// healthy). Both zero disables flapping.
+	UpFor, DownFor int
+}
+
+// flapping reports whether the flap cycle is configured.
+func (c ChaosConfig) flapping() bool { return c.UpFor > 0 && c.DownFor > 0 }
+
+// ChaosStats counts injected faults per failure mode.
+type ChaosStats struct {
+	Requests      int64
+	Failures      int64 // probabilistic 503s
+	FlapFailures  int64 // 503s from the down phase of the flap cycle
+	Truncations   int64
+	CorruptedMaps int64
+	Stalls        int64
+}
+
+// Injected returns the total number of faults of any kind.
+func (s ChaosStats) Injected() int64 {
+	return s.Failures + s.FlapFailures + s.Truncations + s.CorruptedMaps + s.Stalls
+}
+
+// ChaosOrigin wraps an origin with the full fault-injection matrix. It is
+// safe for concurrent use, so real-socket tests (catalyst.Client) and the
+// single-threaded simulator can both drive it.
+type ChaosOrigin struct {
+	inner Origin
+	cfg   ChaosConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	count int64
+	stats ChaosStats
+}
+
+// NewChaosOrigin returns inner wrapped in the fault matrix cfg describes.
+func NewChaosOrigin(inner Origin, cfg ChaosConfig) *ChaosOrigin {
+	return &ChaosOrigin{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a snapshot of injected-fault counters.
+func (c *ChaosOrigin) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// StallFor implements Stalling: it draws the latency-spike fault for one
+// request.
+func (c *ChaosOrigin) StallFor(req *Request) time.Duration {
+	if c.cfg.StallProb <= 0 || c.cfg.StallFor <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.cfg.StallProb {
+		return 0
+	}
+	c.stats.Stalls++
+	return c.cfg.StallFor
+}
+
+// RoundTrip implements Origin. Fault draws happen in request order under
+// the lock, so a fixed seed and a fixed request sequence replay the exact
+// same faults.
+func (c *ChaosOrigin) RoundTrip(req *Request) *httpcache.Response {
+	c.mu.Lock()
+	c.stats.Requests++
+	pos := c.count
+	c.count++
+	if c.cfg.flapping() {
+		cycle := int64(c.cfg.UpFor + c.cfg.DownFor)
+		if pos%cycle >= int64(c.cfg.UpFor) {
+			c.stats.FlapFailures++
+			c.mu.Unlock()
+			return injected503()
+		}
+	}
+	if c.cfg.FailProb > 0 && c.rng.Float64() < c.cfg.FailProb {
+		c.stats.Failures++
+		c.mu.Unlock()
+		return injected503()
+	}
+	// Draw the in-transit faults before releasing the lock so the rng
+	// sequence depends only on request order, not on the inner origin.
+	truncate := c.cfg.TruncateProb > 0 && c.rng.Float64() < c.cfg.TruncateProb
+	corrupt := c.cfg.CorruptMapProb > 0 && c.rng.Float64() < c.cfg.CorruptMapProb
+	c.mu.Unlock()
+
+	resp := c.inner.RoundTrip(req)
+
+	if truncate && resp.StatusCode == http.StatusOK && len(resp.Body) > 1 {
+		resp = resp.Clone()
+		resp.Body = resp.Body[:len(resp.Body)/2]
+		resp.Truncated = true
+		c.mu.Lock()
+		c.stats.Truncations++
+		c.mu.Unlock()
+	}
+	if corrupt {
+		if v := resp.Header.Get(etagConfigHeader); v != "" {
+			if !resp.Truncated { // avoid double-cloning a truncated response
+				resp = resp.Clone()
+			}
+			resp.Header.Set(etagConfigHeader, v[:len(v)/2])
+			c.mu.Lock()
+			c.stats.CorruptedMaps++
+			c.mu.Unlock()
+		}
+	}
+	return resp
+}

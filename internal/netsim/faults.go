@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net/http"
+	"sync/atomic"
 
 	"cachecatalyst/internal/httpcache"
 )
@@ -11,6 +12,9 @@ import (
 // forwarded. Experiments use it to check that clients degrade gracefully —
 // a failed subresource must cost an error, never a hang or a crash, and
 // must not poison caches.
+//
+// Counters are atomic, so concurrent clients (catalyst.Client tests) may
+// share one origin.
 type FaultyOrigin struct {
 	// Inner serves the requests that are not failed.
 	Inner Origin
@@ -18,25 +22,34 @@ type FaultyOrigin struct {
 	// every request.
 	FailEvery int
 
-	count int64
-	// Failed counts injected failures.
-	Failed int64
+	count atomic.Int64
+	// failed counts injected failures; read it with Failed.
+	failed atomic.Int64
 }
+
+// Failed returns the number of injected failures so far.
+func (f *FaultyOrigin) Failed() int64 { return f.failed.Load() }
 
 // RoundTrip implements Origin.
 func (f *FaultyOrigin) RoundTrip(req *Request) *httpcache.Response {
-	f.count++
+	count := f.count.Add(1)
 	n := int64(f.FailEvery)
-	if n < 2 || f.count%n == 0 {
-		f.Failed++
-		h := make(http.Header)
-		h.Set("Content-Type", "text/plain")
-		h.Set("Cache-Control", "no-store")
-		return &httpcache.Response{
-			StatusCode: http.StatusServiceUnavailable,
-			Header:     h,
-			Body:       []byte("injected failure"),
-		}
+	if n < 2 || count%n == 0 {
+		f.failed.Add(1)
+		return injected503()
 	}
 	return f.Inner.RoundTrip(req)
+}
+
+// injected503 builds the uncacheable error response every fault injector
+// answers with when it fails a request outright.
+func injected503() *httpcache.Response {
+	h := make(http.Header)
+	h.Set("Content-Type", "text/plain")
+	h.Set("Cache-Control", "no-store")
+	return &httpcache.Response{
+		StatusCode: http.StatusServiceUnavailable,
+		Header:     h,
+		Body:       []byte("injected failure"),
+	}
 }

@@ -24,6 +24,13 @@ type Origin interface {
 	RoundTrip(req *Request) *httpcache.Response
 }
 
+// Stalling is an optional Origin interface for fault injection: an origin
+// implementing it can charge extra server-side virtual time (a latency
+// spike or stall) per request, on top of TransportOptions.ServerThink.
+type Stalling interface {
+	StallFor(req *Request) time.Duration
+}
+
 // Conditions describes the emulated network between client and origin,
 // mirroring the browser-throttling knobs used in the paper's evaluation.
 type Conditions struct {
@@ -243,9 +250,13 @@ func (e *Endpoint) roundTrip(c *simConn, p *pendingFetch, isNew bool, after func
 	e.stats.Requests++
 	reqBytes := RequestWireSize(p.req)
 	e.stats.BytesUp += reqBytes
+	think := e.opts.ServerThink
+	if s, ok := e.origin.(Stalling); ok {
+		think += s.StallFor(p.req)
+	}
 	e.up.Start(reqBytes, func() {
 		// Request propagates to the origin.
-		e.sim.After(e.cond.RTT/2+e.opts.ServerThink, func() {
+		e.sim.After(e.cond.RTT/2+think, func() {
 			resp := e.origin.RoundTrip(p.req)
 			respBytes := ResponseWireSize(resp)
 			e.stats.BytesDown += respBytes

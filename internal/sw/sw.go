@@ -65,9 +65,11 @@ func (c *CacheStorage) Match(path string) (*httpcache.Response, bool) {
 // Put stores a clone of resp under path, replacing any previous entry.
 // Responses marked no-store are not cached, matching the paper's rule that
 // the Service Worker stores "all resources received from the server ...
-// provided they do not have a no-store header".
+// provided they do not have a no-store header". Truncated bodies are never
+// stored: caching a prefix of a resource would poison every later visit
+// the proactive map proves "current".
 func (c *CacheStorage) Put(path string, resp *httpcache.Response) {
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK || resp.Truncated {
 		return
 	}
 	cc := headers.ParseCacheControl(resp.Header.Get("Cache-Control"))
@@ -119,6 +121,16 @@ func (c *CacheStorage) Clear() {
 // Len returns the number of stored responses.
 func (c *CacheStorage) Len() int { return len(c.entries) }
 
+// Keys returns the stored paths, in no particular order — chaos tests use
+// it to audit the whole store for poisoned entries.
+func (c *CacheStorage) Keys() []string {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
 // Bytes returns the total stored body bytes.
 func (c *CacheStorage) Bytes() int64 { return c.bytes }
 
@@ -139,6 +151,11 @@ type Stats struct {
 	NetworkFetches int64
 	// MapUpdates counts navigations that delivered an ETag map.
 	MapUpdates int64
+	// MapDecodeFailures counts navigations whose X-Etag-Config could not
+	// be decoded (corrupted or truncated in transit). The worker degrades
+	// to its previous map — the same behaviour as an absent header — so a
+	// mangled header can never fail a load.
+	MapDecodeFailures int64
 	// DelegatedFetches were answered by a coexisting site worker.
 	DelegatedFetches int64
 }
@@ -179,6 +196,9 @@ func (w *Worker) ETagMap() core.ETagMap { return w.etags }
 // request: it captures the proactively delivered ETag map. A navigation
 // without the header leaves the previous map in place — the worker degrades
 // to plain pass-through behaviour on servers that don't speak CacheCatalyst.
+// A header that fails to decode (corrupted or truncated in transit) is
+// treated exactly like an absent one, and counted, so a mangled map can
+// never fail the load.
 func (w *Worker) OnNavigationResponse(resp *httpcache.Response) {
 	cfg := resp.Header.Get(core.HeaderName)
 	if cfg == "" {
@@ -186,6 +206,7 @@ func (w *Worker) OnNavigationResponse(resp *httpcache.Response) {
 	}
 	m, err := core.DecodeMap(cfg)
 	if err != nil {
+		w.stats.MapDecodeFailures++
 		return
 	}
 	w.etags = m

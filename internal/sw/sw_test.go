@@ -58,6 +58,22 @@ func TestCacheStorageRejectsNon200(t *testing.T) {
 	}
 }
 
+func TestCacheStorageRejectsTruncated(t *testing.T) {
+	c := NewCacheStorage()
+	r := resp("v1", "half-a-bo", nil)
+	r.Truncated = true
+	c.Put("/a", r)
+	if c.Len() != 0 {
+		t.Fatal("truncated body cached")
+	}
+	// A truncated replacement must not clobber the intact entry either.
+	c.Put("/b", resp("v1", "whole", nil))
+	c.Put("/b", r)
+	if got, ok := c.Match("/b"); !ok || string(got.Body) != "whole" {
+		t.Fatal("truncated body replaced an intact entry")
+	}
+}
+
 func TestCacheStorageReplaceAccountsBytes(t *testing.T) {
 	c := NewCacheStorage()
 	c.Put("/a", resp("v1", "0123456789", nil))
@@ -123,6 +139,26 @@ func TestWorkerNavigationBadMapIgnored(t *testing.T) {
 	w.OnNavigationResponse(bad)
 	if _, ok := w.ETagMap().Get("/a"); !ok {
 		t.Fatal("malformed map clobbered a good one")
+	}
+	if w.Stats().MapDecodeFailures != 1 {
+		t.Fatalf("decode failures = %d, want 1", w.Stats().MapDecodeFailures)
+	}
+}
+
+func TestWorkerDegradesWhenEveryMapIsCorrupt(t *testing.T) {
+	// A worker that has only ever seen corrupted maps behaves exactly
+	// like conventional caching: fetches go to the network, loads never
+	// fail, and the cached-but-unproven copy is not served.
+	w := NewWorker()
+	bad := &httpcache.Response{StatusCode: 200, Header: make(http.Header)}
+	bad.Header.Set(core.HeaderName, `{"/a.css":"\"v1`) // truncated mid-value
+	w.OnNavigationResponse(bad)
+	w.OnSubresourceResponse("/a.css", resp("v1", "css", nil))
+	if _, ok := w.HandleFetch("/a.css"); ok {
+		t.Fatal("served from cache with no decodable map ever delivered")
+	}
+	if st := w.Stats(); st.MapDecodeFailures != 1 || st.MapUpdates != 0 || st.NetworkFetches != 1 {
+		t.Fatalf("stats: %+v", st)
 	}
 }
 
