@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz chaos
+.PHONY: verify build test race vet fuzz chaos bench
 
 verify: vet build race
 
@@ -25,6 +25,18 @@ vet:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeMap -fuzztime=10s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzBuildMap -fuzztime=10s ./internal/core/
+
+# Benchmark sweep with pinned -benchtime/-count so runs are benchstat-
+# comparable across commits. Output lands in BENCH_<date>.json (`go test
+# -json` stream); extract the text lines for benchstat with:
+#   jq -r 'select(.Action=="output") | .Output' BENCH_A.json > a.txt
+#   benchstat a.txt b.txt
+# See EXPERIMENTS.md, "Cache-core and middleware micro-benchmarks".
+BENCH_FILE ?= BENCH_$(shell date +%F).json
+bench:
+	$(GO) test -json -run '^$$' -bench . -benchtime 1s -count 6 \
+		./catalyst/ ./internal/cachestore/ > $(BENCH_FILE)
+	@echo "wrote $(BENCH_FILE)"
 
 # Fault-injection table: warm PLT / errors / retries per fault cell for both
 # schemes (see EXPERIMENTS.md, "Fault model and chaos experiment").

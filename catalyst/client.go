@@ -8,9 +8,10 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
+	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 )
@@ -40,6 +41,10 @@ type ClientOptions struct {
 	// retries) and an entry for the URL exists. The RFC 5861 trade:
 	// possibly-outdated content beats an error page.
 	StaleIfError bool
+	// MaxCacheBytes bounds the response cache's body bytes; the least
+	// recently used entry is evicted first. Zero means unbounded,
+	// preserving the historical behaviour.
+	MaxCacheBytes int64
 }
 
 func (o ClientOptions) backoffBase() time.Duration {
@@ -64,26 +69,39 @@ func (o ClientOptions) backoffMax() time.Duration {
 // and anything else is fetched (conditionally when possible) and
 // re-cached.
 //
-// A Client is safe for concurrent use.
+// Both the per-origin map store and the response cache sit on
+// internal/cachestore's sharded LRU store, so a Client is safe for — and
+// scales under — concurrent use.
 type Client struct {
 	// HTTP performs the actual requests; nil means http.DefaultClient.
 	HTTP *http.Client
 
 	opts ClientOptions
 
-	mu    sync.Mutex
-	maps  map[string]ETagMap // per origin ("scheme://host")
-	cache map[string]*cachedResponse
+	maps  *cachestore.Store[ETagMap]         // per origin ("scheme://host")
+	cache *cachestore.Store[*cachedResponse] // per absolute resource
 
 	// Stats counters (read with Snapshot).
-	localHits, networkFetches, revalidations  int64
-	retries, timeouts, staleServes, netErrors int64
+	localHits, networkFetches, revalidations  atomic.Int64
+	retries, timeouts, staleServes, netErrors atomic.Int64
 }
 
 type cachedResponse struct {
 	status int
 	header http.Header
 	body   []byte
+}
+
+// size is the entry's accounting size for the cache byte budget.
+func (c *cachedResponse) size() int64 {
+	n := int64(len(c.body))
+	for k, vs := range c.header {
+		n += int64(len(k))
+		for _, v := range vs {
+			n += int64(len(v))
+		}
+	}
+	return n
 }
 
 // response builds a caller-owned copy of the entry.
@@ -123,6 +141,9 @@ type ClientStats struct {
 	// NetErrors counts Gets whose final attempt still failed (before
 	// any stale fallback).
 	NetErrors int64 `json:"netErrors"`
+	// CacheEvictions counts cached responses evicted to respect
+	// ClientOptions.MaxCacheBytes.
+	CacheEvictions int64 `json:"cacheEvictions"`
 }
 
 // NewClient returns an empty-cache client over hc with zero-value options
@@ -135,25 +156,27 @@ func NewClient(hc *http.Client) *Client {
 // given resilience options.
 func NewClientWithOptions(hc *http.Client, opts ClientOptions) *Client {
 	return &Client{
-		HTTP:  hc,
-		opts:  opts,
-		maps:  make(map[string]ETagMap),
-		cache: make(map[string]*cachedResponse),
+		HTTP: hc,
+		opts: opts,
+		maps: cachestore.New[ETagMap](cachestore.Options[ETagMap]{Shards: 4}),
+		cache: cachestore.New[*cachedResponse](cachestore.Options[*cachedResponse]{
+			MaxBytes: opts.MaxCacheBytes,
+			SizeOf:   func(_ string, r *cachedResponse) int64 { return r.size() },
+		}),
 	}
 }
 
 // Snapshot returns current counters.
 func (c *Client) Snapshot() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return ClientStats{
-		LocalHits:      c.localHits,
-		NetworkFetches: c.networkFetches,
-		Revalidations:  c.revalidations,
-		Retries:        c.retries,
-		Timeouts:       c.timeouts,
-		StaleServes:    c.staleServes,
-		NetErrors:      c.netErrors,
+		LocalHits:      c.localHits.Load(),
+		NetworkFetches: c.networkFetches.Load(),
+		Revalidations:  c.revalidations.Load(),
+		Retries:        c.retries.Load(),
+		Timeouts:       c.timeouts.Load(),
+		StaleServes:    c.staleServes.Load(),
+		NetErrors:      c.netErrors.Load(),
+		CacheEvictions: c.cache.Counters().Evictions,
 	}
 }
 
@@ -180,25 +203,23 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 	originKey := u.Scheme + "://" + u.Host
 	cacheKey := originKey + resourceKey(u)
 
-	// Serve locally when the proactive token proves the copy current. The
-	// validator is snapshotted under the lock: cached entries are shared
-	// between goroutines and must not be touched outside it.
+	// Serve locally when the proactive token proves the copy current.
+	// Cached entries are shared between goroutines and never mutated;
+	// response() hands the caller a private copy.
 	var cachedTag string
-	c.mu.Lock()
-	m := c.maps[originKey]
-	if cached := c.cache[cacheKey]; cached != nil {
+	var revalidating *cachedResponse // pinned: survives mid-flight eviction
+	m, _ := c.maps.Get(originKey)
+	if cached, ok := c.cache.Get(cacheKey); ok {
+		revalidating = cached
 		cachedTag = cached.header.Get("Etag")
 		if m != nil && cachedTag != "" {
 			if tag, ok := etag.Parse(cachedTag); ok &&
 				core.Decide(m, resourceKey(u), tag) == core.ServeFromCache {
-				c.localHits++
-				resp := cached.response("cache")
-				c.mu.Unlock()
-				return resp, nil
+				c.localHits.Add(1)
+				return cached.response("cache"), nil
 			}
 		}
 	}
-	c.mu.Unlock()
 
 	ctx := context.Background()
 	if c.opts.Timeout > 0 {
@@ -209,37 +230,39 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 
 	httpResp, body, err := c.fetchWithRetries(ctx, rawURL, cachedTag)
 	if err != nil {
-		c.mu.Lock()
-		c.netErrors++
+		c.netErrors.Add(1)
 		if ctx.Err() != nil {
-			c.timeouts++
+			c.timeouts.Add(1)
 		}
 		if c.opts.StaleIfError {
-			if cached := c.cache[cacheKey]; cached != nil {
-				c.staleServes++
-				resp := cached.response("stale")
-				c.mu.Unlock()
-				return resp, nil
+			if cached, ok := c.cache.Get(cacheKey); ok {
+				c.staleServes.Add(1)
+				return cached.response("stale"), nil
 			}
 		}
-		c.mu.Unlock()
 		return nil, fmt.Errorf("catalyst client: %w", err)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.networkFetches++
+	c.networkFetches.Add(1)
 
 	// HTML responses (and their 304s) carry a fresh map for the origin.
 	if cfg := httpResp.Header.Get(HeaderName); cfg != "" {
 		if newMap, err := core.DecodeMap(cfg); err == nil {
-			c.maps[originKey] = newMap
+			c.maps.Put(originKey, newMap)
 		}
 	}
 
 	if httpResp.StatusCode == http.StatusNotModified {
-		if cached := c.cache[cacheKey]; cached != nil {
-			c.revalidations++
+		// Prefer the live entry, but fall back to the one we validated
+		// against: a bounded cache may have evicted it while the request
+		// was in flight, and entries are immutable so the pinned copy is
+		// still good.
+		cached, ok := c.cache.Get(cacheKey)
+		if !ok {
+			cached, ok = revalidating, revalidating != nil
+		}
+		if ok {
+			c.revalidations.Add(1)
 			// Merge refreshed headers per RFC 9111 §4.3.4 — into a fresh
 			// entry, never mutating the shared one in place.
 			merged := cached.header.Clone()
@@ -250,10 +273,11 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 				merged[k] = append([]string(nil), vs...)
 			}
 			fresh := &cachedResponse{status: cached.status, header: merged, body: cached.body}
-			c.cache[cacheKey] = fresh
+			c.cache.Put(cacheKey, fresh)
 			return fresh.response("revalidated"), nil
 		}
-		// The entry vanished (Clear raced the request): surface the 304.
+		// No pinned entry either (Clear raced the whole exchange):
+		// surface the 304.
 	}
 
 	out := &ClientResponse{
@@ -263,11 +287,11 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 		Source:     "network",
 	}
 	if httpResp.StatusCode == http.StatusOK && !strings.Contains(httpResp.Header.Get("Cache-Control"), "no-store") {
-		c.cache[cacheKey] = &cachedResponse{
+		c.cache.Put(cacheKey, &cachedResponse{
 			status: httpResp.StatusCode,
 			header: httpResp.Header.Clone(),
 			body:   append([]byte(nil), body...),
-		}
+		})
 	}
 	return out, nil
 }
@@ -302,9 +326,7 @@ func (c *Client) fetchWithRetries(ctx context.Context, rawURL, cachedTag string)
 		if attempt >= c.opts.MaxRetries || ctx.Err() != nil {
 			return nil, nil, lastErr
 		}
-		c.mu.Lock()
-		c.retries++
-		c.mu.Unlock()
+		c.retries.Add(1)
 		if err := sleepCtx(ctx, c.backoff(rawURL, attempt)); err != nil {
 			return nil, nil, lastErr
 		}
@@ -340,10 +362,8 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // Clear drops all cached responses and maps.
 func (c *Client) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.maps = make(map[string]ETagMap)
-	c.cache = make(map[string]*cachedResponse)
+	c.maps.Clear()
+	c.cache.Clear()
 }
 
 // resourceKey is the origin-relative key used both in the cache and in the

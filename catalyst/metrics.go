@@ -37,8 +37,8 @@ type MiddlewareMetrics struct {
 	// BreakerTrips counts per-path probe circuit breakers opening after
 	// repeated probe failures.
 	BreakerTrips atomic.Int64
-	// ProbesSwept counts expired probe-cache entries removed by the
-	// size-cap sweep.
+	// ProbesSwept counts probe-cache entries evicted (least recently
+	// used first) to respect MiddlewareOptions.MaxProbeEntries.
 	ProbesSwept atomic.Int64
 	// MapEntriesDropped counts X-Etag-Config entries removed to respect
 	// MiddlewareOptions.MaxMapBytes.

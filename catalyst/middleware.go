@@ -1,14 +1,15 @@
 package catalyst
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
+	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 )
@@ -35,13 +36,13 @@ type MiddlewareOptions struct {
 	// BreakerCooldown is how long an open breaker suppresses probes of
 	// its path. Zero selects 30 seconds.
 	BreakerCooldown time.Duration
-	// MaxProbeEntries bounds the probe cache. On overflow, expired
-	// entries are swept first, then the cache is cleared — a crawler
-	// walking a million distinct paths must not grow server memory
-	// without bound. Zero selects 4096.
+	// MaxProbeEntries bounds the probe cache. On overflow the
+	// least-recently-used probe is evicted — a crawler walking a million
+	// distinct paths must not grow server memory without bound, and hot
+	// paths must not be collateral damage. Zero selects 4096.
 	MaxProbeEntries int
 	// Metrics, when set, receives the middleware's resilience counters
-	// (panics recovered, breaker trips, map trims, probe sweeps).
+	// (panics recovered, breaker trips, map trims, probe evictions).
 	Metrics *MiddlewareMetrics
 }
 
@@ -64,13 +65,17 @@ func (o MiddlewareOptions) breakerThreshold() int {
 //     script is served at WorkerPath.
 //   - Conditional requests against the rewritten HTML are answered 304.
 //
-// Non-HTML responses pass through untouched, so the middleware composes
-// with whatever caching headers the inner handler already emits.
+// Non-HTML responses stream through untouched — the inner handler executes
+// exactly once per request and its body is never buffered — so the
+// middleware composes with whatever caching headers the inner handler
+// already emits, at passthrough cost independent of body size.
 //
 // The middleware also hardens the wrapped handler: a panic in the inner
 // handler is recovered and answered 500 (never a crashed connection), and
 // subresource probing is protected by a per-path circuit breaker so a
 // handler that errors on one path cannot be hammered by re-probes.
+// Concurrent probes of the same path are collapsed into a single
+// inner-handler call.
 func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 	if opts.ProbeTTL <= 0 {
 		opts.ProbeTTL = time.Second
@@ -84,15 +89,19 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 	if opts.Metrics == nil {
 		opts.Metrics = &MiddlewareMetrics{}
 	}
-	m := &middleware{next: next, opts: opts, probes: make(map[string]probe)}
+	m := &middleware{next: next, opts: opts}
+	m.probes = cachestore.New[probe](cachestore.Options[probe]{
+		// SizeOf defaults to 1 per entry, so MaxBytes is an entry count.
+		MaxBytes: int64(opts.MaxProbeEntries),
+		OnEvict:  func(string, probe) { opts.Metrics.ProbesSwept.Add(1) },
+	})
 	return m
 }
 
 type middleware struct {
 	next   http.Handler
 	opts   MiddlewareOptions
-	mu     sync.Mutex
-	probes map[string]probe
+	probes *cachestore.Store[probe]
 }
 
 type probe struct {
@@ -105,6 +114,9 @@ type probe struct {
 	// breaker threshold the entry's expiry is pushed out to the cooldown.
 	fails int
 }
+
+// workerScriptTag is the worker script's validator, hashed once at startup.
+var workerScriptTag = etag.ForBytes([]byte(core.ServiceWorkerScript))
 
 // serveInner runs the inner handler, converting a panic into a recovered
 // flag so one bad request handler can never take the whole server down.
@@ -124,8 +136,14 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h := w.Header()
 		h.Set("Content-Type", "text/javascript; charset=utf-8")
 		h.Set("Cache-Control", "no-cache")
-		h.Set("Etag", etag.ForBytes([]byte(WorkerScript)).String())
-		_, _ = w.Write([]byte(WorkerScript))
+		h.Set("Etag", workerScriptTag.String())
+		if !etag.NoneMatch(r.Header.Get("If-None-Match"), workerScriptTag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		if r.Method != http.MethodHead {
+			_, _ = w.Write([]byte(WorkerScript))
+		}
 		return
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -135,34 +153,37 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rec := httptest.NewRecorder()
-	if m.serveInner(rec, cloneWithoutConditionals(r)) {
-		http.Error(w, "internal error", http.StatusInternalServerError)
-		return
-	}
-	resp := rec.Result()
-	defer resp.Body.Close()
-
-	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
-		// Pass through verbatim, restoring the caller's conditional
-		// semantics by replaying the inner handler with the original
-		// request.
-		rec2 := httptest.NewRecorder()
-		if m.serveInner(rec2, r) {
+	// Single inner-handler execution through the sniffing writer: the
+	// conditional headers are stripped so the handler produces the full
+	// entity (the writer and the HTML path below re-apply them), and the
+	// writer streams everything that is not a 200 HTML page.
+	sw := newSniffWriter(w, r)
+	if m.serveInner(sw, cloneWithoutConditionals(r)) {
+		if !sw.sentToDst {
 			http.Error(w, "internal error", http.StatusInternalServerError)
-			return
 		}
-		copyResponse(w, rec2)
+		// Once bytes have streamed to the client the response cannot be
+		// repaired; net/http closes the connection on the length
+		// mismatch, which is exactly what a proxy would do.
 		return
 	}
+	if !sw.committed {
+		// The handler wrote nothing: commit an empty response, matching
+		// net/http's implicit 200.
+		sw.WriteHeader(http.StatusOK)
+		return
+	}
+	if !sw.buffering {
+		return // already streamed
+	}
 
-	body := rec.Body.String()
+	body := sw.buf.String()
 	etags := m.buildMap(r, body)
 	injected := core.InjectRegistration(body)
 	tag := etag.ForBytes([]byte(injected))
 
 	h := w.Header()
-	for k, vs := range resp.Header {
+	for k, vs := range sw.header {
 		if k == "Content-Length" || k == "Etag" {
 			continue
 		}
@@ -195,10 +216,13 @@ func (m *middleware) buildMap(r *http.Request, html string) ETagMap {
 }
 
 // capMapBytes drops entries (highest-sorting paths first, the reverse of
-// the canonical encode order) until the encoded map fits MaxMapBytes.
+// the canonical encode order) until the encoded map fits MaxMapBytes. The
+// encoded size is tracked incrementally while dropping — each entry's wire
+// cost is measured once — so trimming is O(n) in the map size rather than
+// re-encoding the whole map per dropped entry.
 func (m *middleware) capMapBytes(etags ETagMap) ETagMap {
 	max := m.opts.MaxMapBytes
-	if max <= 0 || len(etags.Encode()) <= max {
+	if max <= 0 || len(etags) == 0 {
 		return etags
 	}
 	paths := make([]string, 0, len(etags))
@@ -206,11 +230,32 @@ func (m *middleware) capMapBytes(etags ETagMap) ETagMap {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	for i := len(paths) - 1; i >= 0 && len(etags.Encode()) > max; i-- {
+	// Mirror ETagMap.Encode: '{' + comma-joined `"path":"tag"` + '}'.
+	sizes := make([]int, len(paths))
+	total := 2
+	for i, p := range paths {
+		sizes[i] = jsonStringLen(p) + 1 + jsonStringLen(etags[p].String())
+		total += sizes[i]
+	}
+	if len(paths) > 1 {
+		total += len(paths) - 1 // commas
+	}
+	for i := len(paths) - 1; i >= 0 && total > max; i-- {
+		total -= sizes[i]
+		if i > 0 {
+			total-- // the comma that preceded this entry
+		}
 		delete(etags, paths[i])
 		m.opts.Metrics.MapEntriesDropped.Add(1)
 	}
 	return etags
+}
+
+// jsonStringLen is the encoded length of s as a JSON string, quotes and
+// escapes included.
+func jsonStringLen(s string) int {
+	enc, _ := json.Marshal(s) // strings always marshal
+	return len(enc)
 }
 
 type probeResolver struct {
@@ -231,93 +276,70 @@ func (p *probeResolver) StylesheetBody(path string) (string, bool) {
 	return pr.cssBody, true
 }
 
-// probe GETs path against the inner handler, caching the result briefly.
+// probe returns the cached probe result for path, or GETs path against the
+// inner handler. Concurrent probes of the same expired path are collapsed
+// by singleflight into one inner-handler call — under a thundering herd of
+// page renders each subresource is probed once, not once per render.
 // Failed probes trip a per-path circuit breaker: after breakerThreshold
 // consecutive failures the path is left alone (and out of the map) for
-// BreakerCooldown, so an inner handler erroring on one path is not
-// hammered on every page render.
+// BreakerCooldown, so an inner handler erroring on one path is not hammered
+// on every page render.
 func (m *middleware) probe(path string, via *http.Request) probe {
-	m.mu.Lock()
-	prev, had := m.probes[path]
-	if had && time.Now().Before(prev.expires) {
-		m.mu.Unlock()
-		return prev
+	if pr, ok := m.probes.Get(path); ok && time.Now().Before(pr.expires) {
+		return pr
 	}
-	m.mu.Unlock()
+	pr, _, _ := m.probes.Do(path, func() (probe, error) {
+		// Re-check inside the flight: the flight we queued behind may
+		// have refreshed the entry already.
+		prev, had := m.probes.Peek(path)
+		if had && time.Now().Before(prev.expires) {
+			return prev, nil
+		}
 
-	req := httptest.NewRequest(http.MethodGet, path, nil)
-	req.Host = via.Host
-	rec := httptest.NewRecorder()
-	panicked := m.serveInner(rec, req)
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.Host = via.Host
+		rec := httptest.NewRecorder()
+		panicked := m.serveInner(rec, req)
 
-	pr := probe{expires: time.Now().Add(m.opts.ProbeTTL)}
-	if !panicked && rec.Code == http.StatusOK {
-		if t, ok := etag.Parse(rec.Header().Get("Etag")); ok {
-			pr.tag = t
-		} else {
-			// The inner handler emits no validator; derive one the way
-			// the modified Caddy derives tags from file contents.
-			pr.tag = etag.ForBytes(rec.Body.Bytes())
+		pr := probe{expires: time.Now().Add(m.opts.ProbeTTL)}
+		if !panicked && rec.Code == http.StatusOK {
+			if t, ok := etag.Parse(rec.Header().Get("Etag")); ok {
+				pr.tag = t
+			} else {
+				// The inner handler emits no validator; derive one the
+				// way the modified Caddy derives tags from file contents.
+				pr.tag = etag.ForBytes(rec.Body.Bytes())
+			}
+			pr.ok = true
+			if strings.HasPrefix(rec.Header().Get("Content-Type"), "text/css") {
+				pr.isCSS = true
+				pr.cssBody = rec.Body.String()
+			}
+		} else if threshold := m.opts.breakerThreshold(); threshold > 0 {
+			if had {
+				pr.fails = prev.fails + 1
+			} else {
+				pr.fails = 1
+			}
+			if pr.fails >= threshold {
+				pr.expires = time.Now().Add(m.opts.BreakerCooldown)
+				m.opts.Metrics.BreakerTrips.Add(1)
+			}
 		}
-		pr.ok = true
-		if strings.HasPrefix(rec.Header().Get("Content-Type"), "text/css") {
-			pr.isCSS = true
-			pr.cssBody = rec.Body.String()
-		}
-	} else if threshold := m.opts.breakerThreshold(); threshold > 0 {
-		if had {
-			pr.fails = prev.fails + 1
-		} else {
-			pr.fails = 1
-		}
-		if pr.fails >= threshold {
-			pr.expires = time.Now().Add(m.opts.BreakerCooldown)
-			m.opts.Metrics.BreakerTrips.Add(1)
-		}
-	}
-
-	m.mu.Lock()
-	m.storeProbe(path, pr)
-	m.mu.Unlock()
+		m.probes.Put(path, pr)
+		return pr, nil
+	})
 	return pr
 }
 
-// storeProbe inserts under the size cap: on overflow it sweeps expired
-// entries, and if everything is live it drops the cache wholesale —
-// re-probing is cheap; unbounded growth is not. Callers hold m.mu.
-func (m *middleware) storeProbe(path string, pr probe) {
-	if _, exists := m.probes[path]; !exists && len(m.probes) >= m.opts.MaxProbeEntries {
-		now := time.Now()
-		for p, old := range m.probes {
-			if now.After(old.expires) {
-				delete(m.probes, p)
-				m.opts.Metrics.ProbesSwept.Add(1)
-			}
-		}
-		if len(m.probes) >= m.opts.MaxProbeEntries {
-			m.probes = make(map[string]probe)
-		}
-	}
-	m.probes[path] = pr
-}
-
 // cloneWithoutConditionals strips validators so the inner handler returns
-// the full entity (the middleware handles conditionals itself, against the
-// rewritten body).
+// the full entity (the middleware handles conditionals itself: against the
+// rewritten body for HTML, via the sniffing writer for everything else).
 func cloneWithoutConditionals(r *http.Request) *http.Request {
 	c := r.Clone(r.Context())
 	c.Header.Del("If-None-Match")
 	c.Header.Del("If-Modified-Since")
 	return c
-}
-
-func copyResponse(w http.ResponseWriter, rec *httptest.ResponseRecorder) {
-	h := w.Header()
-	for k, vs := range rec.Header() {
-		h[k] = vs
-	}
-	w.WriteHeader(rec.Code)
-	_, _ = w.Write(rec.Body.Bytes())
 }
 
 var _ http.Handler = (*middleware)(nil)

@@ -1,0 +1,168 @@
+package catalyst
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/headers"
+)
+
+// sniffWriter is the middleware's hot-path http.ResponseWriter: it holds
+// headers until the inner handler commits a status, then routes by content
+// type. 200 text/html responses are buffered for map building and snippet
+// injection; everything else is streamed straight through to the client
+// with O(1) buffering — the inner handler runs exactly once either way,
+// replacing the old record-then-replay scheme that executed it twice per
+// non-HTML request.
+//
+// Because the middleware strips conditional headers from the request it
+// hands the inner handler (the full entity is needed for sniffing), the
+// writer restores conditional semantics itself on the passthrough path: a
+// 200 whose validators match the original request's If-None-Match or
+// If-Modified-Since is rewritten to a 304 and its body discarded.
+type sniffWriter struct {
+	dst http.ResponseWriter
+	req *http.Request // original request, with its conditional headers
+
+	header    http.Header
+	status    int
+	committed bool // WriteHeader decision made
+	buffering bool // 200 text/html: capture body for rewriting
+	discard   bool // conditional answered 304: drop body writes
+	sentToDst bool // headers (and possibly body) reached the client
+	hijacked  bool
+
+	buf bytes.Buffer
+}
+
+func newSniffWriter(dst http.ResponseWriter, req *http.Request) *sniffWriter {
+	return &sniffWriter{dst: dst, req: req, header: make(http.Header)}
+}
+
+func (w *sniffWriter) Header() http.Header { return w.header }
+
+func (w *sniffWriter) WriteHeader(code int) {
+	if w.committed || w.hijacked {
+		return
+	}
+	if code < 200 {
+		// 1xx informational responses go out immediately and do not
+		// commit the final status.
+		copyHeader(w.dst.Header(), w.header)
+		w.dst.WriteHeader(code)
+		w.sentToDst = true
+		return
+	}
+	w.committed = true
+	w.status = code
+
+	if code == http.StatusOK && isHTML(w.header.Get("Content-Type")) {
+		w.buffering = true
+		return
+	}
+
+	// Passthrough. Restore the conditional semantics the middleware
+	// stripped from the inner request.
+	if code == http.StatusOK && w.notModified() {
+		h := w.dst.Header()
+		copyHeader(h, w.header)
+		h.Del("Content-Length")
+		w.dst.WriteHeader(http.StatusNotModified)
+		w.sentToDst = true
+		w.discard = true
+		return
+	}
+	copyHeader(w.dst.Header(), w.header)
+	w.dst.WriteHeader(code)
+	w.sentToDst = true
+}
+
+// notModified evaluates the original request's conditionals against the
+// response headers the inner handler produced, per RFC 9110 §13:
+// If-None-Match against the ETag (weak comparison), else If-Modified-Since
+// against Last-Modified.
+func (w *sniffWriter) notModified() bool {
+	if inm := w.req.Header.Get("If-None-Match"); inm != "" {
+		t, ok := etag.Parse(w.header.Get("Etag"))
+		return ok && !etag.NoneMatch(inm, t)
+	}
+	ims := w.req.Header.Get("If-Modified-Since")
+	if ims == "" {
+		return false
+	}
+	since, ok := headers.ParseHTTPDate(ims)
+	if !ok {
+		return false
+	}
+	lm, ok := headers.ParseHTTPDate(w.header.Get("Last-Modified"))
+	return ok && !lm.After(since)
+}
+
+func (w *sniffWriter) Write(b []byte) (int, error) {
+	if w.hijacked {
+		return 0, http.ErrHijacked
+	}
+	if !w.committed {
+		// Implicit 200. Like net/http, sniff the content type from the
+		// first chunk when the handler declared none, so undeclared HTML
+		// still gets decorated.
+		if w.header.Get("Content-Type") == "" {
+			w.header.Set("Content-Type", http.DetectContentType(b))
+		}
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.discard {
+		return len(b), nil
+	}
+	if w.buffering {
+		return w.buf.Write(b)
+	}
+	return w.dst.Write(b)
+}
+
+// Flush commits headers (like net/http) and forwards the flush on the
+// streaming path. While buffering HTML the flush is absorbed: the rewritten
+// document is delivered in one piece.
+func (w *sniffWriter) Flush() {
+	if !w.committed {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.buffering || w.discard {
+		return
+	}
+	if f, ok := w.dst.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack forwards to the underlying writer when it supports hijacking,
+// letting upgrade handshakes (e.g. WebSocket) pass through the middleware.
+func (w *sniffWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.dst.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("catalyst: underlying ResponseWriter does not support hijacking")
+	}
+	w.hijacked = true
+	w.sentToDst = true
+	return hj.Hijack()
+}
+
+func isHTML(contentType string) bool {
+	return len(contentType) >= 9 && contentType[:9] == "text/html"
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		dst[k] = vs
+	}
+}
+
+var (
+	_ http.ResponseWriter = (*sniffWriter)(nil)
+	_ http.Flusher        = (*sniffWriter)(nil)
+	_ http.Hijacker       = (*sniffWriter)(nil)
+)

@@ -1,0 +1,339 @@
+// Package cachestore is the one cache core every cache in this repository
+// builds on: a sharded, mutex-per-shard, byte-budgeted LRU key-value store,
+// generic over the value type, with singleflight loading and atomic
+// hit/miss/eviction counters.
+//
+// The paper's server-side argument is that redundant work — like redundant
+// round trips — is pure waste. Before this package the repository carried
+// four independently hand-rolled caches (the client's response map, the
+// RFC 9111 browser cache, the Service-Worker cache storage, and the
+// middleware's probe cache), each with its own eviction bugs and none safe
+// to share between goroutines. They now all store through a Store.
+//
+// Eviction is globally exact LRU regardless of the shard count: every entry
+// carries a store-wide touch stamp, each shard's list is ordered by stamp,
+// so the globally least-recently-used entry is always the shard tail with
+// the smallest stamp — found by one O(shards) scan, no global lock.
+package cachestore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Store.
+type Options[V any] struct {
+	// Shards is the number of independent mutex-protected segments keys
+	// hash across. Zero selects 16; values are rounded up to a power of
+	// two (capped at 256). More shards mean less lock contention under
+	// concurrent load; eviction order is unaffected.
+	Shards int
+	// MaxBytes bounds the sum of entry sizes as reported by SizeOf;
+	// 0 means unbounded. The least-recently-used entry (across all
+	// shards) is evicted first.
+	MaxBytes int64
+	// SizeOf reports an entry's accounting size. Nil charges 1 per
+	// entry, turning MaxBytes into a maximum entry count.
+	SizeOf func(key string, v V) int64
+	// OnEvict, when set, observes budget evictions — not Delete, Clear
+	// or replacement. It is called with no shard lock held, so it may
+	// call back into the store.
+	OnEvict func(key string, v V)
+}
+
+// Counters is a snapshot of a store's atomic counters.
+type Counters struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Puts counts insertions and replacements; Evictions counts entries
+	// removed to respect the byte budget.
+	Puts, Evictions int64
+	// Loads counts loader executions by Do/GetOrLoad; LoadsShared counts
+	// callers that piggybacked on another goroutine's in-flight load
+	// instead of running their own.
+	Loads, LoadsShared int64
+}
+
+type node[V any] struct {
+	key  string
+	val  V
+	size int64
+	// stamp is the store-wide touch counter value at the last Get/Put of
+	// this entry; smaller means less recently used.
+	stamp      uint64
+	prev, next *node[V]
+}
+
+type shard[V any] struct {
+	mu    sync.Mutex
+	items map[string]*node[V]
+	head  *node[V] // most recently used
+	tail  *node[V] // least recently used
+}
+
+// The shard list operations require the shard mutex.
+
+func (s *shard[V]) pushFront(n *node[V]) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	} else {
+		s.tail = n
+	}
+	s.head = n
+}
+
+func (s *shard[V]) unlink(n *node[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *shard[V]) moveFront(n *node[V]) {
+	if s.head != n {
+		s.unlink(n)
+		s.pushFront(n)
+	}
+}
+
+// Store is a sharded LRU store. The zero value is not usable; construct
+// with New. A Store is safe for concurrent use.
+type Store[V any] struct {
+	shards   []shard[V]
+	mask     uint64
+	maxBytes int64
+	sizeOf   func(string, V) int64
+	onEvict  func(string, V)
+
+	bytes atomic.Int64
+	touch atomic.Uint64 // LRU stamps
+
+	hits, misses, puts, evictions atomic.Int64
+	loads, loadsShared            atomic.Int64
+
+	flight flightGroup[V]
+}
+
+// New returns an empty store.
+func New[V any](opts Options[V]) *Store[V] {
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	pow := 1
+	for pow < n && pow < 256 {
+		pow <<= 1
+	}
+	s := &Store[V]{
+		shards:   make([]shard[V], pow),
+		mask:     uint64(pow - 1),
+		maxBytes: opts.MaxBytes,
+		sizeOf:   opts.SizeOf,
+		onEvict:  opts.OnEvict,
+	}
+	if s.sizeOf == nil {
+		s.sizeOf = func(string, V) int64 { return 1 }
+	}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]*node[V])
+	}
+	s.flight.calls = make(map[string]*flightCall[V])
+	return s
+}
+
+func (s *Store[V]) shard(key string) *shard[V] {
+	// Inline FNV-1a; good spread on URL-shaped keys, no allocation.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h&s.mask]
+}
+
+// Get returns the value for key, promoting it to most-recently-used and
+// counting the hit or miss.
+func (s *Store[V]) Get(key string) (V, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	n, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	sh.moveFront(n)
+	n.stamp = s.touch.Add(1)
+	v := n.val
+	sh.mu.Unlock()
+	s.hits.Add(1)
+	return v, true
+}
+
+// Peek returns the value for key without touching LRU order or counters.
+func (s *Store[V]) Peek(key string) (V, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	n, ok := sh.items[key]
+	var v V
+	if ok {
+		v = n.val
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Put stores v under key, replacing any previous entry, then enforces the
+// byte budget.
+func (s *Store[V]) Put(key string, v V) {
+	size := s.sizeOf(key, v)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if n, ok := sh.items[key]; ok {
+		s.bytes.Add(size - n.size)
+		n.val, n.size = v, size
+		sh.moveFront(n)
+		n.stamp = s.touch.Add(1)
+	} else {
+		n := &node[V]{key: key, val: v, size: size, stamp: s.touch.Add(1)}
+		sh.items[key] = n
+		sh.pushFront(n)
+		s.bytes.Add(size)
+	}
+	sh.mu.Unlock()
+	s.puts.Add(1)
+	s.enforceBudget()
+}
+
+// enforceBudget evicts globally-least-recently-used entries until the byte
+// budget is respected. Concurrent evictors can race on the choice of
+// victim; each still evicts some near-LRU entry and the loop re-checks the
+// budget, so the store converges. Single-threaded use is exactly LRU.
+func (s *Store[V]) enforceBudget() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes.Load() > s.maxBytes {
+		key, val, ok := s.evictOne()
+		if !ok {
+			return
+		}
+		s.evictions.Add(1)
+		if s.onEvict != nil {
+			s.onEvict(key, val)
+		}
+	}
+}
+
+// evictOne removes and returns the entry with the smallest touch stamp.
+// Shards are locked one at a time — never nested — so evictors cannot
+// deadlock with each other or with Put.
+func (s *Store[V]) evictOne() (string, V, bool) {
+	var zero V
+	best := -1
+	var bestStamp uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.tail != nil && (best < 0 || sh.tail.stamp < bestStamp) {
+			best, bestStamp = i, sh.tail.stamp
+		}
+		sh.mu.Unlock()
+	}
+	if best < 0 {
+		return "", zero, false
+	}
+	sh := &s.shards[best]
+	sh.mu.Lock()
+	n := sh.tail
+	if n == nil {
+		// A concurrent evictor drained this shard between the scan and
+		// the re-lock; it is making progress, so stop here.
+		sh.mu.Unlock()
+		return "", zero, false
+	}
+	sh.unlink(n)
+	delete(sh.items, n.key)
+	s.bytes.Add(-n.size)
+	sh.mu.Unlock()
+	return n.key, n.val, true
+}
+
+// Delete removes the entry for key, reporting whether one existed.
+func (s *Store[V]) Delete(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	n, ok := sh.items[key]
+	if ok {
+		sh.unlink(n)
+		delete(sh.items, key)
+		s.bytes.Add(-n.size)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// Clear empties the store. Counters are not reset.
+func (s *Store[V]) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, n := range sh.items {
+			s.bytes.Add(-n.size)
+		}
+		sh.items = make(map[string]*node[V])
+		sh.head, sh.tail = nil, nil
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of stored entries.
+func (s *Store[V]) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Bytes returns the total accounting size of stored entries.
+func (s *Store[V]) Bytes() int64 { return s.bytes.Load() }
+
+// Keys returns the stored keys, in no particular order.
+func (s *Store[V]) Keys() []string {
+	keys := make([]string, 0, 64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.items {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
+	}
+	return keys
+}
+
+// Counters returns a snapshot of the store's counters.
+func (s *Store[V]) Counters() Counters {
+	return Counters{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Evictions:   s.evictions.Load(),
+		Loads:       s.loads.Load(),
+		LoadsShared: s.loadsShared.Load(),
+	}
+}

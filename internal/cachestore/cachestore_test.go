@@ -1,0 +1,326 @@
+package cachestore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func sized(maxBytes int64) *Store[string] {
+	return New[string](Options[string]{
+		MaxBytes: maxBytes,
+		SizeOf:   func(_ string, v string) int64 { return int64(len(v)) },
+	})
+}
+
+func TestPutGetPeekDelete(t *testing.T) {
+	s := New[int](Options[int]{})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put("a", 1)
+	s.Put("b", 2)
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if v, ok := s.Peek("b"); !ok || v != 2 {
+		t.Fatalf("Peek(b) = %d, %v", v, ok)
+	}
+	if s.Len() != 2 || s.Bytes() != 2 { // default SizeOf charges 1
+		t.Fatalf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("Delete bookkeeping wrong")
+	}
+	if s.Len() != 1 || s.Bytes() != 1 {
+		t.Fatalf("after delete: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("after clear: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Puts != 2 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestReplaceAccountsBytes(t *testing.T) {
+	s := sized(100)
+	s.Put("k", "0123456789")
+	s.Put("k", "abc")
+	if s.Bytes() != 3 || s.Len() != 1 {
+		t.Fatalf("Bytes=%d Len=%d", s.Bytes(), s.Len())
+	}
+	if v, _ := s.Get("k"); v != "abc" {
+		t.Fatalf("v = %q", v)
+	}
+}
+
+// TestGlobalLRUAcrossShards drives many keys — spread over every shard —
+// through a byte budget and asserts the eviction order is exactly global
+// LRU, which is the point of the per-entry touch stamps.
+func TestGlobalLRUAcrossShards(t *testing.T) {
+	s := New[string](Options[string]{
+		Shards:   16,
+		MaxBytes: 10,
+		SizeOf:   func(string, string) int64 { return 1 },
+	})
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), "x")
+	}
+	// Touch the first five so the second five become the LRU block.
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%02d", i)); !ok {
+			t.Fatalf("k%02d missing before eviction", i)
+		}
+	}
+	for i := 10; i < 15; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), "x")
+	}
+	for i := 5; i < 10; i++ {
+		if _, ok := s.Peek(fmt.Sprintf("k%02d", i)); ok {
+			t.Errorf("k%02d should have been evicted (global LRU)", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Peek(fmt.Sprintf("k%02d", i)); !ok {
+			t.Errorf("recently touched k%02d was evicted", i)
+		}
+	}
+	if c := s.Counters(); c.Evictions != 5 {
+		t.Fatalf("evictions = %d, want 5", c.Evictions)
+	}
+}
+
+func TestOverBudgetEntryEvictedEntirely(t *testing.T) {
+	s := sized(5)
+	s.Put("big", "0123456789")
+	if s.Bytes() > 5 || s.Len() != 0 {
+		t.Fatalf("Bytes=%d Len=%d after over-budget put", s.Bytes(), s.Len())
+	}
+	s.Put("ok", "abc")
+	if _, ok := s.Get("ok"); !ok {
+		t.Fatal("store broken after over-budget put")
+	}
+}
+
+func TestOnEvictObservesOnlyBudgetEvictions(t *testing.T) {
+	var evicted []string
+	s := New[string](Options[string]{
+		MaxBytes: 2,
+		OnEvict:  func(k string, _ string) { evicted = append(evicted, k) },
+	})
+	s.Put("a", "1")
+	s.Put("a", "2") // replacement: no callback
+	s.Put("b", "1")
+	s.Delete("b") // delete: no callback
+	s.Put("b", "1")
+	s.Put("c", "1") // budget: evicts a
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	s := New[string](Options[string]{MaxBytes: 2})
+	s.Put("a", "")
+	s.Put("b", "")
+	if _, ok := s.Peek("a"); !ok { // must NOT promote a
+		t.Fatal("peek miss")
+	}
+	s.Put("c", "") // evicts a (still LRU despite the peek)
+	if _, ok := s.Peek("a"); ok {
+		t.Fatal("Peek promoted the entry")
+	}
+	if c := s.Counters(); c.Hits != 0 && c.Misses != 0 {
+		t.Fatalf("Peek touched counters: %+v", c)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	s := New[int](Options[int]{})
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	for k := range want {
+		s.Put(k, 1)
+	}
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v", got)
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("unexpected key %q", k)
+		}
+	}
+}
+
+func TestDoCollapsesConcurrentLoads(t *testing.T) {
+	s := New[int](Options[int]{})
+	var calls atomic.Int64
+	start := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 16
+
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, _, err := s.Do("k", func() (int, error) {
+				calls.Add(1)
+				<-release // hold the flight open until everyone queued
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond) // let the waiters pile onto the flight
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("loader ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+	if c := s.Counters(); c.Loads != 1 || c.LoadsShared != waiters-1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestDoPanicDoesNotStrandWaiters(t *testing.T) {
+	s := New[int](Options[int]{})
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		defer func() { recover() }()
+		s.Do("k", func() (int, error) {
+			close(inFlight)
+			<-release
+			panic("loader bug")
+		})
+	}()
+	<-inFlight
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do("k", func() (int, error) { return 0, nil })
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("waiter saw no error from the panicked flight")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter stranded after loader panic")
+	}
+}
+
+func TestGetOrLoad(t *testing.T) {
+	s := New[string](Options[string]{})
+	var calls atomic.Int64
+	load := func() (string, error) {
+		calls.Add(1)
+		return "v", nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := s.GetOrLoad("k", load)
+		if err != nil || v != "v" {
+			t.Fatalf("GetOrLoad = %q, %v", v, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times", calls.Load())
+	}
+	if _, ok := s.Peek("k"); !ok {
+		t.Fatal("loaded value not stored")
+	}
+	// Errors are not cached.
+	_, err := s.GetOrLoad("bad", func() (string, error) { return "", fmt.Errorf("nope") })
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, ok := s.Peek("bad"); ok {
+		t.Fatal("failed load was cached")
+	}
+}
+
+// TestConcurrentStress hammers one bounded store from many goroutines and
+// then audits every invariant the store promises: byte accounting matches
+// the surviving entries, the budget holds, and the counters add up.
+func TestConcurrentStress(t *testing.T) {
+	t.Parallel()
+	s := New[string](Options[string]{
+		Shards:   8,
+		MaxBytes: 1 << 12,
+		SizeOf:   func(_ string, v string) int64 { return int64(len(v)) },
+	})
+	var gets, wantHitsPlusMisses atomic.Int64
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			val := string(make([]byte, 64))
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("/asset-%d", (g*31+i*7)%200)
+				switch i % 5 {
+				case 0, 1:
+					s.Put(key, val)
+				case 2, 3:
+					s.Get(key)
+					gets.Add(1)
+				case 4:
+					if i%20 == 4 {
+						s.Delete(key)
+					} else {
+						s.GetOrLoad(key, func() (string, error) { return val, nil })
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if s.Bytes() > 1<<12 {
+		t.Fatalf("store over budget after stress: %d", s.Bytes())
+	}
+	var sum int64
+	for _, k := range s.Keys() {
+		v, ok := s.Peek(k)
+		if !ok {
+			t.Fatalf("Keys returned vanished key %q", k)
+		}
+		sum += int64(len(v))
+	}
+	if sum != s.Bytes() {
+		t.Fatalf("byte accounting drifted: sum=%d Bytes=%d", sum, s.Bytes())
+	}
+	c := s.Counters()
+	wantHitsPlusMisses.Store(gets.Load())
+	if c.Hits+c.Misses < wantHitsPlusMisses.Load() {
+		t.Fatalf("hits+misses=%d < observed gets %d (%+v)", c.Hits+c.Misses, wantHitsPlusMisses.Load(), c)
+	}
+	if c.Puts == 0 || c.Evictions == 0 {
+		t.Fatalf("stress produced no puts/evictions: %+v", c)
+	}
+}

@@ -1,0 +1,115 @@
+package httpcache
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/vclock"
+)
+
+// TestCacheConcurrentStress exercises the browser cache from many
+// goroutines at once — Gets racing Puts racing Refreshes racing quota
+// eviction — and then audits the byte accounting. Run under -race this pins
+// the cachestore rebase as safe for concurrent use.
+func TestCacheConcurrentStress(t *testing.T) {
+	t.Parallel()
+	clock := vclock.NewVirtual(time.Unix(1_700_000_000, 0))
+	c := New(clock, Options{MaxBytes: 8 << 10})
+
+	mkResp := func(i int) *Response {
+		h := make(http.Header)
+		h.Set("Cache-Control", "max-age=60")
+		h.Set("Etag", fmt.Sprintf(`"tag-%d"`, i))
+		return &Response{
+			StatusCode: http.StatusOK,
+			Header:     h,
+			Body:       []byte(strings.Repeat("x", 256)),
+		}
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				url := fmt.Sprintf("https://site.example/a-%d", (g*13+i*5)%100)
+				now := clock.Now()
+				switch i % 4 {
+				case 0:
+					c.Put(url, mkResp(i), now, now)
+				case 1:
+					if e, state := c.Get(url); state != Miss && e == nil {
+						t.Error("non-miss state with nil entry")
+						return
+					}
+				case 2:
+					nm := &Response{StatusCode: http.StatusNotModified, Header: make(http.Header)}
+					nm.Header.Set("Cache-Control", "max-age=120")
+					c.Refresh(url, nm, now, now)
+				case 3:
+					if i%30 == 3 {
+						c.Delete(url)
+					} else {
+						c.Peek(url)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if c.Bytes() > 8<<10 {
+		t.Fatalf("cache over budget after stress: %d bytes", c.Bytes())
+	}
+	var sum int64
+	for _, k := range c.Keys() {
+		if e, ok := c.Peek(k); ok {
+			sum += e.Size()
+		}
+	}
+	if sum != c.Bytes() {
+		t.Fatalf("byte accounting drifted: entries sum to %d, Bytes() = %d", sum, c.Bytes())
+	}
+	hits := atomic.LoadInt64(&c.Hits)
+	misses := atomic.LoadInt64(&c.Misses)
+	if hits+misses == 0 {
+		t.Fatal("stress recorded no lookups")
+	}
+	if atomic.LoadInt64(&c.Evictions) == 0 {
+		t.Fatal("bounded cache never evicted under stress")
+	}
+}
+
+// TestRefreshDoesNotMutateSharedEntry pins the clone-and-replace contract:
+// an Entry handed out before a Refresh must not change underneath its
+// holder.
+func TestRefreshDoesNotMutateSharedEntry(t *testing.T) {
+	clock := vclock.NewVirtual(time.Unix(1_700_000_000, 0))
+	c := New(clock, Options{})
+	h := make(http.Header)
+	h.Set("Cache-Control", "max-age=10")
+	h.Set("X-Version", "one")
+	now := clock.Now()
+	c.Put("https://site.example/r", &Response{StatusCode: 200, Header: h, Body: []byte("b")}, now, now)
+
+	held, _ := c.Peek("https://site.example/r")
+
+	nm := &Response{StatusCode: http.StatusNotModified, Header: make(http.Header)}
+	nm.Header.Set("X-Version", "two")
+	c.Refresh("https://site.example/r", nm, clock.Now(), clock.Now())
+
+	if got := held.Response.Header.Get("X-Version"); got != "one" {
+		t.Fatalf("Refresh mutated a shared entry: X-Version = %q", got)
+	}
+	fresh, _ := c.Peek("https://site.example/r")
+	if got := fresh.Response.Header.Get("X-Version"); got != "two" {
+		t.Fatalf("Refresh did not apply headers: X-Version = %q", got)
+	}
+}

@@ -8,14 +8,19 @@
 // resolved by a conditional request. The CacheCatalyst client (internal/sw)
 // reuses this package's storage but bypasses freshness entirely, deciding
 // reuse from proactively delivered ETags instead.
+//
+// Storage and LRU eviction sit on internal/cachestore; this package keeps
+// only the RFC 9111 policy layer (freshness math, Vary secondary keys, the
+// 304 refresh procedure).
 package httpcache
 
 import (
-	"container/list"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
 	"cachecatalyst/internal/vclock"
@@ -74,6 +79,8 @@ func (s State) String() string {
 }
 
 // Entry is a stored response plus the metadata freshness math needs.
+// Entries are immutable once stored — Refresh replaces the entry rather
+// than mutating it — so a returned Entry is safe to read concurrently.
 type Entry struct {
 	URL      string
 	Response *Response
@@ -88,8 +95,6 @@ type Entry struct {
 	// the RFC 9111 §4.1 secondary-key match. This cache stores one
 	// variant per URL, as the RFC permits.
 	varyValues map[string]string
-
-	lruElem *list.Element
 }
 
 // ETag returns the entry's parsed entity tag, if any.
@@ -121,14 +126,13 @@ type Options struct {
 // DefaultHeuristicFraction is the RFC-suggested 10%.
 const DefaultHeuristicFraction = 0.1
 
-// Cache is a private HTTP cache. It is not safe for concurrent use; each
-// emulated browser owns one.
+// Cache is a private HTTP cache backed by internal/cachestore, and safe
+// for concurrent use. The counter fields are updated atomically; read
+// them with atomic.LoadInt64 while the cache is in concurrent use.
 type Cache struct {
-	clock   vclock.Clock
-	opts    Options
-	entries map[string]*Entry
-	lru     *list.List // front = most recently used; values are URLs
-	bytes   int64
+	clock vclock.Clock
+	opts  Options
+	store *cachestore.Store[*Entry]
 
 	// Counters for experiment reporting.
 	Hits, Misses, Validations, Evictions int64
@@ -139,19 +143,24 @@ func New(clock vclock.Clock, opts Options) *Cache {
 	if opts.HeuristicFraction == 0 {
 		opts.HeuristicFraction = DefaultHeuristicFraction
 	}
-	return &Cache{
-		clock:   clock,
-		opts:    opts,
-		entries: make(map[string]*Entry),
-		lru:     list.New(),
-	}
+	c := &Cache{clock: clock, opts: opts}
+	c.store = cachestore.New[*Entry](cachestore.Options[*Entry]{
+		// One shard keeps this a faithful single-browser cache: the
+		// store's locking still makes it race-free when experiments
+		// drive one browser from several goroutines.
+		Shards:   1,
+		MaxBytes: opts.MaxBytes,
+		SizeOf:   func(_ string, e *Entry) int64 { return e.Size() },
+		OnEvict:  func(string, *Entry) { atomic.AddInt64(&c.Evictions, 1) },
+	})
+	return c
 }
 
 // Len returns the number of stored entries.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return c.store.Len() }
 
 // Bytes returns the total accounting size of stored entries.
-func (c *Cache) Bytes() int64 { return c.bytes }
+func (c *Cache) Bytes() int64 { return c.store.Bytes() }
 
 // Storable reports whether a response may be stored at all
 // (RFC 9111 §3): 2xx status, complete body, no no-store directive.
@@ -179,7 +188,6 @@ func (c *Cache) PutWithRequest(url string, reqHeader http.Header, resp *Response
 	if !Storable(resp) {
 		return
 	}
-	c.remove(url)
 	e := &Entry{
 		URL:          url,
 		Response:     resp.Clone(),
@@ -188,10 +196,7 @@ func (c *Cache) PutWithRequest(url string, reqHeader http.Header, resp *Response
 		CC:           headers.ParseCacheControl(resp.Header.Get("Cache-Control")),
 		varyValues:   varyValues(resp.Header.Get("Vary"), reqHeader),
 	}
-	e.lruElem = c.lru.PushFront(url)
-	c.entries[url] = e
-	c.bytes += e.Size()
-	c.evict()
+	c.store.Put(url, e)
 }
 
 // varyValues snapshots the request header values named by a Vary field.
@@ -232,14 +237,13 @@ func (c *Cache) Get(url string) (*Entry, State) {
 // request's is unusable (Miss); a response stored with "Vary: *" can never
 // be proven to match, so it always requires validation.
 func (c *Cache) GetWithRequest(url string, reqHeader http.Header) (*Entry, State) {
-	e, ok := c.entries[url]
+	e, ok := c.store.Get(url)
 	if !ok {
-		c.Misses++
+		atomic.AddInt64(&c.Misses, 1)
 		return nil, Miss
 	}
-	c.lru.MoveToFront(e.lruElem)
 	if _, star := e.varyValues["*"]; star {
-		c.Validations++
+		atomic.AddInt64(&c.Validations, 1)
 		return e, Stale
 	}
 	for name, stored := range e.varyValues {
@@ -248,33 +252,26 @@ func (c *Cache) GetWithRequest(url string, reqHeader http.Header) (*Entry, State
 			got = reqHeader.Get(name)
 		}
 		if got != stored {
-			c.Misses++
+			atomic.AddInt64(&c.Misses, 1)
 			return nil, Miss
 		}
 	}
 	if c.isFresh(e) {
-		c.Hits++
+		atomic.AddInt64(&c.Hits, 1)
 		return e, Fresh
 	}
-	c.Validations++
+	atomic.AddInt64(&c.Validations, 1)
 	return e, Stale
 }
 
 // Peek returns the entry without touching counters or LRU order.
 func (c *Cache) Peek(url string) (*Entry, bool) {
-	e, ok := c.entries[url]
-	return e, ok
+	return c.store.Peek(url)
 }
 
 // Keys returns the URLs of all stored entries, in no particular order —
 // chaos tests use it to audit the whole cache for poisoned entries.
-func (c *Cache) Keys() []string {
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	return keys
-}
+func (c *Cache) Keys() []string { return c.store.Keys() }
 
 // isFresh implements the RFC 9111 §4.2 freshness check.
 func (c *Cache) isFresh(e *Entry) bool {
@@ -344,53 +341,36 @@ func (c *Cache) dateValue(e *Entry) time.Time {
 
 // Refresh applies a 304 Not Modified to the stored entry per RFC 9111 §4.3.4:
 // the stored headers are updated from the 304 and the entry's clock fields
-// reset, renewing its freshness.
+// reset, renewing its freshness. The refreshed entry replaces the stored
+// one — entries already handed out are never mutated.
 func (c *Cache) Refresh(url string, notModified *Response, requestTime, responseTime time.Time) {
-	e, ok := c.entries[url]
+	e, ok := c.store.Peek(url)
 	if !ok {
 		return
 	}
-	c.bytes -= e.Size()
+	resp := e.Response.Clone()
 	for k, vs := range notModified.Header {
 		if k == "Content-Length" {
 			continue
 		}
-		e.Response.Header[k] = append([]string(nil), vs...)
+		resp.Header[k] = append([]string(nil), vs...)
 	}
-	e.RequestTime = requestTime
-	e.ResponseTime = responseTime
-	e.CC = headers.ParseCacheControl(e.Response.Header.Get("Cache-Control"))
-	c.bytes += e.Size()
-	c.lru.MoveToFront(e.lruElem)
+	vary := make(map[string]string, len(e.varyValues))
+	for k, v := range e.varyValues {
+		vary[k] = v
+	}
+	c.store.Put(url, &Entry{
+		URL:          e.URL,
+		Response:     resp,
+		RequestTime:  requestTime,
+		ResponseTime: responseTime,
+		CC:           headers.ParseCacheControl(resp.Header.Get("Cache-Control")),
+		varyValues:   vary,
+	})
 }
 
 // Delete removes a stored entry.
-func (c *Cache) Delete(url string) { c.remove(url) }
+func (c *Cache) Delete(url string) { c.store.Delete(url) }
 
 // Clear empties the cache (a "cold cache" load in the paper's methodology).
-func (c *Cache) Clear() {
-	c.entries = make(map[string]*Entry)
-	c.lru.Init()
-	c.bytes = 0
-}
-
-func (c *Cache) remove(url string) {
-	e, ok := c.entries[url]
-	if !ok {
-		return
-	}
-	c.lru.Remove(e.lruElem)
-	c.bytes -= e.Size()
-	delete(c.entries, url)
-}
-
-func (c *Cache) evict() {
-	if c.opts.MaxBytes <= 0 {
-		return
-	}
-	for c.bytes > c.opts.MaxBytes && c.lru.Len() > 0 {
-		oldest := c.lru.Back()
-		c.remove(oldest.Value.(string))
-		c.Evictions++
-	}
-}
+func (c *Cache) Clear() { c.store.Clear() }

@@ -88,8 +88,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.opts.Catalyst && p == core.ServiceWorkerPath {
-		s.serveWorkerScript(w)
-		s.logAccess(r, http.StatusOK, len(core.ServiceWorkerScript), 0)
+		status, n := s.serveWorkerScript(w, r)
+		s.logAccess(r, status, n, 0)
 		return
 	}
 
@@ -193,16 +193,28 @@ func (s *Server) buildMap(pageURL, body, sessionID string) core.ETagMap {
 	return m
 }
 
+// workerScriptTag is the script's validator, hashed once at startup.
+var workerScriptTag = etag.ForBytes([]byte(core.ServiceWorkerScript))
+
 // serveWorkerScript serves the JavaScript Service Worker. It is marked
 // no-cache so browsers revalidate it, matching how deployments keep SW
-// logic updatable.
-func (s *Server) serveWorkerScript(w http.ResponseWriter) {
+// logic updatable — and those revalidations are answered 304 when the
+// script is unchanged, which it always is within one build.
+func (s *Server) serveWorkerScript(w http.ResponseWriter, r *http.Request) (status, n int) {
 	h := w.Header()
 	h.Set("Content-Type", "text/javascript; charset=utf-8")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Date", headers.FormatHTTPDate(s.opts.Clock.Now()))
-	h.Set("Etag", etag.ForBytes([]byte(core.ServiceWorkerScript)).String())
+	h.Set("Etag", workerScriptTag.String())
+	if !etag.NoneMatch(r.Header.Get("If-None-Match"), workerScriptTag) {
+		w.WriteHeader(http.StatusNotModified)
+		return http.StatusNotModified, 0
+	}
+	if r.Method == http.MethodHead {
+		return http.StatusOK, 0
+	}
 	_, _ = w.Write([]byte(core.ServiceWorkerScript))
+	return http.StatusOK, len(core.ServiceWorkerScript)
 }
 
 // contentResolver adapts Content to core.Resolver.

@@ -364,3 +364,29 @@ func TestOriginAdapter(t *testing.T) {
 		t.Fatal("304 carried a body through the adapter")
 	}
 }
+
+func TestWorkerScriptRevalidation(t *testing.T) {
+	s := New(buildSite(), Options{Clock: vclock.NewVirtual(vclock.Epoch), Catalyst: true})
+
+	rec := get(t, s, core.ServiceWorkerPath, nil)
+	if rec.Code != 200 || rec.Body.String() != core.ServiceWorkerScript {
+		t.Fatalf("first fetch: status = %d", rec.Code)
+	}
+	tag := rec.Header().Get("Etag")
+	if tag == "" {
+		t.Fatal("worker script served without a validator")
+	}
+
+	rec = get(t, s, core.ServiceWorkerPath, map[string]string{"If-None-Match": tag})
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("revalidation: status = %d, want 304", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatal("304 carried the script body")
+	}
+
+	rec = get(t, s, core.ServiceWorkerPath, map[string]string{"If-None-Match": `"stale"`})
+	if rec.Code != 200 || rec.Body.String() != core.ServiceWorkerScript {
+		t.Fatalf("stale validator: status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,67 @@
+package sw
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheStorageConcurrentWorkers drives one bounded CacheStorage from
+// many goroutines — the shape of several Service Worker contexts sharing
+// one origin cache — and audits quota and byte accounting afterwards. Run
+// under -race this pins the cachestore rebase.
+func TestCacheStorageConcurrentWorkers(t *testing.T) {
+	t.Parallel()
+	const quota = 4 << 10
+	c := NewBoundedCacheStorage(quota)
+
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := strings.Repeat("b", 128)
+			for i := 0; i < 400; i++ {
+				path := fmt.Sprintf("/asset-%d", (w*17+i*3)%80)
+				switch i % 4 {
+				case 0, 1:
+					c.Put(path, resp(fmt.Sprintf("t%d", i), body, nil))
+				case 2:
+					if got, ok := c.Match(path); ok && len(got.Body) == 0 {
+						t.Error("matched an empty body")
+						return
+					}
+				case 3:
+					if i%40 == 3 {
+						c.Delete(path)
+					} else {
+						c.Match(path)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Bytes() > quota {
+		t.Fatalf("storage over quota after stress: %d bytes", c.Bytes())
+	}
+	var sum int64
+	for _, k := range c.Keys() {
+		if r, ok := c.Match(k); ok {
+			sum += int64(len(r.Body))
+		}
+	}
+	if sum != c.Bytes() {
+		t.Fatalf("byte accounting drifted: bodies sum to %d, Bytes() = %d", sum, c.Bytes())
+	}
+	if atomic.LoadInt64(&c.Evictions) == 0 {
+		t.Fatal("bounded storage never evicted under stress")
+	}
+	if c.Len() == 0 {
+		t.Fatal("storage empty after stress")
+	}
+}

@@ -10,9 +10,10 @@
 package sw
 
 import (
-	"container/list"
 	"net/http"
+	"sync/atomic"
 
+	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
@@ -24,16 +25,16 @@ import (
 // (Service Worker caches never expire entries on their own). Browsers do
 // impose storage quotas, so the store supports an optional byte bound with
 // least-recently-used eviction.
+//
+// Storage sits on internal/cachestore's sharded LRU store, so a
+// CacheStorage is safe for concurrent workers (real browsers share one
+// Cache across worker contexts the same way).
 type CacheStorage struct {
-	entries map[string]*httpcache.Response
-	lru     *list.List // front = most recent; values are keys
-	elems   map[string]*list.Element
-	bytes   int64
-	// maxBytes bounds stored body bytes; 0 = unbounded.
-	maxBytes int64
+	store *cachestore.Store[*httpcache.Response]
 
 	// Evictions counts quota evictions, for experiments on storage
-	// pressure.
+	// pressure. It is updated atomically; read it with atomic.LoadInt64
+	// while the store is in concurrent use.
 	Evictions int64
 }
 
@@ -45,21 +46,18 @@ func NewCacheStorage() *CacheStorage {
 // NewBoundedCacheStorage returns an empty store evicting least-recently
 // used entries beyond maxBytes of body data (0 = unbounded).
 func NewBoundedCacheStorage(maxBytes int64) *CacheStorage {
-	return &CacheStorage{
-		entries:  make(map[string]*httpcache.Response),
-		lru:      list.New(),
-		elems:    make(map[string]*list.Element),
-		maxBytes: maxBytes,
-	}
+	c := &CacheStorage{}
+	c.store = cachestore.New[*httpcache.Response](cachestore.Options[*httpcache.Response]{
+		MaxBytes: maxBytes,
+		SizeOf:   func(_ string, r *httpcache.Response) int64 { return int64(len(r.Body)) },
+		OnEvict:  func(string, *httpcache.Response) { atomic.AddInt64(&c.Evictions, 1) },
+	})
+	return c
 }
 
 // Match returns the stored response for path, if any.
 func (c *CacheStorage) Match(path string) (*httpcache.Response, bool) {
-	r, ok := c.entries[path]
-	if ok {
-		c.lru.MoveToFront(c.elems[path])
-	}
-	return r, ok
+	return c.store.Get(path)
 }
 
 // Put stores a clone of resp under path, replacing any previous entry.
@@ -76,63 +74,28 @@ func (c *CacheStorage) Put(path string, resp *httpcache.Response) {
 	if cc.NoStore {
 		return
 	}
-	if old, ok := c.entries[path]; ok {
-		c.bytes -= int64(len(old.Body))
-		c.lru.MoveToFront(c.elems[path])
-	} else {
-		c.elems[path] = c.lru.PushFront(path)
-	}
-	clone := resp.Clone()
-	c.entries[path] = clone
-	c.bytes += int64(len(clone.Body))
-	c.evict()
-}
-
-// evict enforces the byte quota, least-recently-used first.
-func (c *CacheStorage) evict() {
-	if c.maxBytes <= 0 {
-		return
-	}
-	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
-		oldest := c.lru.Back()
-		c.Delete(oldest.Value.(string))
-		c.Evictions++
-	}
+	c.store.Put(path, resp.Clone())
 }
 
 // Delete removes the entry for path.
 func (c *CacheStorage) Delete(path string) {
-	if old, ok := c.entries[path]; ok {
-		c.bytes -= int64(len(old.Body))
-		delete(c.entries, path)
-		c.lru.Remove(c.elems[path])
-		delete(c.elems, path)
-	}
+	c.store.Delete(path)
 }
 
 // Clear empties the store.
 func (c *CacheStorage) Clear() {
-	c.entries = make(map[string]*httpcache.Response)
-	c.lru.Init()
-	c.elems = make(map[string]*list.Element)
-	c.bytes = 0
+	c.store.Clear()
 }
 
 // Len returns the number of stored responses.
-func (c *CacheStorage) Len() int { return len(c.entries) }
+func (c *CacheStorage) Len() int { return c.store.Len() }
 
 // Keys returns the stored paths, in no particular order — chaos tests use
 // it to audit the whole store for poisoned entries.
-func (c *CacheStorage) Keys() []string {
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	return keys
-}
+func (c *CacheStorage) Keys() []string { return c.store.Keys() }
 
 // Bytes returns the total stored body bytes.
-func (c *CacheStorage) Bytes() int64 { return c.bytes }
+func (c *CacheStorage) Bytes() int64 { return c.store.Bytes() }
 
 // SiteWorker is an existing, site-provided Service Worker the CacheCatalyst
 // worker must coexist with (§6, third issue). If it claims a request the
