@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz chaos bench
+.PHONY: verify build test race vet fuzz chaos bench benchdiff
 
 verify: vet build race
 
@@ -37,6 +37,20 @@ bench:
 	$(GO) test -json -run '^$$' -bench . -benchtime 1s -count 6 \
 		./catalyst/ ./internal/cachestore/ > $(BENCH_FILE)
 	@echo "wrote $(BENCH_FILE)"
+
+# Run the benchmark sweep and compare it against the newest committed
+# BENCH_*.json using the in-repo, dependency-free cmd/benchdiff. Fails
+# loudly when no committed baseline exists — a diff against nothing is not
+# a regression gate.
+benchdiff:
+	@base=$$(git ls-files 'BENCH_*.json' | sort | tail -1); \
+	if [ -z "$$base" ]; then \
+		echo "benchdiff: no committed BENCH_*.json baseline found; run 'make bench' and commit the result first" >&2; \
+		exit 1; \
+	fi; \
+	echo "baseline: $$base"; \
+	$(MAKE) bench BENCH_FILE=BENCH_head.json && \
+	$(GO) run ./cmd/benchdiff "$$base" BENCH_head.json
 
 # Fault-injection table: warm PLT / errors / retries per fault cell for both
 # schemes (see EXPERIMENTS.md, "Fault model and chaos experiment").

@@ -43,6 +43,13 @@ type MiddlewareMetrics struct {
 	// MapEntriesDropped counts X-Etag-Config entries removed to respect
 	// MiddlewareOptions.MaxMapBytes.
 	MapEntriesDropped atomic.Int64
+	// RendersEvicted counts rendered-page cache entries evicted to
+	// respect MiddlewareOptions.MaxRenderBytes.
+	RendersEvicted atomic.Int64
+	// EncodeReuses counts HTML responses that reused a cached
+	// X-Etag-Config serialization because no probe outcome changed since
+	// it was built (see middleware.probeGen).
+	EncodeReuses atomic.Int64
 }
 
 // MiddlewareMetricsSnapshot is the JSON form of MiddlewareMetrics.
@@ -51,6 +58,8 @@ type MiddlewareMetricsSnapshot struct {
 	BreakerTrips      int64 `json:"breakerTrips"`
 	ProbesSwept       int64 `json:"probesSwept"`
 	MapEntriesDropped int64 `json:"mapEntriesDropped"`
+	RendersEvicted    int64 `json:"rendersEvicted"`
+	EncodeReuses      int64 `json:"encodeReuses"`
 }
 
 // Snapshot returns the counters as plain values.
@@ -60,6 +69,8 @@ func (m *MiddlewareMetrics) Snapshot() MiddlewareMetricsSnapshot {
 		BreakerTrips:      m.BreakerTrips.Load(),
 		ProbesSwept:       m.ProbesSwept.Load(),
 		MapEntriesDropped: m.MapEntriesDropped.Load(),
+		RendersEvicted:    m.RendersEvicted.Load(),
+		EncodeReuses:      m.EncodeReuses.Load(),
 	}
 }
 

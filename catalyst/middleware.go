@@ -1,13 +1,14 @@
 package catalyst
 
 import (
-	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
@@ -39,8 +40,27 @@ type MiddlewareOptions struct {
 	// MaxProbeEntries bounds the probe cache. On overflow the
 	// least-recently-used probe is evicted — a crawler walking a million
 	// distinct paths must not grow server memory without bound, and hot
-	// paths must not be collateral damage. Zero selects 4096.
+	// paths must not be collateral damage. Zero selects 4096. Entries are
+	// charged by real size (a cached stylesheet body costs its bytes, see
+	// probeBaseCost), so a handful of huge stylesheets cannot smuggle
+	// unbounded memory past an entry-count reading of this knob.
 	MaxProbeEntries int
+	// ProbeConcurrency bounds how many subresources of one page are
+	// probed at once while its ETag map is resolved, so a cold page with
+	// N subresources costs roughly its slowest probe rather than the sum.
+	// Concurrent renders still probe each path once: the fan-out dedups
+	// through the probe cache's singleflight. Zero selects 8 — probe cost
+	// is dominated by the inner handler (I/O, locks), not CPU, so the
+	// width deliberately does not track GOMAXPROCS; 1 restores strictly
+	// sequential probing.
+	ProbeConcurrency int
+	// MaxRenderBytes bounds the rendered-page cache, which memoizes the
+	// extracted reference list, injected body, and page validator per
+	// (path, raw-content hash) so unchanged pages skip re-parsing and
+	// re-hashing. Zero selects 16 MiB; negative disables the cache.
+	// Freshness is unaffected either way — the X-Etag-Config header is
+	// always assembled from live probes.
+	MaxRenderBytes int64
 	// Metrics, when set, receives the middleware's resilience counters
 	// (panics recovered, breaker trips, map trims, probe evictions).
 	Metrics *MiddlewareMetrics
@@ -54,6 +74,13 @@ func (o MiddlewareOptions) breakerThreshold() int {
 		return 3
 	}
 	return o.BreakerThreshold
+}
+
+func (o MiddlewareOptions) probeConcurrency() int {
+	if o.ProbeConcurrency != 0 {
+		return o.ProbeConcurrency
+	}
+	return 8
 }
 
 // Middleware retrofits CacheCatalyst onto any http.Handler:
@@ -86,22 +113,52 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 	if opts.MaxProbeEntries <= 0 {
 		opts.MaxProbeEntries = 4096
 	}
+	if opts.MaxRenderBytes == 0 {
+		opts.MaxRenderBytes = 16 << 20
+	}
 	if opts.Metrics == nil {
 		opts.Metrics = &MiddlewareMetrics{}
 	}
 	m := &middleware{next: next, opts: opts}
 	m.probes = cachestore.New[probe](cachestore.Options[probe]{
-		// SizeOf defaults to 1 per entry, so MaxBytes is an entry count.
-		MaxBytes: int64(opts.MaxProbeEntries),
-		OnEvict:  func(string, probe) { opts.Metrics.ProbesSwept.Add(1) },
+		// A probe without a retained stylesheet body costs exactly
+		// probeBaseCost, so for ordinary entries MaxBytes stays the entry
+		// count MaxProbeEntries promises; cached CSS bodies are charged
+		// their real bytes on top, so large stylesheets consume
+		// proportionally more of the same budget instead of hiding
+		// behind a flat per-entry unit.
+		MaxBytes: int64(opts.MaxProbeEntries) * probeBaseCost,
+		SizeOf: func(_ string, p probe) int64 {
+			return probeBaseCost + int64(len(p.cssBody))
+		},
+		OnEvict: func(string, probe) { opts.Metrics.ProbesSwept.Add(1) },
 	})
+	if opts.MaxRenderBytes > 0 {
+		m.renders = cachestore.New[*renderEntry](cachestore.Options[*renderEntry]{
+			MaxBytes: opts.MaxRenderBytes,
+			SizeOf:   renderEntrySize,
+			OnEvict:  func(string, *renderEntry) { opts.Metrics.RendersEvicted.Add(1) },
+		})
+	}
 	return m
 }
 
+// probeBaseCost is the byte charge for one probe-cache entry before its
+// retained stylesheet body: a rough stand-in for the key, tag, timestamps
+// and map overhead an entry costs regardless of content.
+const probeBaseCost = 256
+
 type middleware struct {
-	next   http.Handler
-	opts   MiddlewareOptions
-	probes *cachestore.Store[probe]
+	next    http.Handler
+	opts    MiddlewareOptions
+	probes  *cachestore.Store[probe]
+	renders *cachestore.Store[*renderEntry] // nil when disabled
+	// probeGen counts observable probe-cache changes: it bumps whenever a
+	// probe flight lands a (tag, ok) pair that differs from what the
+	// cache held before. While it stands still, every map assembled from
+	// the cache is byte-identical, so renderEntry.enc may be reused
+	// instead of re-serializing the map per request.
+	probeGen atomic.Uint64
 }
 
 type probe struct {
@@ -177,10 +234,42 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return // already streamed
 	}
 
-	body := sw.buf.String()
-	etags := m.buildMap(r, body)
-	injected := core.InjectRegistration(body)
-	tag := etag.ForBytes([]byte(injected))
+	// The rendered-page cache keys on (page URL, raw body hash), so the
+	// parse → extract → inject → hash pipeline runs once per distinct
+	// content; probes stay per-request, so freshness is identical to
+	// rebuilding from scratch.
+	pageURL := requestPageURL(r)
+	ent := m.render(pageURL, sw.body())
+
+	// Load the generation before resolving: probes that change state
+	// during the resolve bump it, which both blocks reuse of a cached
+	// encoding below and prevents this request from caching one.
+	gen := m.probeGen.Load()
+	now := time.Now()
+	var encoded string
+	if e := ent.enc.Load(); e != nil && e.gen == gen && now.UnixNano() < e.expires {
+		// Every probe the encoding depends on is unexpired and none has
+		// changed since it was built, so resolving again would only
+		// re-read the probe cache and re-serialize the identical map.
+		encoded = e.enc
+		m.opts.Metrics.EncodeReuses.Add(1)
+	} else {
+		res := &probeResolver{m: m, req: r}
+		etags := core.ResolveRefs(ent.refs, res, core.BuildOptions{
+			MaxEntries:  m.opts.MaxMapEntries,
+			Concurrency: m.opts.probeConcurrency(),
+		})
+		encoded = m.capMapBytes(etags).Encode()
+		if m.probeGen.Load() == gen {
+			exp := res.minExpires.Load()
+			if exp == 0 {
+				// No probes ran (a page with no same-origin refs);
+				// the empty map is still only trusted for one TTL.
+				exp = now.Add(m.opts.ProbeTTL).UnixNano()
+			}
+			ent.enc.Store(&encodedMap{gen: gen, expires: exp, enc: encoded})
+		}
+	}
 
 	h := w.Header()
 	for k, vs := range sw.header {
@@ -189,30 +278,28 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		h[k] = vs
 	}
-	h.Set(HeaderName, etags.Encode())
-	h.Set("Etag", tag.String())
+	h.Set(HeaderName, encoded)
+	h.Set("Etag", ent.tag.String())
 
-	if !etag.NoneMatch(r.Header.Get("If-None-Match"), tag) {
+	if !etag.NoneMatch(r.Header.Get("If-None-Match"), ent.tag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	h.Set("Content-Length", strconv.Itoa(len(injected)))
+	h.Set("Content-Length", strconv.Itoa(len(ent.injected)))
 	w.WriteHeader(http.StatusOK)
 	if r.Method != http.MethodHead {
-		_, _ = w.Write([]byte(injected))
+		_, _ = w.Write([]byte(ent.injected))
 	}
 }
 
-// buildMap runs the core map builder with a resolver that probes the inner
-// handler, then enforces the encoded-size cap.
-func (m *middleware) buildMap(r *http.Request, html string) ETagMap {
-	res := &probeResolver{m: m, req: r}
-	pageURL := r.URL.Path
+// requestPageURL is the origin-relative URL of the page being served, query
+// included — the base both relative references and the render-cache key
+// resolve against.
+func requestPageURL(r *http.Request) string {
 	if r.URL.RawQuery != "" {
-		pageURL += "?" + r.URL.RawQuery
+		return r.URL.Path + "?" + r.URL.RawQuery
 	}
-	etags := core.BuildMap(pageURL, html, res, core.BuildOptions{MaxEntries: m.opts.MaxMapEntries})
-	return m.capMapBytes(etags)
+	return r.URL.Path
 }
 
 // capMapBytes drops entries (highest-sorting paths first, the reverse of
@@ -252,24 +339,73 @@ func (m *middleware) capMapBytes(etags ETagMap) ETagMap {
 }
 
 // jsonStringLen is the encoded length of s as a JSON string, quotes and
-// escapes included.
+// escapes included — exactly len(json.Marshal(s)) without the allocation.
+// It mirrors encoding/json's default (HTML-escaping) encoder: two-byte
+// escapes for the common control characters and for quote/backslash,
+// six-byte \u00xx escapes for the rest of the control range and for <, >, &,
+// six-byte escapes for U+2028/U+2029, and a \ufffd escape per invalid byte.
+// TestJSONStringLenMatchesMarshal cross-checks the mirror property.
 func jsonStringLen(s string) int {
-	enc, _ := json.Marshal(s) // strings always marshal
-	return len(enc)
+	n := 2 // surrounding quotes
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			switch {
+			case b == '"' || b == '\\' || b == '\n' || b == '\r' || b == '\t':
+				n += 2
+			case b < 0x20 || b == '<' || b == '>' || b == '&':
+				n += 6
+			default:
+				n++
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == utf8.RuneError && size == 1:
+			n += 6 // each invalid byte becomes the six-byte escape \ufffd
+		case r == 0x2028 || r == 0x2029:
+			n += 6 // \u2028 and \u2029 are escaped for JS embedding
+		default:
+			n += size
+		}
+		i += size
+	}
+	return n
 }
 
 type probeResolver struct {
 	m   *middleware
 	req *http.Request
+	// minExpires tracks the earliest expiry (unix nanoseconds) among the
+	// probes this resolve consulted — the moment the assembled map stops
+	// being trustworthy without a re-probe. Updated from fan-out workers,
+	// hence atomic; 0 means no probe ran.
+	minExpires atomic.Int64
+}
+
+func (p *probeResolver) observe(pr probe) {
+	n := pr.expires.UnixNano()
+	for {
+		cur := p.minExpires.Load()
+		if cur != 0 && cur <= n {
+			return
+		}
+		if p.minExpires.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 func (p *probeResolver) ETagFor(path string) (etag.Tag, bool) {
 	pr := p.m.probe(path, p.req)
+	p.observe(pr)
 	return pr.tag, pr.ok
 }
 
 func (p *probeResolver) StylesheetBody(path string) (string, bool) {
 	pr := p.m.probe(path, p.req)
+	p.observe(pr)
 	if !pr.ok || !pr.isCSS {
 		return "", false
 	}
@@ -326,7 +462,17 @@ func (m *middleware) probe(path string, via *http.Request) probe {
 				m.opts.Metrics.BreakerTrips.Add(1)
 			}
 		}
+		// An observable change — a tag flip, a path appearing, a path
+		// going bad — invalidates every cached map serialization. Bumping
+		// after the Put means a request racing this flight can cache an
+		// encoding that is stale for at most one flight; the next request
+		// sees the new generation and rebuilds, well inside the freshness
+		// window ProbeTTL already grants.
+		changed := !had || prev.tag != pr.tag || prev.ok != pr.ok
 		m.probes.Put(path, pr)
+		if changed {
+			m.probeGen.Add(1)
+		}
 		return pr, nil
 	})
 	return pr

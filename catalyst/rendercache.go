@@ -1,0 +1,87 @@
+package catalyst
+
+import (
+	"crypto/sha256"
+	"sync/atomic"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/etag"
+)
+
+// renderEntry memoizes everything about one HTML render that is a pure
+// function of the page's location and raw inner-handler body: the extracted
+// subresource reference list, the snippet-injected body, and the injected
+// body's entity tag. Because the cache key commits to the raw content (see
+// renderKey), entries never go stale — a changed page hashes to a new key —
+// so a hot unchanged page skips the HTML tokenizer, the tree builder, the
+// snippet injection, and the whole-body validator hash on every request
+// after the first.
+//
+// refs, injected and tag are immutable after construction and safe to share
+// across requests. enc is the one mutable slot: the most recent canonical
+// X-Etag-Config encoding, swapped atomically and valid only while the probe
+// generation it was built under still stands (see middleware.probeGen).
+type renderEntry struct {
+	refs     []core.Ref
+	injected string
+	tag      etag.Tag
+	enc      atomic.Pointer[encodedMap]
+}
+
+// encodedMap is one canonical ETagMap.Encode result, stamped with the probe
+// generation it reflects and the earliest expiry among the probes it was
+// assembled from. While the generation still matches and no contributing
+// probe has expired, re-resolving would only re-read unchanged cache
+// entries and re-serialize the identical map — so the whole resolve phase
+// is skipped and the string reused as-is. The first request past either
+// bound rebuilds (and re-probes whatever expired).
+type encodedMap struct {
+	gen     uint64
+	expires int64 // unix nanoseconds
+	enc     string
+}
+
+// renderKey commits a cache entry to the page's URL (path and query) and
+// the raw inner body. SHA-256 keeps the commitment collision-safe even for
+// hostile page content; 16 bytes of it is plenty for a cache key.
+func renderKey(pageURL string, body []byte) string {
+	sum := sha256.Sum256(body)
+	return pageURL + "\x00" + string(sum[:16])
+}
+
+// renderEntrySize charges an entry for the memory that actually scales:
+// the key, the injected body, and the extracted reference strings, plus a
+// fixed allowance for the struct and per-ref bookkeeping. The cached
+// encoding is deliberately not charged — it is bounded by MaxMapBytes (or
+// by the map the refs imply) and mutates after insertion, which byte
+// accounting must not chase.
+func renderEntrySize(key string, e *renderEntry) int64 {
+	n := int64(len(key) + len(e.injected) + 128)
+	for _, r := range e.refs {
+		n += int64(len(r.Key)) + 32
+	}
+	return n
+}
+
+// render returns the memoized render for (pageURL, raw), computing and
+// caching it on first sight. Concurrent first renders of the same unchanged
+// page collapse into one extraction via the store's singleflight. With the
+// cache disabled (MaxRenderBytes < 0) every request pays the full pipeline,
+// which is exactly the pre-cache behaviour.
+func (m *middleware) render(pageURL string, raw []byte) *renderEntry {
+	build := func() (*renderEntry, error) {
+		body := string(raw)
+		injected := core.InjectRegistration(body)
+		return &renderEntry{
+			refs:     core.ExtractPageRefs(pageURL, body),
+			injected: injected,
+			tag:      etag.ForBytes([]byte(injected)),
+		}, nil
+	}
+	if m.renders == nil {
+		e, _ := build()
+		return e
+	}
+	e, _ := m.renders.GetOrLoad(renderKey(pageURL, raw), build)
+	return e
+}

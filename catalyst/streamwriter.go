@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
@@ -62,6 +63,17 @@ func (w *sniffWriter) WriteHeader(code int) {
 
 	if code == http.StatusOK && isHTML(w.header.Get("Content-Type")) {
 		w.buffering = true
+		// Pre-size from the declared length so a page written in many
+		// small chunks costs one allocation, not a regrow cascade. The
+		// declaration is advisory (and possibly hostile), so it is capped
+		// and the buffer still grows past it if the handler lied.
+		if n, err := strconv.Atoi(w.header.Get("Content-Length")); err == nil && n > 0 {
+			const maxPrealloc = 1 << 20
+			if n > maxPrealloc {
+				n = maxPrealloc
+			}
+			w.buf.Grow(n)
+		}
 		return
 	}
 
@@ -150,6 +162,11 @@ func (w *sniffWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
 	w.sentToDst = true
 	return hj.Hijack()
 }
+
+// body returns the buffered HTML entity. Valid only on the buffering path,
+// after the inner handler returned; the middleware hands it to the render
+// cache, which hashes it as-is, so the slice must not be mutated.
+func (w *sniffWriter) body() []byte { return w.buf.Bytes() }
 
 func isHTML(contentType string) bool {
 	return len(contentType) >= 9 && contentType[:9] == "text/html"

@@ -1,0 +1,170 @@
+// Command benchdiff compares two benchmark runs captured as `go test -json`
+// streams (the files `make bench` writes) and prints a per-benchmark
+// comparison of ns/op — a dependency-free stand-in for benchstat, so the
+// repository's `make benchdiff` gate needs nothing outside the toolchain.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// Each benchmark's samples (the -count repetitions) are reduced to their
+// median, which is robust against the stray slow iteration a shared CI
+// machine produces. Benchmarks present in only one file are listed but not
+// compared. The exit status is 0 on success and 1 on any usage or parse
+// error — including a missing baseline, which is reported loudly rather
+// than silently compared against nothing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseFile extracts ns/op samples per benchmark name from a `go test -json`
+// stream.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	samples := make(map[string][]float64)
+	// test2json flushes a benchmark's name and its result numbers as
+	// separate output events when the run takes long enough, so a bare
+	// "BenchmarkFoo" line names the samples that follow until the next
+	// name appears (possibly fused with its first sample on one line).
+	pending := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the stream
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		line := strings.TrimSpace(ev.Output)
+		if strings.HasPrefix(line, "Benchmark") && len(strings.Fields(line)) == 1 {
+			pending = benchName(line)
+			continue
+		}
+		name, ns, ok := parseBenchLine(line, pending)
+		if ok {
+			samples[name] = append(samples[name], ns)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return samples, nil
+}
+
+// parseBenchLine parses one testing result line — either the full form
+//
+//	BenchmarkName-8   	    9624	     36337 ns/op	...
+//
+// or a bare sample ("9624	36337 ns/op	...") belonging to pending —
+// returning the benchmark name and the ns/op value.
+func parseBenchLine(line, pending string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	name := pending
+	if strings.HasPrefix(line, "Benchmark") {
+		name = benchName(fields[0])
+		fields = fields[1:]
+	}
+	if name == "" || len(fields) < 3 {
+		return "", 0, false
+	}
+	for i := 1; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return name, ns, true
+		}
+	}
+	return "", 0, false
+}
+
+// benchName strips the -GOMAXPROCS suffix testing appends when running
+// with more than one CPU.
+func benchName(s string) string {
+	if j := strings.LastIndex(s, "-"); j > 0 {
+		if _, err := strconv.Atoi(s[j+1:]); err == nil {
+			return s[:j]
+		}
+	}
+	return s
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(1)
+	}
+	oldPath, newPath := os.Args[1], os.Args[2]
+	old, err := parseFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline unusable: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := parseFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current run unusable: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	seen := make(map[string]bool)
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range cur {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, n := range names {
+		o, hasOld := old[n]
+		c, hasNew := cur[n]
+		switch {
+		case !hasOld:
+			fmt.Printf("%-55s %14s %14.0f %9s\n", n, "-", median(c), "new")
+		case !hasNew:
+			fmt.Printf("%-55s %14.0f %14s %9s\n", n, median(o), "-", "gone")
+		default:
+			om, cm := median(o), median(c)
+			fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%\n", n, om, cm, (cm-om)/om*100)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package cachestore
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -324,6 +325,58 @@ func (s *Store[V]) Keys() []string {
 		sh.mu.Unlock()
 	}
 	return keys
+}
+
+// Audit cross-checks the store's bookkeeping invariants: every shard's
+// recency list and map must agree entry for entry, list order must follow
+// the touch stamps, and the charged sizes must sum to Bytes(). It returns
+// the first inconsistency found, or nil. Audit is meant for tests — the
+// byte total is only meaningful when no concurrent mutation is in flight.
+func (s *Store[V]) Audit() error {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		listed := 0
+		prevStamp := ^uint64(0)
+		var last *node[V]
+		for n := sh.head; n != nil; n = n.next {
+			listed++
+			if listed > len(sh.items) {
+				sh.mu.Unlock()
+				return fmt.Errorf("cachestore: shard %d recency list longer than its map (%d entries)", i, len(sh.items))
+			}
+			if n.stamp > prevStamp {
+				sh.mu.Unlock()
+				return fmt.Errorf("cachestore: shard %d stamps out of order at %q (%d after %d)", i, n.key, n.stamp, prevStamp)
+			}
+			prevStamp = n.stamp
+			if sh.items[n.key] != n {
+				sh.mu.Unlock()
+				return fmt.Errorf("cachestore: shard %d list node %q not in map", i, n.key)
+			}
+			size := s.sizeOf(n.key, n.val)
+			if size != n.size {
+				sh.mu.Unlock()
+				return fmt.Errorf("cachestore: entry %q charged %d bytes, SizeOf says %d", n.key, n.size, size)
+			}
+			total += n.size
+			last = n
+		}
+		if listed != len(sh.items) {
+			sh.mu.Unlock()
+			return fmt.Errorf("cachestore: shard %d lists %d entries, map holds %d", i, listed, len(sh.items))
+		}
+		if sh.tail != last {
+			sh.mu.Unlock()
+			return fmt.Errorf("cachestore: shard %d tail does not terminate the list", i)
+		}
+		sh.mu.Unlock()
+	}
+	if got := s.bytes.Load(); got != total {
+		return fmt.Errorf("cachestore: byte counter %d, entries sum to %d", got, total)
+	}
+	return nil
 }
 
 // Counters returns a snapshot of the store's counters.

@@ -323,4 +323,28 @@ func TestConcurrentStress(t *testing.T) {
 	if c.Puts == 0 || c.Evictions == 0 {
 		t.Fatalf("stress produced no puts/evictions: %+v", c)
 	}
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditDetectsDrift(t *testing.T) {
+	s := New[string](Options[string]{
+		SizeOf: func(_ string, v string) int64 { return int64(len(v)) },
+	})
+	s.Put("/a", "aaaa")
+	s.Put("/b", "bb")
+	if err := s.Audit(); err != nil {
+		t.Fatalf("clean store failed audit: %v", err)
+	}
+	s.bytes.Add(3) // simulate an accounting bug
+	if err := s.Audit(); err == nil {
+		t.Fatal("audit missed a byte-counter drift")
+	}
+	s.bytes.Add(-3)
+	s.Delete("/a")
+	s.Clear()
+	if err := s.Audit(); err != nil {
+		t.Fatalf("empty store failed audit: %v", err)
+	}
 }

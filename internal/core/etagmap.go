@@ -22,7 +22,6 @@ import (
 
 	"cachecatalyst/internal/cssparse"
 	"cachecatalyst/internal/etag"
-	"cachecatalyst/internal/htmlparse"
 )
 
 // HeaderName is the response header that carries the ETag map, as named in
@@ -140,6 +139,13 @@ type BuildOptions struct {
 	// cross-origin references are skipped, matching the preliminary
 	// implementation.
 	CrossOriginETag func(absURL string) (etag.Tag, bool)
+	// Concurrency bounds the worker fan-out of the resolve phase: up to
+	// this many references are resolved at once, so a cold page with N
+	// subresources costs roughly its slowest probe instead of the sum of
+	// all of them. Values below 2 resolve sequentially, which is also the
+	// default — a Resolver must be safe for concurrent use before a
+	// caller opts in.
+	Concurrency int
 }
 
 const defaultMaxCSSDepth = 5
@@ -149,99 +155,13 @@ const defaultMaxCSSDepth = 5
 // is the origin-relative URL of the document (used to resolve relative
 // links); cross-origin references are skipped, exactly as the preliminary
 // implementation in the paper does.
+//
+// BuildMap is the one-shot composition of the two phases in twophase.go;
+// callers that can reuse extraction across requests (the middleware's
+// rendered-page cache, the server's page-render cache) call ExtractPageRefs
+// and ResolveRefs separately.
 func BuildMap(pageURL string, htmlBody string, res Resolver, opts BuildOptions) ETagMap {
-	if opts.MaxCSSDepth == 0 {
-		opts.MaxCSSDepth = defaultMaxCSSDepth
-	}
-	b := &mapBuilder{res: res, opts: opts, out: ETagMap{}, seenCSS: map[string]bool{}}
-	base, err := url.Parse(pageURL)
-	if err != nil {
-		base = &url.URL{Path: "/"}
-	}
-	doc := htmlparse.Parse(htmlBody)
-	// <base href> redirects relative resolution for the whole document.
-	if href, ok := htmlparse.BaseHref(doc); ok {
-		if bu, err := url.Parse(href); err == nil {
-			base = base.ResolveReference(bu)
-		}
-	}
-	for _, r := range htmlparse.ExtractResources(doc) {
-		b.addRef(base, r.URL, r.Kind == htmlparse.KindStylesheet, opts.MaxCSSDepth)
-	}
-	return b.out
-}
-
-type mapBuilder struct {
-	res     Resolver
-	opts    BuildOptions
-	out     ETagMap
-	seenCSS map[string]bool
-}
-
-// addRef resolves one reference against base and records its ETag; if it is
-// a stylesheet it recurses into the stylesheet's own references.
-func (b *mapBuilder) addRef(base *url.URL, ref string, isCSS bool, depth int) {
-	if b.opts.MaxEntries > 0 && len(b.out) >= b.opts.MaxEntries {
-		return
-	}
-	path, ok := resolveSameOrigin(base, ref)
-	if !ok {
-		b.addCrossOrigin(base, ref)
-		return
-	}
-	if _, dup := b.out[path]; !dup {
-		tag, exists := b.res.ETagFor(path)
-		if !exists {
-			return
-		}
-		b.out[path] = tag
-	}
-	if !isCSS || depth <= 0 || b.seenCSS[path] {
-		return
-	}
-	b.seenCSS[path] = true
-	body, ok := b.res.StylesheetBody(path)
-	if !ok {
-		return
-	}
-	cssBase, err := url.Parse(path)
-	if err != nil {
-		return
-	}
-	for _, r := range cssparse.ExtractRefs(body) {
-		b.addRef(cssBase, r.URL, r.Import, depth-1)
-	}
-}
-
-// addCrossOrigin records a third-party resource via the CrossOriginETag
-// resolver, keyed by its normalized absolute URL. Stylesheet recursion is
-// deliberately not attempted cross-origin: the main server would have to
-// proxy arbitrary third-party CSS, which §6 leaves out of scope.
-func (b *mapBuilder) addCrossOrigin(base *url.URL, ref string) {
-	if b.opts.CrossOriginETag == nil || !cssparse.IsFetchable(ref) {
-		return
-	}
-	u, err := url.Parse(strings.TrimSpace(ref))
-	if err != nil {
-		return
-	}
-	abs := base.ResolveReference(u)
-	if abs.Host == "" || abs.Host == base.Host {
-		return
-	}
-	if abs.Scheme == "" {
-		abs.Scheme = "https"
-	}
-	if abs.Scheme != "http" && abs.Scheme != "https" {
-		return
-	}
-	key := CrossOriginKey(abs.Host, abs.EscapedPath(), abs.RawQuery)
-	if _, dup := b.out[key]; dup {
-		return
-	}
-	if tag, ok := b.opts.CrossOriginETag(key); ok {
-		b.out[key] = tag
-	}
+	return ResolveRefs(ExtractPageRefs(pageURL, htmlBody), res, opts)
 }
 
 // CrossOriginKey is the canonical map key for a third-party resource.

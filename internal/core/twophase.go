@@ -1,0 +1,264 @@
+// Two-phase map building: a pure *extract* phase that turns a document into
+// a deduplicated reference list, and a *resolve* phase that turns references
+// into entity tags through a Resolver, optionally fanning out across a
+// bounded worker pool.
+//
+// The split exists for the server's hot path. Extraction depends only on the
+// document bytes, so callers can memoize it per (URL, content hash) and skip
+// the tokenizer and tree builder entirely on unchanged pages; resolution
+// depends on live server state (current ETags), so it runs per response —
+// but its work items are independent, so a cold page with N subresources can
+// cost ~max(probe) instead of sum(probe).
+package core
+
+import (
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cachecatalyst/internal/cssparse"
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/htmlparse"
+)
+
+// Ref is one subresource reference extracted from an HTML document or a
+// stylesheet, in document order.
+type Ref struct {
+	// Key is the ETagMap key: the origin-relative path (with query) for
+	// same-origin references, or the canonical absolute URL (see
+	// CrossOriginKey) for third-party ones.
+	Key string
+	// CSS marks a same-origin stylesheet whose body must be fetched and
+	// recursed into during resolution.
+	CSS bool
+	// Cross marks a third-party reference, resolvable only through
+	// BuildOptions.CrossOriginETag.
+	Cross bool
+}
+
+// ExtractPageRefs is the extract phase for a base HTML document: parse,
+// honor <base href>, resolve every subresource reference against the page
+// URL, and return the deduplicated reference list in document order. It is a
+// pure function of its arguments — no Resolver, no I/O — so callers may
+// cache the result keyed by the document's content.
+func ExtractPageRefs(pageURL, htmlBody string) []Ref {
+	base, err := url.Parse(pageURL)
+	if err != nil {
+		base = &url.URL{Path: "/"}
+	}
+	doc := htmlparse.Parse(htmlBody)
+	// <base href> redirects relative resolution for the whole document.
+	if href, ok := htmlparse.BaseHref(doc); ok {
+		if bu, err := url.Parse(href); err == nil {
+			base = base.ResolveReference(bu)
+		}
+	}
+	rs := htmlparse.ExtractResources(doc)
+	refs := make([]Ref, 0, len(rs))
+	index := make(map[string]int, len(rs))
+	for _, r := range rs {
+		refs = appendRef(refs, index, base, r.URL, r.Kind == htmlparse.KindStylesheet)
+	}
+	return refs
+}
+
+// ExtractCSSRefs is the extract phase for a same-origin stylesheet at
+// cssPath: url() and @import references resolved against the stylesheet's
+// own location. Like ExtractPageRefs it is pure.
+func ExtractCSSRefs(cssPath, body string) []Ref {
+	base, err := url.Parse(cssPath)
+	if err != nil {
+		return nil
+	}
+	crs := cssparse.ExtractRefs(body)
+	refs := make([]Ref, 0, len(crs))
+	index := make(map[string]int, len(crs))
+	for _, r := range crs {
+		refs = appendRef(refs, index, base, r.URL, r.Import)
+	}
+	return refs
+}
+
+// appendRef resolves one raw reference against base and appends it to refs
+// unless it is a duplicate (in which case a stylesheet occurrence upgrades
+// the existing entry's CSS flag) or unresolvable.
+func appendRef(refs []Ref, index map[string]int, base *url.URL, raw string, isCSS bool) []Ref {
+	if path, ok := resolveSameOrigin(base, raw); ok {
+		if i, dup := index[path]; dup {
+			refs[i].CSS = refs[i].CSS || isCSS
+			return refs
+		}
+		index[path] = len(refs)
+		return append(refs, Ref{Key: path, CSS: isCSS})
+	}
+	key, ok := resolveCrossOrigin(base, raw)
+	if !ok {
+		return refs
+	}
+	if _, dup := index[key]; dup {
+		return refs
+	}
+	index[key] = len(refs)
+	return append(refs, Ref{Key: key, Cross: true})
+}
+
+// resolveCrossOrigin canonicalizes a third-party reference into its map key,
+// or ok=false for same-origin, non-fetchable, or non-http(s) references.
+// Stylesheet recursion is deliberately not attempted cross-origin: the main
+// server would have to proxy arbitrary third-party CSS, which §6 of the
+// paper leaves out of scope.
+func resolveCrossOrigin(base *url.URL, ref string) (string, bool) {
+	if !cssparse.IsFetchable(ref) {
+		return "", false
+	}
+	u, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return "", false
+	}
+	abs := base.ResolveReference(u)
+	if abs.Host == "" || abs.Host == base.Host {
+		return "", false
+	}
+	if abs.Scheme == "" {
+		abs.Scheme = "https"
+	}
+	if abs.Scheme != "http" && abs.Scheme != "https" {
+		return "", false
+	}
+	return CrossOriginKey(abs.Host, abs.EscapedPath(), abs.RawQuery), true
+}
+
+// ResolveRefs is the resolve phase: look up the current entity tag of every
+// reference, recursing into same-origin stylesheets up to
+// BuildOptions.MaxCSSDepth, and assemble the ETagMap.
+//
+// Resolution proceeds in breadth-first levels (the page's own references,
+// then the references their stylesheets introduced, and so on); within a
+// level the lookups are independent and fan out across up to
+// BuildOptions.Concurrency goroutines. The Resolver must be safe for
+// concurrent use when Concurrency > 1. Whatever the fan-out, the assembled
+// map is deterministic: entries are admitted in extraction order, level by
+// level, and MaxEntries truncates that order.
+func ResolveRefs(refs []Ref, res Resolver, opts BuildOptions) ETagMap {
+	depth := opts.MaxCSSDepth
+	if depth == 0 {
+		depth = defaultMaxCSSDepth
+	}
+	type outcome struct {
+		tag      etag.Tag
+		ok       bool
+		children []Ref
+	}
+	seen := make(map[string]bool, len(refs))
+	seenCSS := make(map[string]bool)
+	var order []string
+	tags := make(map[string]etag.Tag, len(refs))
+
+	level := make([]Ref, 0, len(refs))
+	for _, r := range refs {
+		if !seen[r.Key] {
+			seen[r.Key] = true
+			level = append(level, r)
+		}
+	}
+	for len(level) > 0 {
+		// Decide recursion up front, while still single-threaded, so the
+		// workers never touch the shared seen/seenCSS maps.
+		recurse := make([]bool, len(level))
+		for i, r := range level {
+			if r.CSS && !r.Cross && depth > 0 && !seenCSS[r.Key] {
+				seenCSS[r.Key] = true
+				recurse[i] = true
+			}
+		}
+		outs := make([]outcome, len(level))
+		runIndexed(len(level), opts.workers(), func(i int) {
+			r := level[i]
+			if r.Cross {
+				if opts.CrossOriginETag == nil {
+					return
+				}
+				if t, ok := opts.CrossOriginETag(r.Key); ok {
+					outs[i] = outcome{tag: t, ok: true}
+				}
+				return
+			}
+			t, ok := res.ETagFor(r.Key)
+			if !ok {
+				return
+			}
+			o := outcome{tag: t, ok: true}
+			if recurse[i] {
+				if body, ok := res.StylesheetBody(r.Key); ok {
+					o.children = ExtractCSSRefs(r.Key, body)
+				}
+			}
+			outs[i] = o
+		})
+		depth--
+		var next []Ref
+		for i, r := range level {
+			if outs[i].ok {
+				order = append(order, r.Key)
+				tags[r.Key] = outs[i].tag
+			}
+			for _, c := range outs[i].children {
+				if !seen[c.Key] {
+					seen[c.Key] = true
+					next = append(next, c)
+				}
+			}
+		}
+		level = next
+	}
+
+	out := make(ETagMap, len(order))
+	for _, k := range order {
+		if opts.MaxEntries > 0 && len(out) >= opts.MaxEntries {
+			break
+		}
+		out[k] = tags[k]
+	}
+	return out
+}
+
+// workers returns the resolve fan-out width; anything below 2 means inline
+// sequential resolution.
+func (o BuildOptions) workers() int {
+	if o.Concurrency > 1 {
+		return o.Concurrency
+	}
+	return 1
+}
+
+// runIndexed calls fn(i) for every i in [0, n), fanning the calls out across
+// at most workers goroutines. workers <= 1 runs inline with zero goroutine
+// overhead.
+func runIndexed(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

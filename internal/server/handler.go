@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
@@ -29,6 +30,11 @@ type Options struct {
 	// AccessLogSize keeps a ring of the most recent requests for the
 	// debug/metrics endpoint; 0 disables access logging.
 	AccessLogSize int
+	// MaxRenderBytes bounds the rendered-page cache, which memoizes the
+	// extracted reference list, injected body, and derived validator per
+	// (path, content ETag) so an unchanged page skips re-parsing and
+	// re-hashing on every hit. Zero selects 16 MiB; negative disables it.
+	MaxRenderBytes int64
 }
 
 // Metrics counts server activity. All fields are atomics: the real
@@ -50,6 +56,7 @@ type Server struct {
 	opts     Options
 	recorder *Recorder
 	access   *accessLog
+	renders  *cachestore.Store[*pageRender] // nil when disabled
 	Metrics  Metrics
 }
 
@@ -58,12 +65,27 @@ func New(content Content, opts Options) *Server {
 	if opts.Clock == nil {
 		opts.Clock = vclock.System{}
 	}
+	if opts.MaxRenderBytes == 0 {
+		opts.MaxRenderBytes = 16 << 20
+	}
 	s := &Server{content: content, opts: opts}
 	if opts.Record {
 		s.recorder = NewRecorder()
 	}
 	if opts.AccessLogSize > 0 {
 		s.access = newAccessLog(opts.AccessLogSize)
+	}
+	if opts.Catalyst && opts.MaxRenderBytes > 0 {
+		s.renders = cachestore.New[*pageRender](cachestore.Options[*pageRender]{
+			MaxBytes: opts.MaxRenderBytes,
+			SizeOf: func(key string, p *pageRender) int64 {
+				n := int64(len(key) + len(p.body) + 128)
+				for _, r := range p.refs {
+					n += int64(len(r.Key)) + 32
+				}
+				return n
+			},
+		})
 	}
 	return s
 }
@@ -120,16 +142,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.opts.Catalyst && IsHTML(res.ContentType) {
-		m := s.buildMap(p, string(body), sessionID)
+		pr := s.renderPage(p, res)
+		m := s.resolveMap(p, pr.refs, sessionID)
 		mapEntries = len(m)
 		h.Set(core.HeaderName, m.Encode())
 		s.Metrics.MapsBuilt.Add(1)
 		s.Metrics.MapBytes.Add(int64(m.WireSize()))
-		injected := core.InjectRegistration(string(body))
-		body = []byte(injected)
-		// The served entity differs from the stored one, so its
-		// validator must too; derive it from the bytes actually sent.
-		tag = etag.ForBytes(body)
+		body = pr.body
+		tag = pr.tag
 	} else if s.recorder != nil && !IsHTML(res.ContentType) {
 		// Recording mode: remember which subresources this session's
 		// page loads actually requested.
@@ -175,11 +195,45 @@ func (s *Server) notModified(r *http.Request, tag etag.Tag, lastModified time.Ti
 	return !lastModified.Truncate(time.Second).After(t)
 }
 
-// buildMap constructs the X-Etag-Config map for an HTML page, folding in
-// session-recorded resources when recording is enabled.
-func (s *Server) buildMap(pageURL, body, sessionID string) core.ETagMap {
+// pageRender memoizes what serving an HTML page computes from its stored
+// content alone: the extracted subresource references, the body with the
+// registration snippet injected, and that body's validator. All fields are
+// immutable after construction and shared across requests.
+type pageRender struct {
+	refs []core.Ref
+	body []byte
+	tag  etag.Tag
+}
+
+// renderPage returns the extract-phase result for the page, memoized per
+// (path, content validator). The stored ETag commits to the stored body —
+// that is what makes it a validator — so a changed page keys to a new entry
+// and stale renders are never served; they simply age out of the LRU.
+func (s *Server) renderPage(p string, res *Resource) *pageRender {
+	build := func() (*pageRender, error) {
+		body := string(res.Body)
+		injected := []byte(core.InjectRegistration(body))
+		return &pageRender{
+			refs: core.ExtractPageRefs(p, body),
+			body: injected,
+			// The served entity differs from the stored one, so its
+			// validator must too; derive it from the bytes actually sent.
+			tag: etag.ForBytes(injected),
+		}, nil
+	}
+	if s.renders == nil {
+		pr, _ := build()
+		return pr
+	}
+	pr, _ := s.renders.GetOrLoad(p+"\x00"+res.ETag.String(), build)
+	return pr
+}
+
+// resolveMap runs the resolve phase for an already-extracted page, folding
+// in session-recorded resources when recording is enabled.
+func (s *Server) resolveMap(pageURL string, refs []core.Ref, sessionID string) core.ETagMap {
 	res := &contentResolver{content: s.content}
-	m := core.BuildMap(pageURL, body, res, s.opts.MapOptions)
+	m := core.ResolveRefs(refs, res, s.opts.MapOptions)
 	if s.recorder != nil && sessionID != "" {
 		for _, extra := range s.recorder.Recorded(sessionID, pageURL) {
 			if _, covered := m[extra]; covered {

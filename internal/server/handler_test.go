@@ -390,3 +390,49 @@ func TestWorkerScriptRevalidation(t *testing.T) {
 		t.Fatalf("stale validator: status = %d", rec.Code)
 	}
 }
+
+func TestServerRenderCacheReusesUnchangedPage(t *testing.T) {
+	site := buildSite()
+	s := New(site, Options{Clock: vclock.NewVirtual(vclock.Epoch), Catalyst: true})
+
+	first := get(t, s, "/index.html", nil)
+	if first.Code != 200 {
+		t.Fatalf("status = %d", first.Code)
+	}
+	if c := s.renders.Counters(); c.Loads != 1 {
+		t.Fatalf("first serve ran %d extractions, want 1", c.Loads)
+	}
+	second := get(t, s, "/index.html", nil)
+	if c := s.renders.Counters(); c.Loads != 1 || c.Hits == 0 {
+		t.Fatalf("unchanged page not reused: %+v", c)
+	}
+	if first.Body.String() != second.Body.String() ||
+		first.Header().Get("Etag") != second.Header().Get("Etag") {
+		t.Fatal("memoized render served a different entity")
+	}
+
+	// Changing the stored page changes its validator, so the memoized
+	// render cannot be (and is not) served stale.
+	site.SetBody("/index.html", `<html><body><img src="/d.jpg"></body></html>`, CachePolicy{NoCache: true})
+	third := get(t, s, "/index.html", nil)
+	if third.Header().Get("Etag") == first.Header().Get("Etag") {
+		t.Fatal("changed page kept its validator")
+	}
+	if !strings.Contains(third.Body.String(), "/d.jpg") || strings.Contains(third.Body.String(), "/a.css") {
+		t.Fatalf("stale body served: %q", third.Body.String())
+	}
+	if c := s.renders.Counters(); c.Loads != 2 {
+		t.Fatalf("changed page did not re-extract: %+v", c)
+	}
+}
+
+func TestServerRenderCacheDisabled(t *testing.T) {
+	s := New(buildSite(), Options{Clock: vclock.NewVirtual(vclock.Epoch), Catalyst: true, MaxRenderBytes: -1})
+	if s.renders != nil {
+		t.Fatal("render cache allocated despite MaxRenderBytes < 0")
+	}
+	rec := get(t, s, "/index.html", nil)
+	if rec.Code != 200 || rec.Header().Get(core.HeaderName) == "" {
+		t.Fatalf("uncached catalyst serve broken: %d", rec.Code)
+	}
+}
