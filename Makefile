@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz chaos bench benchdiff
+.PHONY: verify build test race vet fuzz chaos bench benchdiff cover
 
 verify: vet build race
 
@@ -41,7 +41,9 @@ bench:
 # Run the benchmark sweep and compare it against the newest committed
 # BENCH_*.json using the in-repo, dependency-free cmd/benchdiff. Fails
 # loudly when no committed baseline exists — a diff against nothing is not
-# a regression gate.
+# a regression gate. BENCH_TOLERANCE (a percentage) turns the comparison
+# into a gate: exit 1 when any benchmark's median regressed beyond it.
+BENCH_TOLERANCE ?= 0
 benchdiff:
 	@base=$$(git ls-files 'BENCH_*.json' | sort | tail -1); \
 	if [ -z "$$base" ]; then \
@@ -50,7 +52,18 @@ benchdiff:
 	fi; \
 	echo "baseline: $$base"; \
 	$(MAKE) bench BENCH_FILE=BENCH_head.json && \
-	$(GO) run ./cmd/benchdiff "$$base" BENCH_head.json
+	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOLERANCE) "$$base" BENCH_head.json
+
+# Coverage with a floor so the suite cannot silently shed coverage. The
+# floor trails the measured total (80.9% when set) by a safety margin;
+# raise it as coverage grows.
+COVERAGE_FLOOR ?= 78.0
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVERAGE_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
+		echo "cover: total coverage $$total% fell below the $(COVERAGE_FLOOR)% floor" >&2; exit 1; }
 
 # Fault-injection table: warm PLT / errors / retries per fault cell for both
 # schemes (see EXPERIMENTS.md, "Fault model and chaos experiment").

@@ -32,6 +32,7 @@ import (
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/telemetry"
 )
 
 // HeaderName is the response header carrying the ETag map.
@@ -79,6 +80,14 @@ type ServerOptions struct {
 	// AccessLogSize keeps a ring of recent requests readable via the
 	// server's Snapshot method; 0 disables access logging.
 	AccessLogSize int
+	// Telemetry indexes the server's counters, caches and latency
+	// histogram in the given registry; WithMetrics then serves the full
+	// snapshot. Nil disables registry wiring (counters still work).
+	Telemetry *telemetry.Registry
+	// ServerTiming mirrors each request's cache decisions (etag-match,
+	// map-built, network, …) back to the client in a Server-Timing
+	// response header.
+	ServerTiming bool
 }
 
 // NewServer serves the directory tree fsys with CacheCatalyst enabled: the
@@ -95,6 +104,8 @@ func NewServer(fsys fs.FS, opts ServerOptions) (*server.Server, error) {
 		Record:        opts.Record,
 		MapOptions:    core.BuildOptions{MaxEntries: opts.MaxMapEntries},
 		AccessLogSize: opts.AccessLogSize,
+		Telemetry:     opts.Telemetry,
+		ServerTiming:  opts.ServerTiming,
 	}), nil
 }
 

@@ -8,12 +8,12 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/telemetry"
 )
 
 // ClientOptions tunes the client's resilience behaviour. The zero value
@@ -45,6 +45,10 @@ type ClientOptions struct {
 	// recently used entry is evicted first. Zero means unbounded,
 	// preserving the historical behaviour.
 	MaxCacheBytes int64
+	// Telemetry, when set, indexes the client's counters, its two cache
+	// stores, and a per-Get latency histogram in the given registry under
+	// "client.*". Snapshot() and the registry read the same storage.
+	Telemetry *telemetry.Registry
 }
 
 func (o ClientOptions) backoffBase() time.Duration {
@@ -81,9 +85,11 @@ type Client struct {
 	maps  *cachestore.Store[ETagMap]         // per origin ("scheme://host")
 	cache *cachestore.Store[*cachedResponse] // per absolute resource
 
-	// Stats counters (read with Snapshot).
-	localHits, networkFetches, revalidations  atomic.Int64
-	retries, timeouts, staleServes, netErrors atomic.Int64
+	// Stats counters (read with Snapshot) — telemetry instruments, so a
+	// registry passed in ClientOptions.Telemetry indexes this storage.
+	localHits, networkFetches, revalidations  telemetry.Counter
+	retries, timeouts, staleServes, netErrors telemetry.Counter
+	getNS                                     *telemetry.Histogram // nil without telemetry
 }
 
 type cachedResponse struct {
@@ -155,16 +161,36 @@ func NewClient(hc *http.Client) *Client {
 // NewClientWithOptions returns an empty-cache client over hc with the
 // given resilience options.
 func NewClientWithOptions(hc *http.Client, opts ClientOptions) *Client {
-	return &Client{
+	c := &Client{
 		HTTP: hc,
 		opts: opts,
-		maps: cachestore.New[ETagMap](cachestore.Options[ETagMap]{Shards: 4}),
+		maps: cachestore.New[ETagMap](cachestore.Options[ETagMap]{
+			Shards:    4,
+			Telemetry: opts.Telemetry,
+			Name:      "client.maps",
+		}),
 		cache: cachestore.New[*cachedResponse](cachestore.Options[*cachedResponse]{
-			MaxBytes: opts.MaxCacheBytes,
-			SizeOf:   func(_ string, r *cachedResponse) int64 { return r.size() },
+			MaxBytes:  opts.MaxCacheBytes,
+			SizeOf:    func(_ string, r *cachedResponse) int64 { return r.size() },
+			Telemetry: opts.Telemetry,
+			Name:      "client.cache",
 		}),
 	}
+	if reg := opts.Telemetry; reg != nil {
+		reg.RegisterCounter("client.local_hits", &c.localHits)
+		reg.RegisterCounter("client.network_fetches", &c.networkFetches)
+		reg.RegisterCounter("client.revalidations", &c.revalidations)
+		reg.RegisterCounter("client.retries", &c.retries)
+		reg.RegisterCounter("client.timeouts", &c.timeouts)
+		reg.RegisterCounter("client.stale_serves", &c.staleServes)
+		reg.RegisterCounter("client.net_errors", &c.netErrors)
+		c.getNS = reg.Histogram("client.get_ns")
+	}
+	return c
 }
+
+// Telemetry returns the registry the client was wired into, or nil.
+func (c *Client) Telemetry() *telemetry.Registry { return c.opts.Telemetry }
 
 // Snapshot returns current counters.
 func (c *Client) Snapshot() ClientStats {
@@ -193,6 +219,22 @@ func (c *Client) httpClient() *http.Client {
 // network failures are retried per ClientOptions, and — with StaleIfError —
 // answered from cache with Source "stale" as a last resort.
 func (c *Client) Get(rawURL string) (*ClientResponse, error) {
+	return c.GetContext(context.Background(), rawURL)
+}
+
+// GetContext is Get with a caller context: cancellation bounds the whole
+// exchange (ClientOptions.Timeout tightens it further, never loosens it),
+// and a request trace carried by ctx receives the cache decision —
+// "etag-match" for a map-proven local hit, "revalidate", "network",
+// "stale-serve" — plus a "client.get" span.
+func (c *Client) GetContext(ctx context.Context, rawURL string) (*ClientResponse, error) {
+	if c.getNS != nil {
+		start := time.Now()
+		defer func() { c.getNS.Observe(time.Since(start).Nanoseconds()) }()
+	}
+	ctx, endSpan := telemetry.StartSpan(ctx, "client.get")
+	defer endSpan()
+
 	u, err := url.Parse(rawURL)
 	if err != nil {
 		return nil, fmt.Errorf("catalyst client: %w", err)
@@ -216,18 +258,21 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 			if tag, ok := etag.Parse(cachedTag); ok &&
 				core.Decide(m, resourceKey(u), tag) == core.ServeFromCache {
 				c.localHits.Add(1)
+				telemetry.Event(ctx, "etag-match", rawURL)
 				return cached.response("cache"), nil
 			}
 		}
 	}
 
-	ctx := context.Background()
 	if c.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
 		defer cancel()
 	}
 
+	if cachedTag != "" {
+		telemetry.Event(ctx, "revalidate", rawURL)
+	}
 	httpResp, body, err := c.fetchWithRetries(ctx, rawURL, cachedTag)
 	if err != nil {
 		c.netErrors.Add(1)
@@ -237,6 +282,7 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 		if c.opts.StaleIfError {
 			if cached, ok := c.cache.Get(cacheKey); ok {
 				c.staleServes.Add(1)
+				telemetry.Event(ctx, "stale-serve", rawURL)
 				return cached.response("stale"), nil
 			}
 		}
@@ -244,6 +290,7 @@ func (c *Client) Get(rawURL string) (*ClientResponse, error) {
 	}
 
 	c.networkFetches.Add(1)
+	telemetry.Event(ctx, "network", rawURL)
 
 	// HTML responses (and their 304s) carry a fresh map for the origin.
 	if cfg := httpResp.Header.Get(HeaderName); cfg != "" {

@@ -1,0 +1,59 @@
+package catalyst
+
+import (
+	"sync"
+	"testing"
+
+	"cachecatalyst/internal/telemetry"
+)
+
+// TestMiddlewareMetricsSnapshotMatchesRegistry checks the telemetry-spine
+// invariant for the middleware counters: after RegisterTelemetry, the
+// registry indexes the exact storage MiddlewareMetrics.Snapshot() reads, so
+// concurrent writers plus concurrent registry readers still end in perfect
+// agreement.
+func TestMiddlewareMetricsSnapshotMatchesRegistry(t *testing.T) {
+	var m MiddlewareMetrics
+	reg := telemetry.NewRegistry()
+	m.RegisterTelemetry(reg)
+
+	counters := []*telemetry.Counter{
+		&m.PanicsRecovered, &m.BreakerTrips, &m.ProbesSwept,
+		&m.MapEntriesDropped, &m.RendersEvicted, &m.EncodeReuses,
+	}
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				counters[(w+i)%len(counters)].Add(1)
+				_ = reg.Snapshot()
+				_ = m.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	legacy := m.Snapshot()
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"middleware.panics_recovered":    legacy.PanicsRecovered,
+		"middleware.breaker_trips":       legacy.BreakerTrips,
+		"middleware.probes_swept":        legacy.ProbesSwept,
+		"middleware.map_entries_dropped": legacy.MapEntriesDropped,
+		"middleware.renders_evicted":     legacy.RendersEvicted,
+		"middleware.encode_reuses":       legacy.EncodeReuses,
+	}
+	var total int64
+	for name, v := range want {
+		total += v
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("registry %q = %d, legacy snapshot says %d", name, got, v)
+		}
+	}
+	if total != int64(workers*perWorker) {
+		t.Errorf("total increments = %d, want %d", total, workers*perWorker)
+	}
+}

@@ -3,53 +3,104 @@ package catalyst
 import (
 	"encoding/json"
 	"net/http"
-	"sync/atomic"
+	"net/http/pprof"
 
 	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/telemetry"
 )
 
 // MetricsPath is the conventional path WithMetrics serves the snapshot at.
 const MetricsPath = "/debug/catalystd"
+
+// MetricsOptions configures WithMetricsOptions.
+type MetricsOptions struct {
+	// Telemetry adds the registry's full snapshot — every instrument any
+	// layer registered — under "telemetry" in the MetricsPath JSON. Nil
+	// falls back to the registry the server was constructed with, if any.
+	Telemetry *telemetry.Registry
+	// PProf additionally mounts the standard net/http/pprof handlers
+	// under /debug/pprof/. Off by default: profiling endpoints on a
+	// production port are opt-in.
+	PProf bool
+}
 
 // WithMetrics wraps srv so that MetricsPath serves a JSON snapshot of the
 // server's counters (and, when ServerOptions.AccessLogSize was set, its
 // recent requests) while every other request reaches the site. cmd/catalystd
 // uses this behind its -metrics flag.
 func WithMetrics(srv *server.Server) http.Handler {
+	return WithMetricsOptions(srv, MetricsOptions{})
+}
+
+// WithMetricsOptions is WithMetrics with the full telemetry surface: the
+// MetricsPath JSON gains a "telemetry" field holding the registry snapshot,
+// and MetricsOptions.PProf mounts the pprof handlers.
+func WithMetricsOptions(srv *server.Server, opts MetricsOptions) http.Handler {
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = srv.Telemetry()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(MetricsPath, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Cache-Control", "no-store")
-		if err := json.NewEncoder(w).Encode(srv.Snapshot()); err != nil {
+		payload := struct {
+			server.MetricsSnapshot
+			Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+		}{MetricsSnapshot: srv.Snapshot()}
+		if reg != nil {
+			snap := reg.Snapshot()
+			payload.Telemetry = &snap
+		}
+		if err := json.NewEncoder(w).Encode(payload); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if opts.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.Handle("/", srv)
 	return mux
 }
 
 // MiddlewareMetrics exposes the middleware's resilience counters. Pass a
 // pointer in MiddlewareOptions.Metrics to observe a wrapped handler; all
-// fields are atomics and safe to read while serving.
+// fields are atomic telemetry counters, safe to read while serving, and a
+// registry passed in MiddlewareOptions.Telemetry indexes this same storage.
 type MiddlewareMetrics struct {
 	// PanicsRecovered counts inner-handler panics converted to 500s.
-	PanicsRecovered atomic.Int64
+	PanicsRecovered telemetry.Counter
 	// BreakerTrips counts per-path probe circuit breakers opening after
 	// repeated probe failures.
-	BreakerTrips atomic.Int64
+	BreakerTrips telemetry.Counter
 	// ProbesSwept counts probe-cache entries evicted (least recently
 	// used first) to respect MiddlewareOptions.MaxProbeEntries.
-	ProbesSwept atomic.Int64
+	ProbesSwept telemetry.Counter
 	// MapEntriesDropped counts X-Etag-Config entries removed to respect
 	// MiddlewareOptions.MaxMapBytes.
-	MapEntriesDropped atomic.Int64
+	MapEntriesDropped telemetry.Counter
 	// RendersEvicted counts rendered-page cache entries evicted to
 	// respect MiddlewareOptions.MaxRenderBytes.
-	RendersEvicted atomic.Int64
+	RendersEvicted telemetry.Counter
 	// EncodeReuses counts HTML responses that reused a cached
 	// X-Etag-Config serialization because no probe outcome changed since
 	// it was built (see middleware.probeGen).
-	EncodeReuses atomic.Int64
+	EncodeReuses telemetry.Counter
+}
+
+// RegisterTelemetry indexes the counters in reg under "middleware.*"; the
+// registry reads the same storage Snapshot() does.
+func (m *MiddlewareMetrics) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.RegisterCounter("middleware.panics_recovered", &m.PanicsRecovered)
+	reg.RegisterCounter("middleware.breaker_trips", &m.BreakerTrips)
+	reg.RegisterCounter("middleware.probes_swept", &m.ProbesSwept)
+	reg.RegisterCounter("middleware.map_entries_dropped", &m.MapEntriesDropped)
+	reg.RegisterCounter("middleware.renders_evicted", &m.RendersEvicted)
+	reg.RegisterCounter("middleware.encode_reuses", &m.EncodeReuses)
 }
 
 // MiddlewareMetricsSnapshot is the JSON form of MiddlewareMetrics.

@@ -1,6 +1,7 @@
 package catalyst
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/telemetry"
 )
 
 // MiddlewareOptions configures Middleware.
@@ -64,6 +66,14 @@ type MiddlewareOptions struct {
 	// Metrics, when set, receives the middleware's resilience counters
 	// (panics recovered, breaker trips, map trims, probe evictions).
 	Metrics *MiddlewareMetrics
+	// Telemetry, when set, indexes the middleware's counters, both its
+	// caches, and an HTML decoration-latency histogram in the given
+	// registry under "middleware.*".
+	Telemetry *telemetry.Registry
+	// ServerTiming mirrors each decorated response's cache decisions
+	// ("map-built", "etag-match") into a Server-Timing header so clients
+	// can annotate their traces with the origin middleware's view.
+	ServerTiming bool
 }
 
 func (o MiddlewareOptions) breakerThreshold() int {
@@ -120,6 +130,10 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		opts.Metrics = &MiddlewareMetrics{}
 	}
 	m := &middleware{next: next, opts: opts}
+	if opts.Telemetry != nil {
+		opts.Metrics.RegisterTelemetry(opts.Telemetry)
+		m.htmlNS = opts.Telemetry.Histogram("middleware.html_ns")
+	}
 	m.probes = cachestore.New[probe](cachestore.Options[probe]{
 		// A probe without a retained stylesheet body costs exactly
 		// probeBaseCost, so for ordinary entries MaxBytes stays the entry
@@ -131,13 +145,17 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		SizeOf: func(_ string, p probe) int64 {
 			return probeBaseCost + int64(len(p.cssBody))
 		},
-		OnEvict: func(string, probe) { opts.Metrics.ProbesSwept.Add(1) },
+		OnEvict:   func(string, probe) { opts.Metrics.ProbesSwept.Add(1) },
+		Telemetry: opts.Telemetry,
+		Name:      "middleware.probes",
 	})
 	if opts.MaxRenderBytes > 0 {
 		m.renders = cachestore.New[*renderEntry](cachestore.Options[*renderEntry]{
-			MaxBytes: opts.MaxRenderBytes,
-			SizeOf:   renderEntrySize,
-			OnEvict:  func(string, *renderEntry) { opts.Metrics.RendersEvicted.Add(1) },
+			MaxBytes:  opts.MaxRenderBytes,
+			SizeOf:    renderEntrySize,
+			OnEvict:   func(string, *renderEntry) { opts.Metrics.RendersEvicted.Add(1) },
+			Telemetry: opts.Telemetry,
+			Name:      "middleware.renders",
 		})
 	}
 	return m
@@ -153,6 +171,7 @@ type middleware struct {
 	opts    MiddlewareOptions
 	probes  *cachestore.Store[probe]
 	renders *cachestore.Store[*renderEntry] // nil when disabled
+	htmlNS  *telemetry.Histogram            // nil without telemetry
 	// probeGen counts observable probe-cache changes: it bumps whenever a
 	// probe flight lands a (tag, ok) pair that differs from what the
 	// cache held before. While it stands still, every map assembled from
@@ -238,6 +257,12 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// parse → extract → inject → hash pipeline runs once per distinct
 	// content; probes stay per-request, so freshness is identical to
 	// rebuilding from scratch.
+	if m.htmlNS != nil {
+		htmlStart := time.Now()
+		defer func() { m.htmlNS.Observe(time.Since(htmlStart).Nanoseconds()) }()
+	}
+	ctx, endSpan := telemetry.StartSpan(r.Context(), "middleware")
+	defer endSpan()
 	pageURL := requestPageURL(r)
 	ent := m.render(pageURL, sw.body())
 
@@ -254,13 +279,16 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		encoded = e.enc
 		m.opts.Metrics.EncodeReuses.Add(1)
 	} else {
-		res := &probeResolver{m: m, req: r}
-		etags := core.ResolveRefs(ent.refs, res, core.BuildOptions{
+		res := &probeResolver{m: m, req: r, ctx: ctx}
+		etags := core.ResolveRefsContext(ctx, ent.refs, res, core.BuildOptions{
 			MaxEntries:  m.opts.MaxMapEntries,
 			Concurrency: m.opts.probeConcurrency(),
 		})
 		encoded = m.capMapBytes(etags).Encode()
-		if m.probeGen.Load() == gen {
+		// Never cache an encoding assembled under a cancelled request: a
+		// client that disconnected mid-render stopped the probe fan-out,
+		// so the map may be a prefix of the real one.
+		if ctx.Err() == nil && m.probeGen.Load() == gen {
 			exp := res.minExpires.Load()
 			if exp == 0 {
 				// No probes ran (a page with no same-origin refs);
@@ -280,8 +308,16 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	h.Set(HeaderName, encoded)
 	h.Set("Etag", ent.tag.String())
+	telemetry.Event(ctx, "map-built", pageURL)
+	if m.opts.ServerTiming {
+		telemetry.AppendServerTiming(h, "map-built")
+	}
 
 	if !etag.NoneMatch(r.Header.Get("If-None-Match"), ent.tag) {
+		telemetry.Event(ctx, "etag-match", pageURL)
+		if m.opts.ServerTiming {
+			telemetry.AppendServerTiming(h, "etag-match")
+		}
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -377,6 +413,8 @@ func jsonStringLen(s string) int {
 type probeResolver struct {
 	m   *middleware
 	req *http.Request
+	// ctx carries the request trace probe decisions are recorded on.
+	ctx context.Context
 	// minExpires tracks the earliest expiry (unix nanoseconds) among the
 	// probes this resolve consulted — the moment the assembled map stops
 	// being trustworthy without a re-probe. Updated from fan-out workers,
@@ -398,13 +436,13 @@ func (p *probeResolver) observe(pr probe) {
 }
 
 func (p *probeResolver) ETagFor(path string) (etag.Tag, bool) {
-	pr := p.m.probe(path, p.req)
+	pr := p.m.probe(path, p.req, p.ctx)
 	p.observe(pr)
 	return pr.tag, pr.ok
 }
 
 func (p *probeResolver) StylesheetBody(path string) (string, bool) {
-	pr := p.m.probe(path, p.req)
+	pr := p.m.probe(path, p.req, p.ctx)
 	p.observe(pr)
 	if !pr.ok || !pr.isCSS {
 		return "", false
@@ -420,10 +458,11 @@ func (p *probeResolver) StylesheetBody(path string) (string, bool) {
 // consecutive failures the path is left alone (and out of the map) for
 // BreakerCooldown, so an inner handler erroring on one path is not hammered
 // on every page render.
-func (m *middleware) probe(path string, via *http.Request) probe {
+func (m *middleware) probe(path string, via *http.Request, ctx context.Context) probe {
 	if pr, ok := m.probes.Get(path); ok && time.Now().Before(pr.expires) {
 		return pr
 	}
+	telemetry.Event(ctx, "probe", path)
 	pr, _, _ := m.probes.Do(path, func() (probe, error) {
 		// Re-check inside the flight: the flight we queued behind may
 		// have refreshed the entry already.
@@ -460,6 +499,7 @@ func (m *middleware) probe(path string, via *http.Request) probe {
 			if pr.fails >= threshold {
 				pr.expires = time.Now().Add(m.opts.BreakerCooldown)
 				m.opts.Metrics.BreakerTrips.Add(1)
+				telemetry.Event(ctx, "breaker-open", path)
 			}
 		}
 		// An observable change — a tag flip, a path appearing, a path

@@ -1,0 +1,115 @@
+package catalyst
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/browser"
+	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/telemetry"
+	"cachecatalyst/internal/vclock"
+)
+
+// taggedInnerSite is innerSite with validators: every response carries an
+// ETag, the way an asset-serving app (or net/http's ServeContent) does.
+// Subresource ETags are what let the Service Worker match the proactive
+// map tokens on the retrofit path — the middleware streams subresources
+// through untouched, so the inner handler's validator is the one clients
+// cache.
+func taggedInnerSite() http.Handler {
+	mux := http.NewServeMux()
+	serve := func(path, contentType, body string) {
+		tag := etag.ForBytes([]byte(body)).String()
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", contentType)
+			w.Header().Set("Etag", tag)
+			if r.Header.Get("If-None-Match") == tag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			_, _ = io.WriteString(w, body)
+		})
+	}
+	serve("/{$}", "text/html; charset=utf-8",
+		`<html><head><link rel="stylesheet" href="/style.css"><script src="/app.js"></script></head><body><img src="/logo.png"></body></html>`)
+	serve("/style.css", "text/css; charset=utf-8", `body { background: url(/bg.png); }`)
+	serve("/app.js", "text/javascript; charset=utf-8", `console.log("app")`)
+	serve("/logo.png", "image/png", "PNG-LOGO")
+	serve("/bg.png", "image/png", "PNG-BG")
+	return mux
+}
+
+// TestMiddlewareTraceEndToEnd drives the full retrofit stack through the
+// simulator — emulated browser → Service Worker → Middleware → inner
+// handler — and checks that the middleware's cache decisions come back to
+// the browser through Server-Timing, annotated onto the fetch events, and
+// that the middleware's instruments land in the shared registry.
+func TestMiddlewareTraceEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var metrics MiddlewareMetrics
+	h := Middleware(taggedInnerSite(), MiddlewareOptions{
+		Metrics:      &metrics,
+		Telemetry:    reg,
+		ServerTiming: true,
+	})
+	clock := vclock.NewVirtual(vclock.Epoch)
+	origins := browser.OriginMap{"site.example": server.NewHandlerOrigin(h)}
+	cond := netsim.Conditions{RTT: 40 * time.Millisecond, DownlinkBps: 60e6}
+	b := browser.New(clock, browser.Catalyst, netsim.TransportOptions{}).WithTelemetry(reg)
+
+	if _, err := b.Load(origins, cond, "site.example", "/"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Hour)
+
+	byPath := make(map[string][]string)
+	b.OnFetch = func(ev browser.FetchEvent) { byPath[ev.Path] = ev.Decisions }
+	res, err := b.Load(origins, cond, "site.example", "/")
+	b.OnFetch = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nav := strings.Join(byPath["/"], " ")
+	if !strings.Contains(nav, "origin:map-built") {
+		t.Errorf("navigation decisions %q missing the middleware's origin:map-built", nav)
+	}
+	if res.LocalHits == 0 {
+		t.Error("warm Catalyst revisit should have Service-Worker hits")
+	}
+	var sawSWHit bool
+	for _, dec := range byPath {
+		for _, d := range dec {
+			if d == "sw-hit" {
+				sawSWHit = true
+			}
+		}
+	}
+	if !sawSWHit {
+		t.Errorf("no sw-hit decision among fetch events: %v", byPath)
+	}
+	if res.Trace == nil || len(res.Trace.Events()) == 0 {
+		t.Fatal("load trace empty")
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"middleware.probes.hits", "middleware.panics_recovered",
+		"browser.httpcache.hits", "sw.site.example.local_hits",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("registry snapshot missing %q (have %d counters)", name, len(snap.Counters))
+		}
+	}
+	if _, ok := snap.Histograms["middleware.html_ns"]; !ok {
+		t.Error("registry snapshot missing middleware.html_ns histogram")
+	}
+	if snap.Counters["sw.site.example.local_hits"] == 0 {
+		t.Error("sw local_hits counter did not move on the warm revisit")
+	}
+}

@@ -5,20 +5,27 @@
 //
 // Usage:
 //
-//	benchdiff OLD.json NEW.json
+//	benchdiff [-tolerance PCT] OLD.json NEW.json
 //
 // Each benchmark's samples (the -count repetitions) are reduced to their
 // median, which is robust against the stray slow iteration a shared CI
 // machine produces. Benchmarks present in only one file are listed but not
-// compared. The exit status is 0 on success and 1 on any usage or parse
-// error — including a missing baseline, which is reported loudly rather
-// than silently compared against nothing.
+// compared.
+//
+// With -tolerance set, benchdiff becomes a gate: any benchmark whose median
+// ns/op regressed by more than the given percentage fails the run. Exit
+// status: 0 when the comparison succeeds within tolerance, 1 when at least
+// one benchmark regressed beyond it, 2 on usage or parse errors — including
+// a missing baseline, which is reported loudly rather than silently
+// compared against nothing.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -123,21 +130,46 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
-		os.Exit(1)
+// Exit codes.
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+)
+
+// run is the testable entry point: it parses args (without the program
+// name), writes the comparison to stdout and diagnostics to stderr, and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tolerance := fs.Float64("tolerance", 0,
+		"fail (exit 1) if any benchmark's median ns/op regressed by more than this percentage; 0 disables the gate")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [-tolerance PCT] OLD.json NEW.json")
+		fs.PrintDefaults()
 	}
-	oldPath, newPath := os.Args[1], os.Args[2]
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return exitUsage
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(stderr, "benchdiff: -tolerance must be non-negative")
+		return exitUsage
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
 	old, err := parseFile(oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: baseline unusable: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: baseline unusable: %v\n", err)
+		return exitUsage
 	}
 	cur, err := parseFile(newPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: current run unusable: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: current run unusable: %v\n", err)
+		return exitUsage
 	}
 
 	names := make([]string, 0, len(old)+len(cur))
@@ -153,18 +185,35 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressed []string
+	fmt.Fprintf(stdout, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, n := range names {
 		o, hasOld := old[n]
 		c, hasNew := cur[n]
 		switch {
 		case !hasOld:
-			fmt.Printf("%-55s %14s %14.0f %9s\n", n, "-", median(c), "new")
+			fmt.Fprintf(stdout, "%-55s %14s %14.0f %9s\n", n, "-", median(c), "new")
 		case !hasNew:
-			fmt.Printf("%-55s %14.0f %14s %9s\n", n, median(o), "-", "gone")
+			fmt.Fprintf(stdout, "%-55s %14.0f %14s %9s\n", n, median(o), "-", "gone")
 		default:
 			om, cm := median(o), median(c)
-			fmt.Printf("%-55s %14.0f %14.0f %+8.1f%%\n", n, om, cm, (cm-om)/om*100)
+			delta := (cm - om) / om * 100
+			fmt.Fprintf(stdout, "%-55s %14.0f %14.0f %+8.1f%%\n", n, om, cm, delta)
+			if *tolerance > 0 && delta > *tolerance {
+				regressed = append(regressed, fmt.Sprintf("%s (%+.1f%% > %+.1f%%)", n, delta, *tolerance))
+			}
 		}
 	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond tolerance:\n", len(regressed))
+		for _, r := range regressed {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return exitRegression
+	}
+	return exitOK
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

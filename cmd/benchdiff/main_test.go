@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStream renders benchmark output lines as a `go test -json` stream.
+func writeStream(t *testing.T, name string, lines []string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, l := range lines {
+		if err := enc.Encode(event{Action: "output", Output: l + "\n"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFileFusedAndSplitLines(t *testing.T) {
+	path := writeStream(t, "a.json", []string{
+		"goos: linux",
+		"BenchmarkFast-8   \t 1000 \t 100 ns/op \t 0 B/op",
+		// test2json split form: bare name, then samples.
+		"BenchmarkSlow",
+		"  500 \t 200 ns/op",
+		"  500 \t 300 ns/op",
+		"PASS",
+	})
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkFast"]) != 1 || got["BenchmarkFast"][0] != 100 {
+		t.Errorf("BenchmarkFast samples = %v, want [100]", got["BenchmarkFast"])
+	}
+	if len(got["BenchmarkSlow"]) != 2 {
+		t.Errorf("BenchmarkSlow samples = %v, want two", got["BenchmarkSlow"])
+	}
+}
+
+func TestParseFileNoResults(t *testing.T) {
+	path := writeStream(t, "empty.json", []string{"goos: linux", "PASS"})
+	if _, err := parseFile(path); err == nil {
+		t.Fatal("want error for stream without benchmark results")
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line, pending string
+		wantName      string
+		wantNS        float64
+		wantOK        bool
+	}{
+		{"BenchmarkX-16 \t 10 \t 42 ns/op", "", "BenchmarkX", 42, true},
+		{"123 \t 7.5 ns/op", "BenchmarkY", "BenchmarkY", 7.5, true},
+		{"123 \t 7.5 ns/op", "", "", 0, false},
+		{"PASS", "BenchmarkY", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line, c.pending)
+		if name != c.wantName || ns != c.wantNS || ok != c.wantOK {
+			t.Errorf("parseBenchLine(%q, %q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, c.pending, name, ns, ok, c.wantName, c.wantNS, c.wantOK)
+		}
+	}
+}
+
+func TestBenchName(t *testing.T) {
+	if got := benchName("BenchmarkFoo-8"); got != "BenchmarkFoo" {
+		t.Errorf("benchName stripped to %q", got)
+	}
+	if got := benchName("BenchmarkBar"); got != "BenchmarkBar" {
+		t.Errorf("benchName(%q) = %q", "BenchmarkBar", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+}
+
+func bench(name string, ns float64) string {
+	return fmt.Sprintf("%s-8 \t 100 \t %g ns/op", name, ns)
+}
+
+func TestRunExitCodes(t *testing.T) {
+	old := writeStream(t, "old.json", []string{bench("BenchmarkA", 100)})
+	fast := writeStream(t, "fast.json", []string{bench("BenchmarkA", 102)})
+	slow := writeStream(t, "slow.json", []string{bench("BenchmarkA", 200)})
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"within tolerance", []string{"-tolerance", "5", old, fast}, exitOK},
+		{"no gate ignores regression", []string{old, slow}, exitOK},
+		{"regression beyond tolerance", []string{"-tolerance", "5", old, slow}, exitRegression},
+		{"missing arg", []string{old}, exitUsage},
+		{"negative tolerance", []string{"-tolerance", "-1", old, fast}, exitUsage},
+		{"missing baseline", []string{filepath.Join(t.TempDir(), "nope.json"), fast}, exitUsage},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		if got := run(c.args, &out, &errb); got != c.want {
+			t.Errorf("%s: run(%v) = %d, want %d (stderr: %s)", c.name, c.args, got, c.want, errb.String())
+		}
+	}
+}
+
+func TestRunReportsRegressedBenchmarks(t *testing.T) {
+	old := writeStream(t, "old.json", []string{bench("BenchmarkA", 100)})
+	slow := writeStream(t, "slow.json", []string{bench("BenchmarkA", 150)})
+	var out, errb bytes.Buffer
+	if got := run([]string{"-tolerance", "10", old, slow}, &out, &errb); got != exitRegression {
+		t.Fatalf("run = %d, want %d", got, exitRegression)
+	}
+	if !strings.Contains(errb.String(), "BenchmarkA") {
+		t.Errorf("stderr does not name the regressed benchmark: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "+50.0%") {
+		t.Errorf("stdout missing delta: %s", out.String())
+	}
+}

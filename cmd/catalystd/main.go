@@ -24,6 +24,7 @@ import (
 
 	"cachecatalyst/catalyst"
 	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +33,9 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		record  = flag.Bool("record", false, "enable first-visit session recording")
 		plain   = flag.Bool("plain", false, "disable CacheCatalyst (baseline mode)")
-		metrics = flag.Bool("metrics", false, "expose counters and recent requests at "+catalyst.MetricsPath)
+		metrics = flag.Bool("metrics", false, "expose counters, telemetry registry and recent requests at "+catalyst.MetricsPath)
+		pprof   = flag.Bool("pprof", false, "with -metrics, also mount net/http/pprof under /debug/pprof/")
+		timing  = flag.Bool("server-timing", false, "report per-request cache decisions in Server-Timing response headers")
 	)
 	flag.Parse()
 
@@ -41,8 +44,10 @@ func main() {
 	}
 
 	accessLog := 0
+	var reg *telemetry.Registry
 	if *metrics {
 		accessLog = 256
+		reg = telemetry.NewRegistry()
 	}
 	var srv *server.Server
 	if *plain {
@@ -50,7 +55,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("catalystd: %v", err)
 		}
-		srv = server.New(content, server.Options{AccessLogSize: accessLog})
+		srv = server.New(content, server.Options{AccessLogSize: accessLog, Telemetry: reg, ServerTiming: *timing})
 		fmt.Printf("catalystd: serving %s on %s (conventional caching)\n", *dir, *addr)
 	} else {
 		var err error
@@ -58,6 +63,8 @@ func main() {
 			Record:        *record,
 			Policy:        catalyst.DefaultPolicy,
 			AccessLogSize: accessLog,
+			Telemetry:     reg,
+			ServerTiming:  *timing,
 		})
 		if err != nil {
 			log.Fatalf("catalystd: %v", err)
@@ -68,8 +75,11 @@ func main() {
 
 	handler := http.Handler(srv)
 	if *metrics {
-		handler = catalyst.WithMetrics(srv)
+		handler = catalyst.WithMetricsOptions(srv, catalyst.MetricsOptions{Telemetry: reg, PProf: *pprof})
 		fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
+		if *pprof {
+			fmt.Println("catalystd: pprof at /debug/pprof/")
+		}
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

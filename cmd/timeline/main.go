@@ -92,7 +92,7 @@ func makeWorld(clock vclock.Clock, catalyst bool) *world {
 	c.SetBody("/b.js", "//@fetch /c.js\n", server.CachePolicy{NoCache: true})
 	c.SetBody("/c.js", "//@fetch /d.jpg\n", week)
 	c.SetBody("/d.jpg", "JPEG-VERSION-1", server.CachePolicy{MaxAge: time.Hour, HasMaxAge: true})
-	srv := server.New(c, server.Options{Catalyst: catalyst, Record: catalyst, Clock: clock})
+	srv := server.New(c, server.Options{Catalyst: catalyst, Record: catalyst, Clock: clock, ServerTiming: true})
 	return &world{content: c, origins: browser.OriginMap{host: server.NewOrigin(srv)}}
 }
 
@@ -138,6 +138,9 @@ func printWaterfall(name string, b *browser.Browser, w *world, clock vclock.Cloc
 		label := ev.Source
 		if ev.Revalidated {
 			label = "304"
+		}
+		if len(ev.Decisions) > 0 {
+			label += "  [" + strings.Join(ev.Decisions, " ") + "]"
 		}
 		fmt.Printf("  %-12s |%s| %6.1fms  %s\n", strings.TrimPrefix(ev.Path, "/"), bar,
 			float64(ev.End.Microseconds())/1000, label)

@@ -7,17 +7,28 @@
 // the experiment: the resilience layer keeps every load finite and every
 // cache clean, and CacheCatalyst's revisit advantage survives the faults.
 //
+// With -har DIR, the warm Catalyst revisit of every cell is also exported as
+// an annotated HAR: each entry's _decisions field carries the cache decisions
+// every layer took for that request — the browser's own plus the origin's,
+// mirrored back through Server-Timing.
+//
 //	go run ./examples/chaos
+//	go run ./examples/chaos -har /tmp/chaos-hars
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"cachecatalyst/internal/browser"
 	"cachecatalyst/internal/netsim"
 	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/trace"
 	"cachecatalyst/internal/vclock"
 )
 
@@ -60,10 +71,11 @@ type cellResult struct {
 }
 
 // run loads the site cold, advances two hours, reloads warm — all under the
-// given fault matrix — and reports the warm visit.
-func run(catalyst bool, cfg netsim.ChaosConfig) cellResult {
+// given fault matrix — and reports the warm visit. A non-empty harPath also
+// writes the warm visit's annotated HAR there.
+func run(catalyst bool, cfg netsim.ChaosConfig, harPath string) cellResult {
 	clock := vclock.NewVirtual(vclock.Epoch)
-	srv := server.New(figure1Site(), server.Options{Catalyst: catalyst, Record: catalyst, Clock: clock})
+	srv := server.New(figure1Site(), server.Options{Catalyst: catalyst, Record: catalyst, Clock: clock, ServerTiming: true})
 	chaos := netsim.NewChaosOrigin(server.NewOrigin(srv), cfg)
 	origins := browser.OriginMap{"site.example": chaos}
 	cond := netsim.Conditions{RTT: 40 * time.Millisecond, DownlinkBps: 60e6}
@@ -80,9 +92,25 @@ func run(catalyst bool, cfg netsim.ChaosConfig) cellResult {
 		log.Fatal(err)
 	}
 	clock.Advance(2 * time.Hour)
+	var col *trace.Collector
+	if harPath != "" {
+		col = trace.NewCollector(clock.Now())
+		b.OnFetch = col.Record
+	}
 	warm, err := b.Load(origins, cond, "site.example", "/index.html")
+	b.OnFetch = nil
 	if err != nil {
 		log.Fatal(err)
+	}
+	if col != nil {
+		har := col.HAR("https://site.example/index.html", warm.PLT)
+		data, err := har.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(harPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 	return cellResult{
 		warmPLT: warm.PLT,
@@ -92,7 +120,27 @@ func run(catalyst bool, cfg netsim.ChaosConfig) cellResult {
 	}
 }
 
+// harName renders a fault-cell name as a file-name-safe slug.
+func harName(dir, cell, mode string) string {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, strings.ToLower(cell))
+	return filepath.Join(dir, slug+"-"+mode+".har")
+}
+
 func main() {
+	harDir := flag.String("har", "", "write one annotated HAR per grid cell and mode into this directory")
+	flag.Parse()
+	if *harDir != "" {
+		if err := os.MkdirAll(*harDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 	fmt.Println("Figure-1 site, 40 ms RTT, warm revisit after 2 h, retry budget 3")
 	fmt.Println()
 	fmt.Printf("%-16s %10s %24s %24s\n", "", "injected", "conventional", "catalyst")
@@ -100,8 +148,13 @@ func main() {
 		"fault cell", "faults", "warm PLT", "err", "retry", "warm PLT", "err", "retry")
 	var convTotal, catTotal time.Duration
 	for _, cell := range grid {
-		conv := run(false, cell.cfg)
-		cat := run(true, cell.cfg)
+		var convHAR, catHAR string
+		if *harDir != "" {
+			convHAR = harName(*harDir, cell.name, "conventional")
+			catHAR = harName(*harDir, cell.name, "catalyst")
+		}
+		conv := run(false, cell.cfg, convHAR)
+		cat := run(true, cell.cfg, catHAR)
 		convTotal += conv.warmPLT
 		catTotal += cat.warmPLT
 		fmt.Printf("%-16s %10d %10.0fms %5d %5d %10.0fms %5d %5d\n",
@@ -114,6 +167,9 @@ func main() {
 		ms(convTotal), ms(catTotal))
 	fmt.Println("\nFaults cost retries and (at worst) errors, never hangs or poisoned")
 	fmt.Println("caches; the proactive-token advantage persists across every cell.")
+	if *harDir != "" {
+		fmt.Printf("\nwrote annotated HARs (per-entry _decisions) to %s\n", *harDir)
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -12,6 +12,7 @@
 package browser
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -27,6 +28,7 @@ import (
 	"cachecatalyst/internal/jsexec"
 	"cachecatalyst/internal/netsim"
 	"cachecatalyst/internal/sw"
+	"cachecatalyst/internal/telemetry"
 	"cachecatalyst/internal/vclock"
 )
 
@@ -116,6 +118,10 @@ type LoadResult struct {
 	// needed — the wasted bandwidth §5 attributes to push-all.
 	PushedResources int
 	PushedUnused    int
+	// Trace is the load's request trace: every cache decision any layer
+	// recorded, in order. LoadContext reuses a trace already carried by
+	// the context; otherwise each load gets a fresh one.
+	Trace *telemetry.Trace
 }
 
 // Browser is an emulated browser. State (HTTP cache, Service Workers)
@@ -129,6 +135,7 @@ type Browser struct {
 	transport netsim.TransportOptions
 	cache     *httpcache.Cache
 	registry  *sw.Registry
+	telemetry *telemetry.Registry // nil unless WithTelemetry was called
 	// cookies holds name→value per host; enough for the session cookie
 	// the recording extension depends on.
 	cookies map[string]map[string]string
@@ -162,6 +169,12 @@ type FetchEvent struct {
 	// report 200 with Revalidated set.
 	Status      int
 	Revalidated bool
+	// Decisions are the cache decisions behind this delivery, in order:
+	// the client's own ("sw-hit", "cache", "revalidate", "etag-match",
+	// "network", "pushed") followed by any the origin mirrored back in a
+	// Server-Timing header, prefixed "origin:". HAR exports carry them as
+	// the entry's _decisions annotation.
+	Decisions []string
 }
 
 // New returns a browser with empty caches.
@@ -180,10 +193,28 @@ func (b *Browser) Cache() *httpcache.Cache { return b.cache }
 // Workers returns the Service-Worker registry.
 func (b *Browser) Workers() *sw.Registry { return b.registry }
 
+// WithTelemetry indexes the browser's caches in reg: the HTTP cache's
+// counters under "browser.httpcache.*" and each Service Worker's under
+// "sw.<origin>.*". The wiring survives ClearState (fresh caches re-register
+// over the old names). Returns b for chaining at construction.
+func (b *Browser) WithTelemetry(reg *telemetry.Registry) *Browser {
+	b.telemetry = reg
+	b.ClearState()
+	return b
+}
+
+// Telemetry returns the registry passed to WithTelemetry, or nil.
+func (b *Browser) Telemetry() *telemetry.Registry { return b.telemetry }
+
 // ClearState discards all client state — the paper's "cold cache" setup.
 func (b *Browser) ClearState() {
-	b.cache = httpcache.New(b.clock, httpcache.Options{})
-	b.registry = sw.NewRegistry()
+	opts := httpcache.Options{}
+	if b.telemetry != nil {
+		opts.Telemetry = b.telemetry
+		opts.Name = "browser.httpcache"
+	}
+	b.cache = httpcache.New(b.clock, opts)
+	b.registry = sw.NewRegistry().WithTelemetry(b.telemetry)
 	b.cookies = make(map[string]map[string]string)
 }
 
@@ -225,12 +256,25 @@ func (b *Browser) storeCookies(host string, resp *httpcache.Response) {
 // conditions and returns the load metrics. Origins must resolve host (and
 // any cross-origin hosts the page references).
 func (b *Browser) Load(origins Origins, cond netsim.Conditions, host, path string) (LoadResult, error) {
+	return b.LoadContext(context.Background(), origins, cond, host, path)
+}
+
+// LoadContext is Load with request tracing: every cache decision the load
+// makes — locally and, via Server-Timing, at the origin — is recorded on the
+// context's telemetry trace (a fresh one is started when ctx carries none)
+// and returned in LoadResult.Trace.
+func (b *Browser) LoadContext(ctx context.Context, origins Origins, cond netsim.Conditions, host, path string) (LoadResult, error) {
 	origin, ok := origins.Lookup(host)
 	if !ok {
 		return LoadResult{}, fmt.Errorf("browser: no origin for host %q", host)
 	}
+	ctx, tr := telemetry.StartTrace(ctx, "")
+	ctx, endSpan := telemetry.StartSpan(ctx, "load")
+	defer endSpan()
 	l := &loader{
 		b:         b,
+		ctx:       ctx,
+		trace:     tr,
 		sim:       netsim.NewSim(),
 		origins:   origins,
 		cond:      cond,
@@ -239,6 +283,7 @@ func (b *Browser) Load(origins Origins, cond netsim.Conditions, host, path strin
 		pageHost:  host,
 		pagePath:  path,
 	}
+	l.result.Trace = tr
 	l.endpoints[host] = netsim.NewEndpoint(l.sim, cond, origin, b.transport)
 
 	l.sim.After(0, func() { l.fetch(host, path, htmlparse.KindDocument) })
@@ -264,6 +309,8 @@ func (b *Browser) Load(origins Origins, cond netsim.Conditions, host, path strin
 // loader is the per-navigation state machine.
 type loader struct {
 	b         *Browser
+	ctx       context.Context
+	trace     *telemetry.Trace
 	sim       *netsim.Sim
 	origins   Origins
 	cond      netsim.Conditions
@@ -365,15 +412,26 @@ func (l *loader) fetch(host, path string, kind htmlparse.ResourceKind) {
 	}
 }
 
+// decide records each decision on the load's trace (tagged with the
+// resource key) and returns the slice for the FetchEvent.
+func (l *loader) decide(host, path string, decisions []string) []string {
+	for _, d := range decisions {
+		telemetry.Event(l.ctx, d, host+path)
+	}
+	return decisions
+}
+
 // deliverLocal serves a response from client state with zero network time.
-func (l *loader) deliverLocal(host, path string, kind htmlparse.ResourceKind, source string, resp *httpcache.Response) {
+func (l *loader) deliverLocal(host, path string, kind htmlparse.ResourceKind, source string, resp *httpcache.Response, decisions ...string) {
 	l.result.LocalHits++
 	l.sim.After(0, func() {
+		dec := l.decide(host, path, decisions)
 		if l.b.OnFetch != nil {
 			l.b.OnFetch(FetchEvent{
 				Host: host, Path: path,
 				Start: l.sim.Now(), End: l.sim.Now(),
 				Source: source, Status: resp.StatusCode,
+				Decisions: dec,
 			})
 		}
 		l.process(host, path, kind, resp)
@@ -400,7 +458,7 @@ func (l *loader) fetchViaHTTPCache(host, path string, kind htmlparse.ResourceKin
 		if after != nil {
 			after(entry.Response)
 		}
-		l.deliverLocal(host, path, kind, "cache", entry.Response)
+		l.deliverLocal(host, path, kind, "cache", entry.Response, "cache")
 		return
 	case httpcache.Stale:
 		hdr := make(http.Header)
@@ -470,8 +528,8 @@ func (l *loader) fetchCatalyst(host, path string, kind htmlparse.ResourceKind, i
 		return
 	}
 	if registered {
-		if resp, ok := worker.HandleFetch(swKey); ok {
-			l.deliverLocal(host, path, kind, "sw", resp)
+		if resp, ok := worker.HandleFetchContext(l.ctx, swKey); ok {
+			l.deliverLocal(host, path, kind, "sw", resp, "sw-hit")
 			return
 		}
 	}
@@ -511,7 +569,7 @@ func (l *loader) fetchBundled(host, path string, kind htmlparse.ResourceKind, is
 		if resp, ok := l.pushed[path]; ok {
 			l.pushedUsed[path] = true
 			l.result.PushedUnused = len(l.pushed) - len(l.pushedUsed)
-			l.deliverLocal(host, path, kind, "pushed", resp)
+			l.deliverLocal(host, path, kind, "pushed", resp, "pushed")
 			return
 		}
 	}
@@ -532,6 +590,9 @@ func (l *loader) networkFetch(host, path string, kind htmlparse.ResourceKind, hd
 		return
 	}
 	hdr.Set("Referer", "https://"+l.pageHost+l.pagePath)
+	if l.trace != nil {
+		hdr.Set(telemetry.RequestIDHeader, l.trace.ID)
+	}
 	if c := l.b.cookieHeader(host); c != "" {
 		hdr.Set("Cookie", c)
 	}
@@ -562,6 +623,7 @@ func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlp
 			return
 		}
 		l.b.storeCookies(host, fr.Resp)
+		dec := l.networkDecisions(host, path, hdr, fr.Resp)
 		if fr.Resp.Truncated {
 			// The body is a prefix of the real entity: never cache it,
 			// never process it as content — the resource simply failed.
@@ -572,6 +634,7 @@ func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlp
 					Host: host, Path: path,
 					Start: reqAt, End: fr.End,
 					Source: "network", Status: fr.Resp.StatusCode,
+					Decisions: dec,
 				})
 			}
 			l.completeBlocking(host, path)
@@ -584,6 +647,7 @@ func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlp
 				Start: reqAt, End: fr.End,
 				Source: "network", Status: resp.StatusCode,
 				Revalidated: fr.Resp.StatusCode == http.StatusNotModified,
+				Decisions:   dec,
 			})
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -593,6 +657,26 @@ func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlp
 		}
 		l.process(host, path, kind, resp)
 	})
+}
+
+// networkDecisions derives the decision annotation for one network
+// delivery — the client's view (revalidate / etag-match / network) followed
+// by whatever the origin reported back via Server-Timing, prefixed
+// "origin:" — and records it on the load's trace.
+func (l *loader) networkDecisions(host, path string, hdr http.Header, resp *httpcache.Response) []string {
+	dec := make([]string, 0, 4)
+	if hdr.Get("If-None-Match") != "" || hdr.Get("If-Modified-Since") != "" {
+		dec = append(dec, "revalidate")
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		dec = append(dec, "etag-match")
+	} else {
+		dec = append(dec, "network")
+	}
+	for _, tok := range telemetry.ParseServerTiming(resp.Header.Get(telemetry.ServerTimingHeader)) {
+		dec = append(dec, "origin:"+tok)
+	}
+	return l.decide(host, path, dec)
 }
 
 // absTime maps a sim offset to the browser's wall clock (the load starts at

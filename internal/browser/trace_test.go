@@ -1,0 +1,110 @@
+package browser
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/telemetry"
+	"cachecatalyst/internal/vclock"
+)
+
+// timedWorld is newWorld with Server-Timing enabled, so the origin mirrors
+// its cache decisions back to the client.
+func timedWorld(catalyst bool) *world {
+	w := &world{clock: vclock.NewVirtual(vclock.Epoch), content: figure1Site()}
+	w.srv = server.New(w.content, server.Options{
+		Catalyst: catalyst, Record: catalyst, Clock: w.clock, ServerTiming: true,
+	})
+	w.origins = OriginMap{"site.example": server.NewOrigin(w.srv)}
+	return w
+}
+
+func decisionsByPath(b *Browser, w *world, t *testing.T) (map[string][]string, LoadResult) {
+	t.Helper()
+	byPath := make(map[string][]string)
+	b.OnFetch = func(ev FetchEvent) { byPath[ev.Path] = ev.Decisions }
+	defer func() { b.OnFetch = nil }()
+	res := mustLoad(t, b, w)
+	return byPath, res
+}
+
+// TestLoadTraceEndToEnd exercises the full telemetry spine: the Catalyst
+// warm revisit must surface SW hits, the client's revalidation, and —
+// via Server-Timing — the origin's own decisions, on both the FetchEvents
+// and the load's trace.
+func TestLoadTraceEndToEnd(t *testing.T) {
+	w := timedWorld(true)
+	b := New(w.clock, Catalyst, netsim.TransportOptions{})
+	mustLoad(t, b, w) // cold visit warms the SW
+	w.clock.Advance(2 * time.Hour)
+
+	byPath, res := decisionsByPath(b, w, t)
+
+	if res.Trace == nil {
+		t.Fatal("LoadResult.Trace is nil")
+	}
+	nav := strings.Join(byPath["/index.html"], " ")
+	for _, want := range []string{"revalidate", "etag-match", "origin:etag-match"} {
+		if !strings.Contains(nav, want) {
+			t.Errorf("navigation decisions %q missing %q", nav, want)
+		}
+	}
+	for _, sub := range []string{"/a.css", "/c.js"} {
+		if got := strings.Join(byPath[sub], " "); got != "sw-hit" {
+			t.Errorf("%s decisions = %q, want \"sw-hit\"", sub, got)
+		}
+	}
+	all := strings.Join(res.Trace.Decisions(), " ")
+	for _, want := range []string{"sw-hit", "revalidate", "etag-match"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("trace decisions %q missing %q", all, want)
+		}
+	}
+	if len(res.Trace.Spans()) == 0 {
+		t.Error("trace has no spans; LoadContext should record a load span")
+	}
+}
+
+// TestLoadContextReusesCallerTrace checks one-navigation-one-trace: a trace
+// already on the context is adopted, not replaced.
+func TestLoadContextReusesCallerTrace(t *testing.T) {
+	w := timedWorld(false)
+	b := New(w.clock, Conventional, netsim.TransportOptions{})
+	ctx, tr := telemetry.StartTrace(context.Background(), "r-fixed")
+	res, err := b.LoadContext(ctx, w.origins, cond40ms(), "site.example", "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != tr {
+		t.Fatalf("LoadResult.Trace = %v, want the caller's trace %v", res.Trace, tr)
+	}
+	if res.Trace.ID != "r-fixed" {
+		t.Errorf("trace ID = %q, want %q", res.Trace.ID, "r-fixed")
+	}
+	if len(tr.Events()) == 0 {
+		t.Error("caller trace recorded no events")
+	}
+}
+
+// TestConventionalRevisitDecisions covers the non-Catalyst path: fresh
+// cache hits and timestamp/ETag revalidations annotate their events.
+func TestConventionalRevisitDecisions(t *testing.T) {
+	w := timedWorld(false)
+	b := New(w.clock, Conventional, netsim.TransportOptions{})
+	mustLoad(t, b, w)
+	w.clock.Advance(2 * time.Hour)
+
+	byPath, _ := decisionsByPath(b, w, t)
+
+	if got := strings.Join(byPath["/a.css"], " "); got != "cache" {
+		t.Errorf("/a.css decisions = %q, want \"cache\"", got)
+	}
+	nav := strings.Join(byPath["/index.html"], " ")
+	if !strings.Contains(nav, "revalidate") || !strings.Contains(nav, "etag-match") {
+		t.Errorf("navigation decisions = %q, want revalidate + etag-match", nav)
+	}
+}

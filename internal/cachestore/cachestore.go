@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"cachecatalyst/internal/telemetry"
 )
 
 // Options configures a Store.
@@ -40,6 +42,15 @@ type Options[V any] struct {
 	// or replacement. It is called with no shard lock held, so it may
 	// call back into the store.
 	OnEvict func(key string, v V)
+	// Telemetry, when set together with Name, registers the store's
+	// counters in the given registry as "<Name>.hits", "<Name>.misses",
+	// "<Name>.puts", "<Name>.evictions", "<Name>.loads" and
+	// "<Name>.loads_shared". The registry indexes the store's own
+	// counters — Counters() and the registry snapshot read the same
+	// storage.
+	Telemetry *telemetry.Registry
+	// Name qualifies the store's instruments in Telemetry.
+	Name string
 }
 
 // Counters is a snapshot of a store's atomic counters.
@@ -118,8 +129,8 @@ type Store[V any] struct {
 	bytes atomic.Int64
 	touch atomic.Uint64 // LRU stamps
 
-	hits, misses, puts, evictions atomic.Int64
-	loads, loadsShared            atomic.Int64
+	hits, misses, puts, evictions telemetry.Counter
+	loads, loadsShared            telemetry.Counter
 
 	flight flightGroup[V]
 }
@@ -148,6 +159,14 @@ func New[V any](opts Options[V]) *Store[V] {
 		s.shards[i].items = make(map[string]*node[V])
 	}
 	s.flight.calls = make(map[string]*flightCall[V])
+	if opts.Telemetry != nil && opts.Name != "" {
+		opts.Telemetry.RegisterCounter(opts.Name+".hits", &s.hits)
+		opts.Telemetry.RegisterCounter(opts.Name+".misses", &s.misses)
+		opts.Telemetry.RegisterCounter(opts.Name+".puts", &s.puts)
+		opts.Telemetry.RegisterCounter(opts.Name+".evictions", &s.evictions)
+		opts.Telemetry.RegisterCounter(opts.Name+".loads", &s.loads)
+		opts.Telemetry.RegisterCounter(opts.Name+".loads_shared", &s.loadsShared)
+	}
 	return s
 }
 

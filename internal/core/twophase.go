@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"net/url"
 	"strings"
 	"sync"
@@ -141,6 +142,17 @@ func resolveCrossOrigin(base *url.URL, ref string) (string, bool) {
 // map is deterministic: entries are admitted in extraction order, level by
 // level, and MaxEntries truncates that order.
 func ResolveRefs(refs []Ref, res Resolver, opts BuildOptions) ETagMap {
+	return ResolveRefsContext(context.Background(), refs, res, opts)
+}
+
+// ResolveRefsContext is ResolveRefs with cancellation: once ctx is done no
+// further Resolver lookups are started — workers finish the call they are
+// in, drain, and the map assembled so far is returned. An abandoned page
+// build (a client that disconnected mid-render) therefore stops fanning
+// probes out at the origin instead of completing the whole BFS. Callers
+// that cache assembled maps must not cache a cancelled resolve's partial
+// result; check ctx.Err() after the call.
+func ResolveRefsContext(ctx context.Context, refs []Ref, res Resolver, opts BuildOptions) ETagMap {
 	depth := opts.MaxCSSDepth
 	if depth == 0 {
 		depth = defaultMaxCSSDepth
@@ -162,7 +174,7 @@ func ResolveRefs(refs []Ref, res Resolver, opts BuildOptions) ETagMap {
 			level = append(level, r)
 		}
 	}
-	for len(level) > 0 {
+	for len(level) > 0 && ctx.Err() == nil {
 		// Decide recursion up front, while still single-threaded, so the
 		// workers never touch the shared seen/seenCSS maps.
 		recurse := make([]bool, len(level))
@@ -173,7 +185,7 @@ func ResolveRefs(refs []Ref, res Resolver, opts BuildOptions) ETagMap {
 			}
 		}
 		outs := make([]outcome, len(level))
-		runIndexed(len(level), opts.workers(), func(i int) {
+		runIndexed(ctx, len(level), opts.workers(), func(i int) {
 			r := level[i]
 			if r.Cross {
 				if opts.CrossOriginETag == nil {
@@ -234,13 +246,21 @@ func (o BuildOptions) workers() int {
 
 // runIndexed calls fn(i) for every i in [0, n), fanning the calls out across
 // at most workers goroutines. workers <= 1 runs inline with zero goroutine
-// overhead.
-func runIndexed(n, workers int, fn func(int)) {
+// overhead. Once ctx is done no further calls start; in-flight calls finish
+// and every worker goroutine exits before runIndexed returns — cancellation
+// never leaks a worker.
+func runIndexed(ctx context.Context, n, workers int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			fn(i)
 		}
 		return
@@ -252,6 +272,11 @@ func runIndexed(n, workers int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

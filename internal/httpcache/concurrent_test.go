@@ -5,7 +5,6 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -77,12 +76,11 @@ func TestCacheConcurrentStress(t *testing.T) {
 	if sum != c.Bytes() {
 		t.Fatalf("byte accounting drifted: entries sum to %d, Bytes() = %d", sum, c.Bytes())
 	}
-	hits := atomic.LoadInt64(&c.Hits)
-	misses := atomic.LoadInt64(&c.Misses)
-	if hits+misses == 0 {
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
 		t.Fatal("stress recorded no lookups")
 	}
-	if atomic.LoadInt64(&c.Evictions) == 0 {
+	if st.Evictions == 0 {
 		t.Fatal("bounded cache never evicted under stress")
 	}
 }

@@ -17,12 +17,12 @@ package httpcache
 import (
 	"net/http"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/telemetry"
 	"cachecatalyst/internal/vclock"
 )
 
@@ -121,21 +121,50 @@ type Options struct {
 	// the freshness lifetime when the response carries no explicit
 	// expiration (RFC 9111 §4.2.2 suggests 10%). Zero selects the default.
 	HeuristicFraction float64
+	// Telemetry, when set, registers the cache's counters in the given
+	// registry as "<Name>.hits", "<Name>.misses", "<Name>.validations"
+	// and "<Name>.evictions". The registry indexes the cache's own
+	// counters: Stats() and the registry snapshot read the same storage.
+	Telemetry *telemetry.Registry
+	// Name qualifies the cache's instruments in Telemetry; empty selects
+	// "httpcache".
+	Name string
 }
 
 // DefaultHeuristicFraction is the RFC-suggested 10%.
 const DefaultHeuristicFraction = 0.1
 
 // Cache is a private HTTP cache backed by internal/cachestore, and safe
-// for concurrent use. The counter fields are updated atomically; read
-// them with atomic.LoadInt64 while the cache is in concurrent use.
+// for concurrent use. Counters live in telemetry instruments; read them
+// through Stats().
 type Cache struct {
 	clock vclock.Clock
 	opts  Options
 	store *cachestore.Store[*Entry]
 
-	// Counters for experiment reporting.
-	Hits, Misses, Validations, Evictions int64
+	// Counters for experiment reporting — shared storage with any
+	// registry passed in Options.Telemetry.
+	hits, misses, validations, evictions telemetry.Counter
+}
+
+// CacheStats is a snapshot of a Cache's counters.
+type CacheStats struct {
+	// Hits counts fresh lookups served without contacting the origin;
+	// Misses counts lookups with nothing usable stored.
+	Hits, Misses int64
+	// Validations counts stale lookups that required a conditional
+	// request; Evictions counts entries removed by the byte budget.
+	Validations, Evictions int64
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Validations: c.validations.Load(),
+		Evictions:   c.evictions.Load(),
+	}
 }
 
 // New returns an empty cache driven by the given clock.
@@ -151,8 +180,18 @@ func New(clock vclock.Clock, opts Options) *Cache {
 		Shards:   1,
 		MaxBytes: opts.MaxBytes,
 		SizeOf:   func(_ string, e *Entry) int64 { return e.Size() },
-		OnEvict:  func(string, *Entry) { atomic.AddInt64(&c.Evictions, 1) },
+		OnEvict:  func(string, *Entry) { c.evictions.Add(1) },
 	})
+	if opts.Telemetry != nil {
+		name := opts.Name
+		if name == "" {
+			name = "httpcache"
+		}
+		opts.Telemetry.RegisterCounter(name+".hits", &c.hits)
+		opts.Telemetry.RegisterCounter(name+".misses", &c.misses)
+		opts.Telemetry.RegisterCounter(name+".validations", &c.validations)
+		opts.Telemetry.RegisterCounter(name+".evictions", &c.evictions)
+	}
 	return c
 }
 
@@ -239,11 +278,11 @@ func (c *Cache) Get(url string) (*Entry, State) {
 func (c *Cache) GetWithRequest(url string, reqHeader http.Header) (*Entry, State) {
 	e, ok := c.store.Get(url)
 	if !ok {
-		atomic.AddInt64(&c.Misses, 1)
+		c.misses.Add(1)
 		return nil, Miss
 	}
 	if _, star := e.varyValues["*"]; star {
-		atomic.AddInt64(&c.Validations, 1)
+		c.validations.Add(1)
 		return e, Stale
 	}
 	for name, stored := range e.varyValues {
@@ -252,15 +291,15 @@ func (c *Cache) GetWithRequest(url string, reqHeader http.Header) (*Entry, State
 			got = reqHeader.Get(name)
 		}
 		if got != stored {
-			atomic.AddInt64(&c.Misses, 1)
+			c.misses.Add(1)
 			return nil, Miss
 		}
 	}
 	if c.isFresh(e) {
-		atomic.AddInt64(&c.Hits, 1)
+		c.hits.Add(1)
 		return e, Fresh
 	}
-	atomic.AddInt64(&c.Validations, 1)
+	c.validations.Add(1)
 	return e, Stale
 }
 

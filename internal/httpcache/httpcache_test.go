@@ -35,8 +35,8 @@ func TestMissOnEmptyCache(t *testing.T) {
 	if e, s := c.Get("/x"); s != Miss || e != nil {
 		t.Fatalf("Get on empty = %v, %v", e, s)
 	}
-	if c.Misses != 1 {
-		t.Fatalf("miss counter = %d", c.Misses)
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("miss counter = %d", st.Misses)
 	}
 }
 
@@ -243,7 +243,7 @@ func TestLRUEviction(t *testing.T) {
 	if _, ok := c.Peek("/r0"); !ok {
 		t.Fatal("recently used entry evicted")
 	}
-	if c.Evictions == 0 {
+	if c.Stats().Evictions == 0 {
 		t.Fatal("eviction counter not bumped")
 	}
 }

@@ -1,0 +1,51 @@
+// Package leakcheck verifies that a test leaves no goroutines behind — the
+// guard the cancellation paths (a cancelled map build must stop its probe
+// workers) are tested with under -race.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if, after a grace period, more goroutines are still
+// running than were at the snapshot. Call it at the top of a test, before
+// the code under test spawns anything.
+//
+// Goroutines need a moment to unwind after their work is cancelled, so the
+// check polls with a deadline instead of failing on the first reading.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, stacks())
+	})
+}
+
+// stacks renders all goroutine stacks, trimmed to keep failures readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	if parts := strings.SplitAfterN(s, "\n\n", 21); len(parts) > 20 {
+		s = strings.Join(parts[:20], "") + fmt.Sprintf("... (%d more)", strings.Count(parts[20], "\n\n")+1)
+	}
+	return s
+}

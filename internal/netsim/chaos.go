@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/telemetry"
 )
 
 // etagConfigHeader is the proactive-token header ChaosOrigin can corrupt.
@@ -74,10 +75,15 @@ type ChaosOrigin struct {
 	inner Origin
 	cfg   ChaosConfig
 
+	// mu serializes the rng and the request sequencer — replay
+	// determinism. The counters are atomic telemetry instruments and are
+	// bumped without the lock where possible.
 	mu    sync.Mutex
 	rng   *rand.Rand
 	count int64
-	stats ChaosStats
+
+	requests, failures, flapFailures   telemetry.Counter
+	truncations, corruptedMaps, stalls telemetry.Counter
 }
 
 // NewChaosOrigin returns inner wrapped in the fault matrix cfg describes.
@@ -87,9 +93,26 @@ func NewChaosOrigin(inner Origin, cfg ChaosConfig) *ChaosOrigin {
 
 // Stats returns a snapshot of injected-fault counters.
 func (c *ChaosOrigin) Stats() ChaosStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return ChaosStats{
+		Requests:      c.requests.Load(),
+		Failures:      c.failures.Load(),
+		FlapFailures:  c.flapFailures.Load(),
+		Truncations:   c.truncations.Load(),
+		CorruptedMaps: c.corruptedMaps.Load(),
+		Stalls:        c.stalls.Load(),
+	}
+}
+
+// RegisterTelemetry indexes the origin's fault counters in reg under name
+// (e.g. "chaos.requests"); the registry reads the same storage Stats()
+// snapshots.
+func (c *ChaosOrigin) RegisterTelemetry(reg *telemetry.Registry, name string) {
+	reg.RegisterCounter(name+".requests", &c.requests)
+	reg.RegisterCounter(name+".failures", &c.failures)
+	reg.RegisterCounter(name+".flap_failures", &c.flapFailures)
+	reg.RegisterCounter(name+".truncations", &c.truncations)
+	reg.RegisterCounter(name+".corrupted_maps", &c.corruptedMaps)
+	reg.RegisterCounter(name+".stalls", &c.stalls)
 }
 
 // StallFor implements Stalling: it draws the latency-spike fault for one
@@ -103,7 +126,7 @@ func (c *ChaosOrigin) StallFor(req *Request) time.Duration {
 	if c.rng.Float64() >= c.cfg.StallProb {
 		return 0
 	}
-	c.stats.Stalls++
+	c.stalls.Add(1)
 	return c.cfg.StallFor
 }
 
@@ -112,19 +135,19 @@ func (c *ChaosOrigin) StallFor(req *Request) time.Duration {
 // same faults.
 func (c *ChaosOrigin) RoundTrip(req *Request) *httpcache.Response {
 	c.mu.Lock()
-	c.stats.Requests++
+	c.requests.Add(1)
 	pos := c.count
 	c.count++
 	if c.cfg.flapping() {
 		cycle := int64(c.cfg.UpFor + c.cfg.DownFor)
 		if pos%cycle >= int64(c.cfg.UpFor) {
-			c.stats.FlapFailures++
+			c.flapFailures.Add(1)
 			c.mu.Unlock()
 			return injected503()
 		}
 	}
 	if c.cfg.FailProb > 0 && c.rng.Float64() < c.cfg.FailProb {
-		c.stats.Failures++
+		c.failures.Add(1)
 		c.mu.Unlock()
 		return injected503()
 	}
@@ -140,9 +163,7 @@ func (c *ChaosOrigin) RoundTrip(req *Request) *httpcache.Response {
 		resp = resp.Clone()
 		resp.Body = resp.Body[:len(resp.Body)/2]
 		resp.Truncated = true
-		c.mu.Lock()
-		c.stats.Truncations++
-		c.mu.Unlock()
+		c.truncations.Add(1)
 	}
 	if corrupt {
 		if v := resp.Header.Get(etagConfigHeader); v != "" {
@@ -150,9 +171,7 @@ func (c *ChaosOrigin) RoundTrip(req *Request) *httpcache.Response {
 				resp = resp.Clone()
 			}
 			resp.Header.Set(etagConfigHeader, v[:len(v)/2])
-			c.mu.Lock()
-			c.stats.CorruptedMaps++
-			c.mu.Unlock()
+			c.corruptedMaps.Add(1)
 		}
 	}
 	return resp

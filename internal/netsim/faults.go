@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/telemetry"
 )
 
 // FaultyOrigin wraps an origin with deterministic failure injection: every
@@ -22,13 +23,21 @@ type FaultyOrigin struct {
 	// every request.
 	FailEvery int
 
+	// count sequences requests to pick the victims; it is a sequencer,
+	// not a metric, so it stays a plain atomic.
 	count atomic.Int64
 	// failed counts injected failures; read it with Failed.
-	failed atomic.Int64
+	failed telemetry.Counter
 }
 
 // Failed returns the number of injected failures so far.
 func (f *FaultyOrigin) Failed() int64 { return f.failed.Load() }
+
+// RegisterTelemetry indexes the injected-failure counter in reg as
+// "<name>.failed"; the registry reads the same storage Failed() does.
+func (f *FaultyOrigin) RegisterTelemetry(reg *telemetry.Registry, name string) {
+	reg.RegisterCounter(name+".failed", &f.failed)
+}
 
 // RoundTrip implements Origin.
 func (f *FaultyOrigin) RoundTrip(req *Request) *httpcache.Response {

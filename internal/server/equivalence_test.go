@@ -1,0 +1,71 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/telemetry"
+)
+
+// TestSnapshotMatchesRegistryUnderLoad drives the server from many
+// goroutines and checks the refactoring invariant of the telemetry spine:
+// Snapshot() (the legacy counter view) and the registry snapshot read the
+// very same storage, so after the load settles they must agree exactly —
+// no drifting double bookkeeping.
+func TestSnapshotMatchesRegistryUnderLoad(t *testing.T) {
+	c := NewMemContent()
+	c.SetBody("/index.html", "<html><body>hi</body></html>", CachePolicy{NoCache: true})
+	c.SetBody("/missing-probe.css", "body{}", CachePolicy{MaxAge: time.Hour, HasMaxAge: true})
+	reg := telemetry.NewRegistry()
+	srv := New(c, Options{Catalyst: true, Telemetry: reg})
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var path string
+				switch i % 3 {
+				case 0:
+					path = "/index.html"
+				case 1:
+					path = "/missing-probe.css"
+				default:
+					path = fmt.Sprintf("/nope-%d-%d", w, i)
+				}
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				// Concurrent registry reads must not disturb the counters.
+				_ = reg.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	legacy := srv.Snapshot()
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"server.requests":     legacy.Requests,
+		"server.not_modified": legacy.NotModified,
+		"server.not_found":    legacy.NotFound,
+		"server.body_bytes":   legacy.BodyBytes,
+		"server.maps_built":   legacy.MapsBuilt,
+		"server.map_bytes":    legacy.MapBytes,
+	}
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("registry %q = %d, legacy snapshot says %d", name, got, v)
+		}
+	}
+	if legacy.Requests != int64(workers*perWorker) {
+		t.Errorf("requests = %d, want %d", legacy.Requests, workers*perWorker)
+	}
+	if _, ok := snap.Histograms["server.serve_ns"]; !ok {
+		t.Error("registry snapshot missing server.serve_ns histogram")
+	}
+}

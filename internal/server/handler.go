@@ -1,15 +1,16 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/telemetry"
 	"cachecatalyst/internal/vclock"
 )
 
@@ -35,19 +36,29 @@ type Options struct {
 	// (path, content ETag) so an unchanged page skips re-parsing and
 	// re-hashing on every hit. Zero selects 16 MiB; negative disables it.
 	MaxRenderBytes int64
+	// Telemetry, when set, indexes the server's counters, the
+	// rendered-page cache's counters, and a serve-latency histogram in
+	// the given registry under "server.*". The registry reads the same
+	// storage Metrics does.
+	Telemetry *telemetry.Registry
+	// ServerTiming mirrors each response's cache decisions into a
+	// Server-Timing header, the back-channel clients use to annotate
+	// their request traces with origin-side decisions.
+	ServerTiming bool
 }
 
-// Metrics counts server activity. All fields are atomics: the real
-// net/http path serves concurrently.
+// Metrics counts server activity. All fields are atomic telemetry
+// counters: the real net/http path serves concurrently, and a registry
+// passed in Options.Telemetry indexes these same instruments.
 type Metrics struct {
-	Requests    atomic.Int64
-	NotModified atomic.Int64
-	NotFound    atomic.Int64
-	BodyBytes   atomic.Int64
-	MapsBuilt   atomic.Int64
+	Requests    telemetry.Counter
+	NotModified telemetry.Counter
+	NotFound    telemetry.Counter
+	BodyBytes   telemetry.Counter
+	MapsBuilt   telemetry.Counter
 	// MapBytes accumulates encoded X-Etag-Config sizes, the overhead the
 	// ablation benchmarks quantify.
-	MapBytes atomic.Int64
+	MapBytes telemetry.Counter
 }
 
 // Server is the web server under study. It implements http.Handler.
@@ -57,6 +68,7 @@ type Server struct {
 	recorder *Recorder
 	access   *accessLog
 	renders  *cachestore.Store[*pageRender] // nil when disabled
+	serveNS  *telemetry.Histogram           // nil without telemetry
 	Metrics  Metrics
 }
 
@@ -85,10 +97,24 @@ func New(content Content, opts Options) *Server {
 				}
 				return n
 			},
+			Telemetry: opts.Telemetry,
+			Name:      "server.renders",
 		})
+	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.RegisterCounter("server.requests", &s.Metrics.Requests)
+		opts.Telemetry.RegisterCounter("server.not_modified", &s.Metrics.NotModified)
+		opts.Telemetry.RegisterCounter("server.not_found", &s.Metrics.NotFound)
+		opts.Telemetry.RegisterCounter("server.body_bytes", &s.Metrics.BodyBytes)
+		opts.Telemetry.RegisterCounter("server.maps_built", &s.Metrics.MapsBuilt)
+		opts.Telemetry.RegisterCounter("server.map_bytes", &s.Metrics.MapBytes)
+		s.serveNS = opts.Telemetry.Histogram("server.serve_ns")
 	}
 	return s
 }
+
+// Telemetry returns the registry the server was wired into, or nil.
+func (s *Server) Telemetry() *telemetry.Registry { return s.opts.Telemetry }
 
 // Content returns the content source the server serves.
 func (s *Server) Content() Content { return s.content }
@@ -96,8 +122,29 @@ func (s *Server) Content() Content { return s.content }
 // Recorder returns the session recorder, or nil when recording is off.
 func (s *Server) Recorder() *Recorder { return s.recorder }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Each response's cache decisions are
+// recorded on the request trace (when the context carries one) and, with
+// Options.ServerTiming, mirrored into a Server-Timing header so clients can
+// annotate their own traces with the origin's view.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.serveNS != nil {
+		defer func() { s.serveNS.Observe(time.Since(start).Nanoseconds()) }()
+	}
+	ctx := r.Context()
+	ctx, endSpan := telemetry.StartSpan(ctx, "server")
+	defer endSpan()
+	h := w.Header()
+	// decide records one cache decision everywhere it is observable: the
+	// request trace, and — before the status line is committed — the
+	// response's Server-Timing header.
+	decide := func(name, detail string) {
+		telemetry.Event(ctx, name, detail)
+		if s.opts.ServerTiming {
+			telemetry.AppendServerTiming(h, name)
+		}
+	}
+
 	s.Metrics.Requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -110,6 +157,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.opts.Catalyst && p == core.ServiceWorkerPath {
+		decide("sw-script", p)
 		status, n := s.serveWorkerScript(w, r)
 		s.logAccess(r, status, n, 0)
 		return
@@ -118,12 +166,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	res, ok := s.content.Get(p)
 	if !ok {
 		s.Metrics.NotFound.Add(1)
+		decide("not-found", p)
 		http.NotFound(w, r)
 		s.logAccess(r, http.StatusNotFound, 0, 0)
 		return
 	}
 
-	h := w.Header()
 	h.Set("Date", headers.FormatHTTPDate(s.opts.Clock.Now()))
 	h.Set("Content-Type", res.ContentType)
 	if cc := res.Policy.CacheControl(); cc != "" {
@@ -143,11 +191,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if s.opts.Catalyst && IsHTML(res.ContentType) {
 		pr := s.renderPage(p, res)
-		m := s.resolveMap(p, pr.refs, sessionID)
+		m := s.resolveMap(ctx, p, pr.refs, sessionID)
 		mapEntries = len(m)
 		h.Set(core.HeaderName, m.Encode())
 		s.Metrics.MapsBuilt.Add(1)
 		s.Metrics.MapBytes.Add(int64(m.WireSize()))
+		decide("map-built", p)
 		body = pr.body
 		tag = pr.tag
 	} else if s.recorder != nil && !IsHTML(res.ContentType) {
@@ -160,11 +209,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if s.notModified(r, tag, res.LastModified) {
 		s.Metrics.NotModified.Add(1)
+		decide("etag-match", p)
 		w.WriteHeader(http.StatusNotModified)
 		s.logAccess(r, http.StatusNotModified, 0, mapEntries)
 		return
 	}
 
+	decide("network", p)
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	if r.Method == http.MethodHead {
@@ -230,10 +281,12 @@ func (s *Server) renderPage(p string, res *Resource) *pageRender {
 }
 
 // resolveMap runs the resolve phase for an already-extracted page, folding
-// in session-recorded resources when recording is enabled.
-func (s *Server) resolveMap(pageURL string, refs []core.Ref, sessionID string) core.ETagMap {
+// in session-recorded resources when recording is enabled. The request's
+// context flows into the probe fan-out, so an abandoned request stops
+// resolving instead of completing the whole BFS.
+func (s *Server) resolveMap(ctx context.Context, pageURL string, refs []core.Ref, sessionID string) core.ETagMap {
 	res := &contentResolver{content: s.content}
-	m := core.ResolveRefs(refs, res, s.opts.MapOptions)
+	m := core.ResolveRefsContext(ctx, refs, res, s.opts.MapOptions)
 	if s.recorder != nil && sessionID != "" {
 		for _, extra := range s.recorder.Recorded(sessionID, pageURL) {
 			if _, covered := m[extra]; covered {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"net/http"
 	"net/http/httptest"
 
 	"cachecatalyst/internal/httpcache"
@@ -12,10 +13,16 @@ import (
 // deployments. The handler runs synchronously in zero simulated time;
 // network costs are the transport model's job (TransportOptions.ServerThink
 // charges processing time if desired).
-func NewOrigin(s *Server) netsim.Origin { return &originAdapter{s: s} }
+func NewOrigin(s *Server) netsim.Origin { return &originAdapter{h: s} }
+
+// NewHandlerOrigin adapts any http.Handler — for example an existing
+// application wrapped in catalyst.Middleware — to the simulator's Origin
+// interface, so the emulated browser can drive the retrofit path
+// end-to-end.
+func NewHandlerOrigin(h http.Handler) netsim.Origin { return &originAdapter{h: h} }
 
 type originAdapter struct {
-	s *Server
+	h http.Handler
 }
 
 // RoundTrip implements netsim.Origin.
@@ -31,7 +38,7 @@ func (a *originAdapter) RoundTrip(req *netsim.Request) *httpcache.Response {
 		}
 	}
 	rec := httptest.NewRecorder()
-	a.s.ServeHTTP(rec, r)
+	a.h.ServeHTTP(rec, r)
 	return &httpcache.Response{
 		StatusCode: rec.Code,
 		Header:     rec.Header(),

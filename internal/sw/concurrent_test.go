@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 )
 
@@ -58,7 +57,7 @@ func TestCacheStorageConcurrentWorkers(t *testing.T) {
 	if sum != c.Bytes() {
 		t.Fatalf("byte accounting drifted: bodies sum to %d, Bytes() = %d", sum, c.Bytes())
 	}
-	if atomic.LoadInt64(&c.Evictions) == 0 {
+	if c.Evictions() == 0 {
 		t.Fatal("bounded storage never evicted under stress")
 	}
 	if c.Len() == 0 {

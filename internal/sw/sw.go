@@ -10,14 +10,15 @@
 package sw
 
 import (
+	"context"
 	"net/http"
-	"sync/atomic"
 
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
 	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/telemetry"
 )
 
 // CacheStorage emulates the Cache interface available to Service Workers:
@@ -32,11 +33,14 @@ import (
 type CacheStorage struct {
 	store *cachestore.Store[*httpcache.Response]
 
-	// Evictions counts quota evictions, for experiments on storage
-	// pressure. It is updated atomically; read it with atomic.LoadInt64
-	// while the store is in concurrent use.
-	Evictions int64
+	// evictions counts quota evictions, for experiments on storage
+	// pressure. Read it through Evictions(); shared with any registry the
+	// owning worker is wired into.
+	evictions telemetry.Counter
 }
+
+// Evictions returns the number of entries removed by the storage quota.
+func (c *CacheStorage) Evictions() int64 { return c.evictions.Load() }
 
 // NewCacheStorage returns an empty, unbounded store.
 func NewCacheStorage() *CacheStorage {
@@ -50,7 +54,7 @@ func NewBoundedCacheStorage(maxBytes int64) *CacheStorage {
 	c.store = cachestore.New[*httpcache.Response](cachestore.Options[*httpcache.Response]{
 		MaxBytes: maxBytes,
 		SizeOf:   func(_ string, r *httpcache.Response) int64 { return int64(len(r.Body)) },
-		OnEvict:  func(string, *httpcache.Response) { atomic.AddInt64(&c.Evictions, 1) },
+		OnEvict:  func(string, *httpcache.Response) { c.evictions.Add(1) },
 	})
 	return c
 }
@@ -123,12 +127,17 @@ type Stats struct {
 	DelegatedFetches int64
 }
 
-// Worker is the CacheCatalyst Service Worker for one origin.
+// Worker is the CacheCatalyst Service Worker for one origin. Its counters
+// are telemetry instruments so a registry can index them (RegisterTelemetry)
+// while Stats() keeps serving the legacy snapshot.
 type Worker struct {
 	cache *CacheStorage
 	etags core.ETagMap
 	site  SiteWorker
-	stats Stats
+
+	localHits, networkFetches  telemetry.Counter
+	mapUpdates, mapDecodeFails telemetry.Counter
+	delegatedFetches           telemetry.Counter
 }
 
 // NewWorker returns a freshly installed worker with an empty cache and no
@@ -150,7 +159,27 @@ func (w *Worker) WithSiteWorker(s SiteWorker) *Worker {
 func (w *Worker) Cache() *CacheStorage { return w.cache }
 
 // Stats returns a snapshot of the worker's counters.
-func (w *Worker) Stats() Stats { return w.stats }
+func (w *Worker) Stats() Stats {
+	return Stats{
+		LocalHits:         w.localHits.Load(),
+		NetworkFetches:    w.networkFetches.Load(),
+		MapUpdates:        w.mapUpdates.Load(),
+		MapDecodeFailures: w.mapDecodeFails.Load(),
+		DelegatedFetches:  w.delegatedFetches.Load(),
+	}
+}
+
+// RegisterTelemetry indexes the worker's counters — and its cache storage's
+// eviction counter — in reg, qualified by name (e.g. "sw.site.example").
+// The registry reads the same storage Stats() snapshots.
+func (w *Worker) RegisterTelemetry(reg *telemetry.Registry, name string) {
+	reg.RegisterCounter(name+".local_hits", &w.localHits)
+	reg.RegisterCounter(name+".network_fetches", &w.networkFetches)
+	reg.RegisterCounter(name+".map_updates", &w.mapUpdates)
+	reg.RegisterCounter(name+".map_decode_failures", &w.mapDecodeFails)
+	reg.RegisterCounter(name+".delegated_fetches", &w.delegatedFetches)
+	reg.RegisterCounter(name+".cache.evictions", &w.cache.evictions)
+}
 
 // ETagMap returns the most recently delivered map.
 func (w *Worker) ETagMap() core.ETagMap { return w.etags }
@@ -169,11 +198,11 @@ func (w *Worker) OnNavigationResponse(resp *httpcache.Response) {
 	}
 	m, err := core.DecodeMap(cfg)
 	if err != nil {
-		w.stats.MapDecodeFailures++
+		w.mapDecodeFails.Add(1)
 		return
 	}
 	w.etags = m
-	w.stats.MapUpdates++
+	w.mapUpdates.Add(1)
 }
 
 // HandleFetch answers a subresource request locally when possible.
@@ -181,9 +210,18 @@ func (w *Worker) OnNavigationResponse(resp *httpcache.Response) {
 // means the caller must fetch from the network (and should then call
 // OnSubresourceResponse with the result).
 func (w *Worker) HandleFetch(path string) (*httpcache.Response, bool) {
+	return w.HandleFetchContext(context.Background(), path)
+}
+
+// HandleFetchContext is HandleFetch recording the fetch decision on the
+// request trace carried by ctx: "sw-hit" for a request the worker (or a
+// coexisting site worker) answered without the network, "network" for one
+// it forwards.
+func (w *Worker) HandleFetchContext(ctx context.Context, path string) (*httpcache.Response, bool) {
 	if w.site != nil {
 		if resp, handled := w.site.HandleFetch(path); handled {
-			w.stats.DelegatedFetches++
+			w.delegatedFetches.Add(1)
+			telemetry.Event(ctx, "sw-hit", path+" (site worker)")
 			return resp, true
 		}
 	}
@@ -194,11 +232,13 @@ func (w *Worker) HandleFetch(path string) (*httpcache.Response, bool) {
 			cachedTag = t
 		}
 		if core.Decide(w.etags, path, cachedTag) == core.ServeFromCache {
-			w.stats.LocalHits++
+			w.localHits.Add(1)
+			telemetry.Event(ctx, "sw-hit", path)
 			return cached, true
 		}
 	}
-	w.stats.NetworkFetches++
+	w.networkFetches.Add(1)
+	telemetry.Event(ctx, "network", path)
 	return nil, false
 }
 
@@ -212,13 +252,21 @@ func (w *Worker) OnSubresourceResponse(path string, resp *httpcache.Response) {
 // domain-specificity of real Service Workers: a worker only ever intercepts
 // requests for the origin that registered it.
 type Registry struct {
-	workers map[string]*Worker
+	workers   map[string]*Worker
+	telemetry *telemetry.Registry
 }
 
 // NewRegistry returns an empty registry (a browser profile with no
 // installed workers).
 func NewRegistry() *Registry {
 	return &Registry{workers: make(map[string]*Worker)}
+}
+
+// WithTelemetry makes Register wire every newly installed worker's counters
+// into reg under "sw.<origin>". Already-installed workers are unaffected.
+func (r *Registry) WithTelemetry(reg *telemetry.Registry) *Registry {
+	r.telemetry = reg
+	return r
 }
 
 // Lookup returns the worker installed for origin, if any.
@@ -235,6 +283,9 @@ func (r *Registry) Register(origin string) *Worker {
 		return w
 	}
 	w := NewWorker()
+	if r.telemetry != nil {
+		w.RegisterTelemetry(r.telemetry, "sw."+origin)
+	}
 	r.workers[origin] = w
 	return w
 }

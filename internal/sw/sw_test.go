@@ -236,8 +236,8 @@ func TestBoundedCacheStorageEvictsLRU(t *testing.T) {
 	if _, ok := c.Match("/a"); !ok {
 		t.Fatal("recently used entry evicted")
 	}
-	if c.Evictions != 1 {
-		t.Fatalf("evictions = %d", c.Evictions)
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d", c.Evictions())
 	}
 	if c.Bytes() > 25 {
 		t.Fatalf("bytes = %d over quota", c.Bytes())
@@ -248,8 +248,8 @@ func TestBoundedCacheStorageReplaceWithinQuota(t *testing.T) {
 	c := NewBoundedCacheStorage(15)
 	c.Put("/a", resp("v1", "0123456789", nil))
 	c.Put("/a", resp("v2", "01234", nil)) // replacement shrinks usage
-	if c.Bytes() != 5 || c.Len() != 1 || c.Evictions != 0 {
-		t.Fatalf("bytes=%d len=%d evictions=%d", c.Bytes(), c.Len(), c.Evictions)
+	if c.Bytes() != 5 || c.Len() != 1 || c.Evictions() != 0 {
+		t.Fatalf("bytes=%d len=%d evictions=%d", c.Bytes(), c.Len(), c.Evictions())
 	}
 }
 

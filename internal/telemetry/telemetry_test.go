@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Add(5)
+	if c2 := r.Counter("x"); c2 != c1 {
+		t.Fatal("Counter(name) did not return the same instrument")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram(name) did not return the same instrument")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge(name) did not return the same instrument")
+	}
+	snap := r.Snapshot()
+	if snap.Counters["x"] != 5 {
+		t.Fatalf("snapshot counter x = %d, want 5", snap.Counters["x"])
+	}
+}
+
+func TestRegisterAdoptsExistingStorage(t *testing.T) {
+	// The view-over-registry property: registering a struct's own field
+	// indexes the same storage, so updates through the field are visible
+	// through the registry and vice versa.
+	r := NewRegistry()
+	var legacy struct{ Hits Counter }
+	r.RegisterCounter("cache.hits", &legacy.Hits)
+	legacy.Hits.Add(2)
+	r.Counter("cache.hits").Add(1)
+	if got := legacy.Hits.Load(); got != 3 {
+		t.Fatalf("field sees %d, want 3", got)
+	}
+	if got := r.Snapshot().Counters["cache.hits"]; got != 3 {
+		t.Fatalf("registry sees %d, want 3", got)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	got := r.Names()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations spread uniformly over (0, 100µs]: p50 should land
+	// near 50µs, p99 near 100µs — within a factor-of-two bucket width.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * int64(time.Microsecond))
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.SumNS != 5050*int64(time.Microsecond) {
+		t.Fatalf("sum = %d", snap.SumNS)
+	}
+	if snap.P50NS < int64(16*time.Microsecond) || snap.P50NS > int64(128*time.Microsecond) {
+		t.Fatalf("p50 = %v, want ~50µs", time.Duration(snap.P50NS))
+	}
+	if snap.P99NS < snap.P50NS {
+		t.Fatalf("p99 %v < p50 %v", time.Duration(snap.P99NS), time.Duration(snap.P50NS))
+	}
+	if snap.P95NS > snap.P99NS {
+		t.Fatalf("p95 %v > p99 %v", time.Duration(snap.P95NS), time.Duration(snap.P99NS))
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := int64(time.Hour)
+	h.Observe(huge)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.SumNS != huge {
+		t.Fatalf("count=%d sum=%d", snap.Count, snap.SumNS)
+	}
+	// Quantiles are clamped to the last finite bound, never garbage.
+	if snap.P99NS <= 0 {
+		t.Fatalf("p99 = %d", snap.P99NS)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	var h Histogram
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50NS != 0 || snap.P99NS != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(int64(i))
+				r.Gauge("g").Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 8000 {
+		t.Fatalf("counter = %d, want 8000", snap.Counters["c"])
+	}
+	if snap.Histograms["h"].Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", snap.Histograms["h"].Count)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(1); v < int64(time.Minute); v *= 3 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+	if bucketIndex(0) != 0 {
+		t.Fatalf("bucketIndex(0) = %d", bucketIndex(0))
+	}
+	if bucketIndex(1<<62) != histBuckets {
+		t.Fatalf("bucketIndex(huge) = %d, want overflow %d", bucketIndex(1<<62), histBuckets)
+	}
+}

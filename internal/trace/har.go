@@ -54,6 +54,10 @@ type Entry struct {
 	// Source is a HAR custom field ("_"-prefixed per spec) recording
 	// where the emulator delivered the resource from.
 	Source string `json:"_source"`
+	// Decisions carries the per-request cache-decision annotations the
+	// telemetry tracer recorded: the client's own decisions followed by
+	// any the origin mirrored back via Server-Timing ("origin:…").
+	Decisions []string `json:"_decisions,omitempty"`
 }
 
 // Request is the request summary.
@@ -112,6 +116,7 @@ func (c *Collector) HAR(pageURL string, plt time.Duration) HAR {
 			Request:         Request{Method: "GET", URL: "https://" + ev.Host + ev.Path},
 			Response:        Response{Status: status(ev), StatusText: statusText(ev)},
 			Source:          ev.Source,
+			Decisions:       ev.Decisions,
 		})
 	}
 	return h
