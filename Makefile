@@ -65,7 +65,13 @@ cover:
 	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
 		echo "cover: total coverage $$total% fell below the $(COVERAGE_FLOOR)% floor" >&2; exit 1; }
 
-# Fault-injection table: warm PLT / errors / retries per fault cell for both
-# schemes (see EXPERIMENTS.md, "Fault model and chaos experiment").
+# Chaos gate: the fault-injection and overload suites under the race
+# detector — the browser-level chaos matrix, the middleware degradation
+# ladder, the netsim overload fault modes, the resilience primitives, and
+# kill-under-drain — then the fault-injection table: warm PLT / errors /
+# retries per fault cell for both schemes (see EXPERIMENTS.md, "Fault
+# model and chaos experiment").
 chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Overload|Ladder|Breaker|Drain|Gate|Budget|Serve|Stall|Handler' \
+		./internal/browser/ ./internal/netsim/ ./internal/resilience/ ./internal/server/ ./catalyst/
 	$(GO) run ./examples/chaos

@@ -166,6 +166,10 @@ func BenchmarkMiddlewareHTML50(b *testing.B) {
 	}
 	b.Run("RenderCache", func(b *testing.B) { bench(b, MiddlewareOptions{}) })
 	b.Run("NoRenderCache", func(b *testing.B) { bench(b, MiddlewareOptions{MaxRenderBytes: -1}) })
+	// Gated is RenderCache plus admission control at catalystd's default
+	// capacity — the overload PR's acceptance bar is the gate costing <3%
+	// on this hot path.
+	b.Run("Gated", func(b *testing.B) { bench(b, MiddlewareOptions{MaxInflight: 256}) })
 }
 
 // BenchmarkMiddlewareHTMLCold measures the first render of a ~50-subresource

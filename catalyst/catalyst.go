@@ -88,6 +88,18 @@ type ServerOptions struct {
 	// map-built, network, …) back to the client in a Server-Timing
 	// response header.
 	ServerTiming bool
+	// MaxInflight bounds concurrent ETag-map resolutions; a request
+	// refused a slot within QueueTimeout serves its HTML without a map
+	// instead of queueing behind a saturated resolver. Zero disables
+	// the admission gate.
+	MaxInflight int
+	// QueueTimeout bounds the wait for a resolution slot; zero selects
+	// the gate default (50ms).
+	QueueTimeout time.Duration
+	// RequestBudget, when positive, deadlines each request; map
+	// resolution inherits the remainder and ships partial maps on time
+	// rather than complete maps late.
+	RequestBudget time.Duration
 }
 
 // NewServer serves the directory tree fsys with CacheCatalyst enabled: the
@@ -106,6 +118,9 @@ func NewServer(fsys fs.FS, opts ServerOptions) (*server.Server, error) {
 		AccessLogSize: opts.AccessLogSize,
 		Telemetry:     opts.Telemetry,
 		ServerTiming:  opts.ServerTiming,
+		MaxInflight:   opts.MaxInflight,
+		QueueTimeout:  opts.QueueTimeout,
+		RequestBudget: opts.RequestBudget,
 	}), nil
 }
 

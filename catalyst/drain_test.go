@@ -1,0 +1,166 @@
+package catalyst
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/leakcheck"
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/resilience"
+	"cachecatalyst/internal/telemetry"
+)
+
+// drainOrigin serves a minimal instrumented page through the simulator's
+// Origin interface, so a ChaosOrigin wrapper can inject overload faults
+// onto a live net/http connection via HandlerFromOrigin.
+type drainOrigin struct{}
+
+func (drainOrigin) RoundTrip(req *netsim.Request) *httpcache.Response {
+	if strings.HasSuffix(req.Path, ".css") {
+		return &httpcache.Response{
+			StatusCode: 200,
+			Header:     http.Header{"Content-Type": {"text/css"}},
+			Body:       []byte("body{color:#000}"),
+		}
+	}
+	return &httpcache.Response{
+		StatusCode: 200,
+		Header:     http.Header{"Content-Type": {"text/html; charset=utf-8"}},
+		Body:       []byte(`<html><head><link rel="stylesheet" href="/style.css"></head><body>up</body></html>`),
+	}
+}
+
+// TestKillUnderDrain is the kill-under-drain chaos cell: the daemon is
+// told to exit while every in-flight request sits in a chaos stall far
+// longer than the shutdown budget. The drain must stay bounded (force
+// close, not hang), the final telemetry snapshot must still flush with
+// the gate's accounting intact, and nothing may be left running after —
+// the lifecycle invariant a SIGTERM'd catalystd relies on.
+func TestKillUnderDrain(t *testing.T) {
+	leakcheck.Check(t)
+	reg := telemetry.NewRegistry()
+	chaos := netsim.NewChaosOrigin(drainOrigin{}, netsim.ChaosConfig{
+		Seed: 1, StallProb: 1, StallFor: time.Minute,
+	})
+	h := Middleware(netsim.HandlerFromOrigin(chaos), MiddlewareOptions{
+		Telemetry:   reg,
+		MaxInflight: 8,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var snap bytes.Buffer
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- resilience.Serve(ctx, &http.Server{Handler: h}, ln, resilience.ServeOptions{
+			ShutdownTimeout: 200 * time.Millisecond,
+			Telemetry:       reg,
+			SnapshotTo:      &snap,
+		})
+	}()
+
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+	const inflight = 4
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get("http://" + ln.Addr().String() + "/page")
+			if err == nil {
+				resp.Body.Close()
+				t.Error("request stalled past the shutdown budget completed cleanly")
+			}
+		}()
+	}
+	// Let every request reach its stall, then deliver the kill.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("drain with stuck in-flight requests reported a clean shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain hung: kill under load did not stay bounded")
+	}
+	wg.Wait()
+
+	var got telemetry.Snapshot
+	if err := json.Unmarshal(snap.Bytes(), &got); err != nil {
+		t.Fatalf("final telemetry snapshot is not valid JSON: %v", err)
+	}
+	if got.Counters["middleware.gate.admitted"] != inflight {
+		t.Fatalf("snapshot admitted = %d, want %d", got.Counters["middleware.gate.admitted"], inflight)
+	}
+}
+
+// TestDrainFinishesQuickWork is kill-under-drain's happy half: requests
+// that can finish inside the shutdown budget do, with clean responses,
+// and Serve reports a clean drain.
+func TestDrainFinishesQuickWork(t *testing.T) {
+	leakcheck.Check(t)
+	reg := telemetry.NewRegistry()
+	h := Middleware(netsim.HandlerFromOrigin(drainOrigin{}), MiddlewareOptions{
+		Telemetry:   reg,
+		MaxInflight: 8,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var snap bytes.Buffer
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- resilience.Serve(ctx, &http.Server{Handler: h}, ln, resilience.ServeOptions{
+			ShutdownTimeout: 2 * time.Second,
+			Telemetry:       reg,
+			SnapshotTo:      &snap,
+		})
+	}()
+
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get("http://" + ln.Addr().String() + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get(HeaderName) == "" {
+		t.Fatalf("pre-drain request: status %d, map %q", resp.StatusCode, resp.Header.Get(HeaderName))
+	}
+
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("idle drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle drain hung")
+	}
+	if snap.Len() == 0 {
+		t.Fatal("no telemetry snapshot flushed on exit")
+	}
+}

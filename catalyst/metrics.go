@@ -90,6 +90,19 @@ type MiddlewareMetrics struct {
 	// X-Etag-Config serialization because no probe outcome changed since
 	// it was built (see middleware.probeGen).
 	EncodeReuses telemetry.Counter
+	// LadderStale counts responses served from the stale cache (with a
+	// Warning 110 header) because full service was refused — admission
+	// shed, open origin breaker, inner-handler 5xx, or panic.
+	LadderStale telemetry.Counter
+	// LadderPassthrough counts shed requests served by running the inner
+	// handler un-instrumented: no probing, no map, no snippet.
+	LadderPassthrough telemetry.Counter
+	// LadderRejected counts requests answered 503 + Retry-After, the
+	// degradation ladder's bottom rung.
+	LadderRejected telemetry.Counter
+	// BudgetExhausted counts HTML responses delivered un-decorated
+	// because the request's deadline budget ran out before map assembly.
+	BudgetExhausted telemetry.Counter
 }
 
 // RegisterTelemetry indexes the counters in reg under "middleware.*"; the
@@ -101,6 +114,10 @@ func (m *MiddlewareMetrics) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.RegisterCounter("middleware.map_entries_dropped", &m.MapEntriesDropped)
 	reg.RegisterCounter("middleware.renders_evicted", &m.RendersEvicted)
 	reg.RegisterCounter("middleware.encode_reuses", &m.EncodeReuses)
+	reg.RegisterCounter("middleware.ladder_stale", &m.LadderStale)
+	reg.RegisterCounter("middleware.ladder_passthrough", &m.LadderPassthrough)
+	reg.RegisterCounter("middleware.ladder_rejected", &m.LadderRejected)
+	reg.RegisterCounter("middleware.budget_exhausted", &m.BudgetExhausted)
 }
 
 // MiddlewareMetricsSnapshot is the JSON form of MiddlewareMetrics.
@@ -111,6 +128,10 @@ type MiddlewareMetricsSnapshot struct {
 	MapEntriesDropped int64 `json:"mapEntriesDropped"`
 	RendersEvicted    int64 `json:"rendersEvicted"`
 	EncodeReuses      int64 `json:"encodeReuses"`
+	LadderStale       int64 `json:"ladderStale"`
+	LadderPassthrough int64 `json:"ladderPassthrough"`
+	LadderRejected    int64 `json:"ladderRejected"`
+	BudgetExhausted   int64 `json:"budgetExhausted"`
 }
 
 // Snapshot returns the counters as plain values.
@@ -122,6 +143,10 @@ func (m *MiddlewareMetrics) Snapshot() MiddlewareMetricsSnapshot {
 		MapEntriesDropped: m.MapEntriesDropped.Load(),
 		RendersEvicted:    m.RendersEvicted.Load(),
 		EncodeReuses:      m.EncodeReuses.Load(),
+		LadderStale:       m.LadderStale.Load(),
+		LadderPassthrough: m.LadderPassthrough.Load(),
+		LadderRejected:    m.LadderRejected.Load(),
+		BudgetExhausted:   m.BudgetExhausted.Load(),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
+	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/telemetry"
 )
 
@@ -70,6 +71,52 @@ type MiddlewareOptions struct {
 	// caches, and an HTML decoration-latency histogram in the given
 	// registry under "middleware.*".
 	Telemetry *telemetry.Registry
+	// MaxInflight bounds how many instrumented GET/HEAD requests may run
+	// concurrently. Excess requests wait in a short queue (MaxQueue /
+	// QueueTimeout) and are shed down the degradation ladder — stale
+	// copy, un-instrumented passthrough, or 503 — instead of piling onto
+	// a saturated inner handler. Zero disables admission control.
+	MaxInflight int
+	// MaxQueue bounds how many shed candidates may wait for a slot; zero
+	// selects MaxInflight, negative disables queueing (immediate shed).
+	MaxQueue int
+	// QueueTimeout bounds how long a request waits for a slot before it
+	// is shed. Zero selects 50ms — long enough to ride out a momentary
+	// spike, short enough to keep tail latency honest.
+	QueueTimeout time.Duration
+	// RequestBudget, when positive, puts a wall-clock deadline on every
+	// instrumented request. Stages consume from it — probe fan-out stops
+	// issuing new probes once the budget is spent — and a request whose
+	// budget runs out before map assembly is served its rendered HTML
+	// un-instrumented rather than late.
+	RequestBudget time.Duration
+	// StaleFor is how long a successfully served page may be re-served
+	// from the stale cache (with a Warning 110 header) when the inner
+	// handler is saturated, erroring, or broken. Zero selects 5 minutes;
+	// negative disables stale serving.
+	StaleFor time.Duration
+	// MaxStaleBytes bounds the stale cache. Zero selects 8 MiB.
+	MaxStaleBytes int64
+	// RetryAfter is the Retry-After hint on ladder-bottom 503 responses.
+	// Zero selects 5 seconds.
+	RetryAfter time.Duration
+	// OriginFailureThreshold enables the inner-handler circuit breaker:
+	// after this many consecutive 5xx/panic serves the middleware stops
+	// calling the inner handler and answers from the stale cache (or
+	// 503) until OriginCooldown passes, then retries with one trial
+	// request. Zero disables the breaker — appropriate when the inner
+	// handler is in-process; catalystd's proxy mode turns it on so a
+	// flapping upstream origin flips to stale-serving instead of
+	// error-proxying.
+	OriginFailureThreshold int
+	// OriginCooldown is the open-breaker hold-off. Zero selects 5s.
+	OriginCooldown time.Duration
+	// OriginBreaker, when set, is used as the inner-handler breaker
+	// instead of constructing one from OriginFailureThreshold — the hook
+	// for sharing the breaker with an active health checker
+	// (resilience.NewHealthChecker), so recovery is probe-driven rather
+	// than cooldown-driven. catalystd's proxy mode wires this.
+	OriginBreaker *resilience.Breaker
 	// ServerTiming mirrors each decorated response's cache decisions
 	// ("map-built", "etag-match") into a Server-Timing header so clients
 	// can annotate their traces with the origin middleware's view.
@@ -91,6 +138,20 @@ func (o MiddlewareOptions) probeConcurrency() int {
 		return o.ProbeConcurrency
 	}
 	return 8
+}
+
+func (o MiddlewareOptions) staleFor() time.Duration {
+	if o.StaleFor == 0 {
+		return 5 * time.Minute
+	}
+	return o.StaleFor
+}
+
+func (o MiddlewareOptions) retryAfter() time.Duration {
+	if o.RetryAfter <= 0 {
+		return 5 * time.Second
+	}
+	return o.RetryAfter
 }
 
 // Middleware retrofits CacheCatalyst onto any http.Handler:
@@ -158,6 +219,37 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 			Name:      "middleware.renders",
 		})
 	}
+	if opts.StaleFor >= 0 {
+		maxStale := opts.MaxStaleBytes
+		if maxStale == 0 {
+			maxStale = 8 << 20
+		}
+		m.stales = cachestore.New[*staleEntry](cachestore.Options[*staleEntry]{
+			MaxBytes:  maxStale,
+			SizeOf:    staleEntrySize,
+			Telemetry: opts.Telemetry,
+			Name:      "middleware.stales",
+		})
+	}
+	if opts.MaxInflight > 0 {
+		m.gate = resilience.NewGate(resilience.GateOptions{
+			MaxInflight:  opts.MaxInflight,
+			MaxQueue:     opts.MaxQueue,
+			QueueTimeout: opts.QueueTimeout,
+			Telemetry:    opts.Telemetry,
+			Name:         "middleware.gate",
+		})
+	}
+	if opts.OriginBreaker != nil {
+		m.breaker = opts.OriginBreaker
+	} else if opts.OriginFailureThreshold > 0 {
+		m.breaker = resilience.NewBreaker(resilience.BreakerOptions{
+			FailureThreshold: opts.OriginFailureThreshold,
+			Cooldown:         opts.OriginCooldown,
+			Telemetry:        opts.Telemetry,
+			Name:             "middleware.origin",
+		})
+	}
 	return m
 }
 
@@ -171,6 +263,9 @@ type middleware struct {
 	opts    MiddlewareOptions
 	probes  *cachestore.Store[probe]
 	renders *cachestore.Store[*renderEntry] // nil when disabled
+	stales  *cachestore.Store[*staleEntry]  // last-known-good serves; nil when disabled
+	gate    *resilience.Gate                // admission control; nil when disabled
+	breaker *resilience.Breaker             // inner-handler health; nil when disabled
 	htmlNS  *telemetry.Histogram            // nil without telemetry
 	// probeGen counts observable probe-cache changes: it bumps whenever a
 	// probe flight lands a (tag, ok) pair that differs from what the
@@ -229,18 +324,75 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	pageURL := requestPageURL(r)
+
+	// Deadline budget: the whole instrumented serve — inner handler,
+	// probe fan-out, map assembly — happens inside one wall-clock
+	// allowance. Stages read the remainder off the context; the fan-out
+	// stops issuing probes once it is spent.
+	if m.opts.RequestBudget > 0 {
+		ctx, cancel := resilience.WithBudget(r.Context(), m.opts.RequestBudget)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
+	// Admission control: only instrumented GET/HEAD traffic is gated —
+	// it is the traffic with probe amplification (one page fanning out
+	// to N subresource probes), which is what melts a saturated inner
+	// handler. A refused request falls down the degradation ladder.
+	if m.gate != nil {
+		if err := m.gate.AcquireSlot(r.Context()); err != nil {
+			m.shed(w, r, pageURL, err)
+			return
+		}
+		defer m.gate.Release()
+	}
+
+	// Inner-handler circuit breaker: while open, don't error-proxy —
+	// answer from the stale cache, or refuse honestly.
+	if m.breaker != nil && !m.breaker.Allow() {
+		if m.serveStale(w, r, pageURL, "breaker-open") {
+			return
+		}
+		m.serveReject(w, r, "breaker-open")
+		return
+	}
+
 	// Single inner-handler execution through the sniffing writer: the
 	// conditional headers are stripped so the handler produces the full
 	// entity (the writer and the HTML path below re-apply them), and the
-	// writer streams everything that is not a 200 HTML page.
+	// writer streams everything that is not a 200 HTML page. A 5xx is
+	// held back when a stale substitute exists, so clients see the last
+	// good copy instead of the error.
 	sw := newSniffWriter(w, r)
-	if m.serveInner(sw, cloneWithoutConditionals(r)) {
+	if m.stales != nil {
+		sw.staleOwner, sw.stalePage = m, pageURL
+	}
+	panicked := m.serveInner(sw, cloneWithoutConditionals(r))
+	if m.breaker != nil {
+		m.breaker.Record(!panicked && sw.status < http.StatusInternalServerError)
+	}
+	if panicked {
 		if !sw.sentToDst {
+			if m.serveStale(w, r, pageURL, "panic") {
+				return
+			}
 			http.Error(w, "internal error", http.StatusInternalServerError)
 		}
 		// Once bytes have streamed to the client the response cannot be
 		// repaired; net/http closes the connection on the length
 		// mismatch, which is exactly what a proxy would do.
+		return
+	}
+	if sw.held {
+		// The writer swallowed a 5xx because a stale copy existed when
+		// the status committed. Serve it; if it expired in the race,
+		// replay the error honestly.
+		if m.serveStale(w, r, pageURL, "origin-error") {
+			return
+		}
+		copyHeader(w.Header(), sw.header)
+		w.WriteHeader(sw.status)
 		return
 	}
 	if !sw.committed {
@@ -253,6 +405,16 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return // already streamed
 	}
 
+	// Budget check between stages: the page rendered, but there is no
+	// time left to probe subresources and assemble the map. Serve the
+	// HTML un-instrumented — late-but-plain beats later-and-decorated,
+	// and the client simply falls back to ordinary caching.
+	if b, ok := resilience.BudgetFrom(r.Context()); ok && b.Exhausted() {
+		m.opts.Metrics.BudgetExhausted.Add(1)
+		m.servePlain(w, r, sw)
+		return
+	}
+
 	// The rendered-page cache keys on (page URL, raw body hash), so the
 	// parse → extract → inject → hash pipeline runs once per distinct
 	// content; probes stay per-request, so freshness is identical to
@@ -263,7 +425,6 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, endSpan := telemetry.StartSpan(r.Context(), "middleware")
 	defer endSpan()
-	pageURL := requestPageURL(r)
 	ent := m.render(pageURL, sw.body())
 
 	// Load the generation before resolving: probes that change state
@@ -308,6 +469,7 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	h.Set(HeaderName, encoded)
 	h.Set("Etag", ent.tag.String())
+	m.recordStale(pageURL, ent, encoded, sw.header, now)
 	telemetry.Event(ctx, "map-built", pageURL)
 	if m.opts.ServerTiming {
 		telemetry.AppendServerTiming(h, "map-built")

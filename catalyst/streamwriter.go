@@ -29,6 +29,17 @@ type sniffWriter struct {
 	dst http.ResponseWriter
 	req *http.Request // original request, with its conditional headers
 
+	// staleOwner, when set, is consulted before a >= 500 status is
+	// committed to the client: if it holds an unexpired stale copy of
+	// stalePage, the writer swallows the error response (headers and
+	// body) and marks held instead, so the middleware can substitute the
+	// stale copy — the degradation ladder's "serve stale instead of
+	// error-proxying" rung. Plain fields rather than a closure: this sits
+	// on the hot path of every instrumented request, and a closure would
+	// cost an allocation per serve.
+	staleOwner *middleware
+	stalePage  string
+
 	header    http.Header
 	status    int
 	committed bool // WriteHeader decision made
@@ -36,6 +47,7 @@ type sniffWriter struct {
 	discard   bool // conditional answered 304: drop body writes
 	sentToDst bool // headers (and possibly body) reached the client
 	hijacked  bool
+	held      bool // 5xx swallowed for stale substitution
 
 	buf bytes.Buffer
 }
@@ -60,6 +72,17 @@ func (w *sniffWriter) WriteHeader(code int) {
 	}
 	w.committed = true
 	w.status = code
+
+	if code >= http.StatusInternalServerError && w.staleOwner != nil {
+		if _, ok := w.staleOwner.staleFor(w.stalePage); ok {
+			// A stale substitute exists: swallow the error entirely.
+			// Nothing reaches the client; the middleware serves the stale
+			// copy after the inner handler returns.
+			w.held = true
+			w.discard = true
+			return
+		}
+	}
 
 	if code == http.StatusOK && isHTML(w.header.Get("Content-Type")) {
 		w.buffering = true

@@ -12,17 +12,45 @@
 // Pass -plain to disable the mechanism and serve with conventional cache
 // headers only (the baseline), which is handy for A/B comparisons with a
 // real browser's devtools.
+//
+// # Proxy mode
+//
+//	catalystd -origin http://app:3000 -addr :8080
+//
+// With -origin, catalystd fronts an existing upstream instead of serving
+// files: responses are decorated by the middleware, an active health
+// checker probes the upstream, and a circuit breaker flips the daemon to
+// serving stale copies (Warning: 110) when the upstream flaps, instead of
+// error-proxying its 5xxs.
+//
+// # Overload and lifecycle
+//
+// -max-inflight bounds concurrent instrumented work; excess requests
+// degrade down a ladder (stale copy, un-instrumented passthrough, 503 +
+// Retry-After) instead of queueing without bound. -request-budget puts a
+// wall-clock deadline on each request's probe fan-out. On SIGTERM or
+// SIGINT the daemon drains: the listener closes, in-flight requests get
+// -shutdown-timeout to finish, and the telemetry snapshot is flushed to
+// stderr before exit.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cachecatalyst/catalyst"
+	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/server"
 	"cachecatalyst/internal/telemetry"
 )
@@ -31,60 +59,174 @@ func main() {
 	var (
 		dir     = flag.String("dir", ".", "directory tree to serve")
 		addr    = flag.String("addr", ":8080", "listen address")
+		origin  = flag.String("origin", "", "proxy this upstream origin URL instead of serving -dir, with health-checked failover to stale copies")
 		record  = flag.Bool("record", false, "enable first-visit session recording")
 		plain   = flag.Bool("plain", false, "disable CacheCatalyst (baseline mode)")
 		metrics = flag.Bool("metrics", false, "expose counters, telemetry registry and recent requests at "+catalyst.MetricsPath)
 		pprof   = flag.Bool("pprof", false, "with -metrics, also mount net/http/pprof under /debug/pprof/")
 		timing  = flag.Bool("server-timing", false, "report per-request cache decisions in Server-Timing response headers")
+
+		maxInflight     = flag.Int("max-inflight", 256, "max concurrent instrumented requests; excess degrade down the ladder (stale, passthrough, 503). 0 disables admission control")
+		requestBudget   = flag.Duration("request-budget", 0, "wall-clock budget per request; probe fan-out stops when spent (0 disables)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "how long in-flight requests get to finish after SIGTERM before being force-closed")
 	)
 	flag.Parse()
 
-	if _, err := os.Stat(*dir); err != nil {
-		log.Fatalf("catalystd: %v", err)
-	}
-
+	// The registry always exists so the shutdown snapshot has something
+	// to flush; -metrics additionally serves it over HTTP.
+	reg := telemetry.NewRegistry()
 	accessLog := 0
-	var reg *telemetry.Registry
 	if *metrics {
 		accessLog = 256
-		reg = telemetry.NewRegistry()
-	}
-	var srv *server.Server
-	if *plain {
-		content, err := server.NewFSContent(os.DirFS(*dir), catalyst.DefaultPolicy)
-		if err != nil {
-			log.Fatalf("catalystd: %v", err)
-		}
-		srv = server.New(content, server.Options{AccessLogSize: accessLog, Telemetry: reg, ServerTiming: *timing})
-		fmt.Printf("catalystd: serving %s on %s (conventional caching)\n", *dir, *addr)
-	} else {
-		var err error
-		srv, err = catalyst.NewServer(os.DirFS(*dir), catalyst.ServerOptions{
-			Record:        *record,
-			Policy:        catalyst.DefaultPolicy,
-			AccessLogSize: accessLog,
-			Telemetry:     reg,
-			ServerTiming:  *timing,
-		})
-		if err != nil {
-			log.Fatalf("catalystd: %v", err)
-		}
-		fmt.Printf("catalystd: serving %s on %s (CacheCatalyst%s)\n",
-			*dir, *addr, map[bool]string{true: " + recording", false: ""}[*record])
 	}
 
-	handler := http.Handler(srv)
-	if *metrics {
-		handler = catalyst.WithMetricsOptions(srv, catalyst.MetricsOptions{Telemetry: reg, PProf: *pprof})
-		fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
-		if *pprof {
-			fmt.Println("catalystd: pprof at /debug/pprof/")
+	var handler http.Handler
+	var onDrain func()
+	switch {
+	case *origin != "":
+		var err error
+		handler, onDrain, err = proxyHandler(*origin, reg, *maxInflight, *requestBudget, *timing)
+		if err != nil {
+			log.Fatalf("catalystd: %v", err)
+		}
+		fmt.Printf("catalystd: proxying %s on %s (CacheCatalyst + health-checked failover)\n", *origin, *addr)
+		if *metrics {
+			handler = withRegistrySnapshot(handler, reg)
+			fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
+		}
+	default:
+		if _, err := os.Stat(*dir); err != nil {
+			log.Fatalf("catalystd: %v", err)
+		}
+		var srv *server.Server
+		if *plain {
+			content, err := server.NewFSContent(os.DirFS(*dir), catalyst.DefaultPolicy)
+			if err != nil {
+				log.Fatalf("catalystd: %v", err)
+			}
+			srv = server.New(content, server.Options{AccessLogSize: accessLog, Telemetry: reg, ServerTiming: *timing})
+			fmt.Printf("catalystd: serving %s on %s (conventional caching)\n", *dir, *addr)
+		} else {
+			var err error
+			srv, err = catalyst.NewServer(os.DirFS(*dir), catalyst.ServerOptions{
+				Record:        *record,
+				Policy:        catalyst.DefaultPolicy,
+				AccessLogSize: accessLog,
+				Telemetry:     reg,
+				ServerTiming:  *timing,
+				MaxInflight:   *maxInflight,
+				RequestBudget: *requestBudget,
+			})
+			if err != nil {
+				log.Fatalf("catalystd: %v", err)
+			}
+			fmt.Printf("catalystd: serving %s on %s (CacheCatalyst%s)\n",
+				*dir, *addr, map[bool]string{true: " + recording", false: ""}[*record])
+		}
+		handler = srv
+		if *metrics {
+			handler = catalyst.WithMetricsOptions(srv, catalyst.MetricsOptions{Telemetry: reg, PProf: *pprof})
+			fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
+			if *pprof {
+				fmt.Println("catalystd: pprof at /debug/pprof/")
+			}
 		}
 	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("catalystd: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	err = resilience.Serve(ctx, httpSrv, ln, resilience.ServeOptions{
+		ShutdownTimeout: *shutdownTimeout,
+		Telemetry:       reg,
+		SnapshotTo:      os.Stderr,
+		Logf:            log.Printf,
+		OnDrain:         onDrain,
+	})
+	if err != nil {
+		log.Fatalf("catalystd: %v", err)
+	}
+}
+
+// proxyHandler fronts an upstream origin with the middleware, an active
+// health checker, and a circuit breaker: while the upstream flaps, the
+// daemon serves the last good copy of each page instead of proxying
+// errors. The returned hook stops the health checker at drain time.
+func proxyHandler(origin string, reg *telemetry.Registry, maxInflight int, budget time.Duration, timing bool) (http.Handler, func(), error) {
+	u, err := url.Parse(origin)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-origin %q: %w", origin, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, nil, fmt.Errorf("-origin %q: need an absolute URL (http://host:port)", origin)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(u)
+	proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		// A dead upstream becomes a 502 the middleware can hold back in
+		// favor of a stale copy; the default handler would also log
+		// every failure, which under a brown-out is pure noise.
+		w.WriteHeader(http.StatusBadGateway)
+	}
+
+	breaker := resilience.NewBreaker(resilience.BreakerOptions{
+		FailureThreshold: 5,
+		Cooldown:         5 * time.Second,
+		Telemetry:        reg,
+		Name:             "catalystd.origin",
+	})
+	client := &http.Client{Timeout: 2 * time.Second}
+	health := resilience.NewHealthChecker(breaker, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= http.StatusInternalServerError {
+			return fmt.Errorf("upstream %s: %s", u.Host, resp.Status)
+		}
+		return nil
+	}, resilience.HealthOptions{
+		Interval:  2 * time.Second,
+		Telemetry: reg,
+		Name:      "catalystd.health",
+	})
+	health.Start()
+
+	h := catalyst.Middleware(proxy, catalyst.MiddlewareOptions{
+		Telemetry:     reg,
+		ServerTiming:  timing,
+		MaxInflight:   maxInflight,
+		RequestBudget: budget,
+		OriginBreaker: breaker,
+	})
+	return h, health.Stop, nil
+}
+
+// withRegistrySnapshot mounts the telemetry snapshot at MetricsPath in
+// proxy mode, where there is no *server.Server for WithMetricsOptions.
+func withRegistrySnapshot(next http.Handler, reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(catalyst.MetricsPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		payload := struct {
+			Telemetry telemetry.Snapshot `json:"telemetry"`
+		}{Telemetry: reg.Snapshot()}
+		if err := json.NewEncoder(w).Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/", next)
+	return mux
 }

@@ -2,10 +2,13 @@
 //
 // The Figure-1 page is loaded cold and then revisited two hours later while
 // the origin misbehaves: probabilistic 503s, mid-body truncation, corrupted
-// X-Etag-Config headers, latency stalls, and a flapping up/down cycle. Every
-// cell runs with a fixed seed, so the table reproduces exactly. The point of
-// the experiment: the resilience layer keeps every load finite and every
-// cache clean, and CacheCatalyst's revisit advantage survives the faults.
+// X-Etag-Config headers, latency stalls, a flapping up/down cycle, and the
+// overload modes — slow-reading clients that hold connections through the
+// body drain, concurrency-spike bursts, and periodic brown-out windows.
+// Every cell runs with a fixed seed, so the table reproduces exactly. The
+// point of the experiment: the resilience layer keeps every load finite and
+// every cache clean, and CacheCatalyst's revisit advantage survives the
+// faults.
 //
 // With -har DIR, the warm Catalyst revisit of every cell is also exported as
 // an annotated HAR: each entry's _decisions field carries the cache decisions
@@ -42,9 +45,14 @@ var grid = []struct {
 	{"corrupt map 50%", netsim.ChaosConfig{Seed: 13, CorruptMapProb: 0.5}},
 	{"stall 30%/250ms", netsim.ChaosConfig{Seed: 14, StallProb: 0.3, StallFor: 250 * time.Millisecond}},
 	{"flap 4up/2down", netsim.ChaosConfig{UpFor: 4, DownFor: 2}},
+	{"slow-read 60%/1s", netsim.ChaosConfig{Seed: 16, SlowReadProb: 0.6, SlowReadFor: time.Second}},
+	{"burst x4", netsim.ChaosConfig{Seed: 17, BurstEvery: 3, BurstSize: 4}},
+	{"brownout 4/2", netsim.ChaosConfig{Seed: 18, BrownoutEvery: 4, BrownoutLen: 2, BrownoutStall: 300 * time.Millisecond}},
 	{"everything", netsim.ChaosConfig{
 		Seed: 15, FailProb: 0.1, TruncateProb: 0.1, CorruptMapProb: 0.1,
 		StallProb: 0.1, StallFor: 120 * time.Millisecond, UpFor: 20, DownFor: 2,
+		SlowReadProb: 0.1, SlowReadFor: 200 * time.Millisecond,
+		BurstEvery: 7, BurstSize: 3,
 	}},
 }
 

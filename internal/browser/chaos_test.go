@@ -25,9 +25,14 @@ var chaosGrid = []struct {
 	{"corrupt-map", netsim.ChaosConfig{Seed: 13, CorruptMapProb: 0.5}},
 	{"stall", netsim.ChaosConfig{Seed: 14, StallProb: 0.3, StallFor: 250 * time.Millisecond}},
 	{"flapping", netsim.ChaosConfig{UpFor: 4, DownFor: 2}},
+	{"slow-read", netsim.ChaosConfig{Seed: 16, SlowReadProb: 0.6, SlowReadFor: time.Second}},
+	{"burst", netsim.ChaosConfig{Seed: 17, BurstEvery: 3, BurstSize: 4}},
+	{"brownout", netsim.ChaosConfig{Seed: 18, BrownoutEvery: 4, BrownoutLen: 2, BrownoutStall: 300 * time.Millisecond}},
 	{"everything", netsim.ChaosConfig{
 		Seed: 15, FailProb: 0.1, TruncateProb: 0.1, CorruptMapProb: 0.1,
 		StallProb: 0.1, StallFor: 120 * time.Millisecond, UpFor: 20, DownFor: 2,
+		SlowReadProb: 0.1, SlowReadFor: 200 * time.Millisecond,
+		BurstEvery: 7, BurstSize: 3,
 	}},
 }
 
@@ -120,6 +125,26 @@ func TestChaosMatrixInvariants(t *testing.T) {
 				}
 				if cell.name == "clean" && st.Injected() != 0 {
 					t.Errorf("clean cell injected faults: %+v", st)
+				}
+				// The dedicated overload cells must actually fire their
+				// fault mode, and burst bookkeeping must stay consistent.
+				switch cell.name {
+				case "slow-read":
+					if st.SlowReads == 0 {
+						t.Error("slow-read cell drained no responses slowly")
+					}
+				case "burst":
+					if st.Bursts == 0 {
+						t.Error("burst cell fired no bursts")
+					}
+				case "brownout":
+					if st.BrownoutStalls == 0 {
+						t.Error("brownout cell stalled no requests")
+					}
+				}
+				if want := st.Bursts * int64(cell.cfg.BurstSize-1); st.Bursts > 0 && st.BurstRequests != want {
+					t.Errorf("burst accounting: %d bursts of size %d but %d duplicates, want %d",
+						st.Bursts, cell.cfg.BurstSize, st.BurstRequests, want)
 				}
 			})
 		}

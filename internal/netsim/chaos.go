@@ -48,6 +48,29 @@ type ChaosConfig struct {
 	// normally, then 503s the next DownFor, repeating (healthy → down →
 	// healthy). Both zero disables flapping.
 	UpFor, DownFor int
+
+	// SlowReadProb/SlowReadFor inject slow-reader clients: with
+	// probability SlowReadProb the client drains the response body
+	// SlowReadFor more slowly than the link allows, occupying the
+	// connection the whole time. This is the overload mode that exhausts
+	// connection slots without any request-rate increase.
+	SlowReadProb float64
+	SlowReadFor  time.Duration
+
+	// BurstEvery/BurstSize inject concurrency spikes: every BurstEvery-th
+	// request is amplified into BurstSize concurrent duplicate requests
+	// against the inner origin (only the original's response is
+	// delivered). Zero BurstEvery disables bursts.
+	BurstEvery, BurstSize int
+
+	// BrownoutEvery/BrownoutLen/BrownoutStall inject long brown-outs:
+	// after every BrownoutEvery normally-timed requests, the next
+	// BrownoutLen requests each stall BrownoutStall — a sustained
+	// slowdown window, distinct from both the one-request latency spike
+	// (StallProb) and the hard-down flap (DownFor). Zero BrownoutEvery
+	// disables brown-outs.
+	BrownoutEvery, BrownoutLen int
+	BrownoutStall              time.Duration
 }
 
 // flapping reports whether the flap cycle is configured.
@@ -55,17 +78,22 @@ func (c ChaosConfig) flapping() bool { return c.UpFor > 0 && c.DownFor > 0 }
 
 // ChaosStats counts injected faults per failure mode.
 type ChaosStats struct {
-	Requests      int64
-	Failures      int64 // probabilistic 503s
-	FlapFailures  int64 // 503s from the down phase of the flap cycle
-	Truncations   int64
-	CorruptedMaps int64
-	Stalls        int64
+	Requests       int64
+	Failures       int64 // probabilistic 503s
+	FlapFailures   int64 // 503s from the down phase of the flap cycle
+	Truncations    int64
+	CorruptedMaps  int64
+	Stalls         int64
+	SlowReads      int64 // slow-reader drains injected
+	Bursts         int64 // burst events (each fired BurstSize-1 extras)
+	BurstRequests  int64 // extra duplicate requests fired by bursts
+	BrownoutStalls int64 // requests stalled inside a brown-out window
 }
 
 // Injected returns the total number of faults of any kind.
 func (s ChaosStats) Injected() int64 {
-	return s.Failures + s.FlapFailures + s.Truncations + s.CorruptedMaps + s.Stalls
+	return s.Failures + s.FlapFailures + s.Truncations + s.CorruptedMaps +
+		s.Stalls + s.SlowReads + s.Bursts + s.BrownoutStalls
 }
 
 // ChaosOrigin wraps an origin with the full fault-injection matrix. It is
@@ -81,9 +109,15 @@ type ChaosOrigin struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	count int64
+	// stallSeq sequences StallFor draws independently of RoundTrip order:
+	// the transport asks for stalls before dispatching, so sharing count
+	// would entangle the two sequences and break replay determinism.
+	stallSeq int64
 
 	requests, failures, flapFailures   telemetry.Counter
 	truncations, corruptedMaps, stalls telemetry.Counter
+	slowReads, bursts, burstRequests   telemetry.Counter
+	brownoutStalls                     telemetry.Counter
 }
 
 // NewChaosOrigin returns inner wrapped in the fault matrix cfg describes.
@@ -94,12 +128,16 @@ func NewChaosOrigin(inner Origin, cfg ChaosConfig) *ChaosOrigin {
 // Stats returns a snapshot of injected-fault counters.
 func (c *ChaosOrigin) Stats() ChaosStats {
 	return ChaosStats{
-		Requests:      c.requests.Load(),
-		Failures:      c.failures.Load(),
-		FlapFailures:  c.flapFailures.Load(),
-		Truncations:   c.truncations.Load(),
-		CorruptedMaps: c.corruptedMaps.Load(),
-		Stalls:        c.stalls.Load(),
+		Requests:       c.requests.Load(),
+		Failures:       c.failures.Load(),
+		FlapFailures:   c.flapFailures.Load(),
+		Truncations:    c.truncations.Load(),
+		CorruptedMaps:  c.corruptedMaps.Load(),
+		Stalls:         c.stalls.Load(),
+		SlowReads:      c.slowReads.Load(),
+		Bursts:         c.bursts.Load(),
+		BurstRequests:  c.burstRequests.Load(),
+		BrownoutStalls: c.brownoutStalls.Load(),
 	}
 }
 
@@ -113,21 +151,53 @@ func (c *ChaosOrigin) RegisterTelemetry(reg *telemetry.Registry, name string) {
 	reg.RegisterCounter(name+".truncations", &c.truncations)
 	reg.RegisterCounter(name+".corrupted_maps", &c.corruptedMaps)
 	reg.RegisterCounter(name+".stalls", &c.stalls)
+	reg.RegisterCounter(name+".slow_reads", &c.slowReads)
+	reg.RegisterCounter(name+".bursts", &c.bursts)
+	reg.RegisterCounter(name+".burst_requests", &c.burstRequests)
+	reg.RegisterCounter(name+".brownout_stalls", &c.brownoutStalls)
 }
 
 // StallFor implements Stalling: it draws the latency-spike fault for one
-// request.
+// request and overlays the brown-out window — BrownoutLen consecutive
+// requests of sustained stall after every BrownoutEvery normal ones.
 func (c *ChaosOrigin) StallFor(req *Request) time.Duration {
-	if c.cfg.StallProb <= 0 || c.cfg.StallFor <= 0 {
+	probabilistic := c.cfg.StallProb > 0 && c.cfg.StallFor > 0
+	brownout := c.cfg.BrownoutEvery > 0 && c.cfg.BrownoutLen > 0 && c.cfg.BrownoutStall > 0
+	if !probabilistic && !brownout {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.rng.Float64() >= c.cfg.StallProb {
+	var stall time.Duration
+	if brownout {
+		cycle := int64(c.cfg.BrownoutEvery + c.cfg.BrownoutLen)
+		pos := c.stallSeq % cycle
+		c.stallSeq++
+		if pos >= int64(c.cfg.BrownoutEvery) {
+			c.brownoutStalls.Add(1)
+			stall += c.cfg.BrownoutStall
+		}
+	}
+	if probabilistic && c.rng.Float64() < c.cfg.StallProb {
+		c.stalls.Add(1)
+		stall += c.cfg.StallFor
+	}
+	return stall
+}
+
+// DrainFor implements Draining: it draws the slow-reader fault, charging
+// extra client-side drain time that keeps the connection occupied.
+func (c *ChaosOrigin) DrainFor(req *Request, resp *httpcache.Response) time.Duration {
+	if c.cfg.SlowReadProb <= 0 || c.cfg.SlowReadFor <= 0 || len(resp.Body) == 0 {
 		return 0
 	}
-	c.stalls.Add(1)
-	return c.cfg.StallFor
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.cfg.SlowReadProb {
+		return 0
+	}
+	c.slowReads.Add(1)
+	return c.cfg.SlowReadFor
 }
 
 // RoundTrip implements Origin. Fault draws happen in request order under
@@ -155,7 +225,28 @@ func (c *ChaosOrigin) RoundTrip(req *Request) *httpcache.Response {
 	// sequence depends only on request order, not on the inner origin.
 	truncate := c.cfg.TruncateProb > 0 && c.rng.Float64() < c.cfg.TruncateProb
 	corrupt := c.cfg.CorruptMapProb > 0 && c.rng.Float64() < c.cfg.CorruptMapProb
+	burst := c.cfg.BurstEvery > 0 && c.cfg.BurstSize > 1 && pos%int64(c.cfg.BurstEvery) == 0
 	c.mu.Unlock()
+
+	if burst {
+		// Concurrency spike: the inner origin sees BurstSize copies of
+		// this request at once — real goroutine concurrency, so a gated
+		// origin experiences genuine slot contention. Only the original's
+		// response is delivered; the duplicates' are discarded.
+		c.bursts.Add(1)
+		extras := c.cfg.BurstSize - 1
+		c.burstRequests.Add(int64(extras))
+		var wg sync.WaitGroup
+		wg.Add(extras)
+		for i := 0; i < extras; i++ {
+			go func() {
+				defer wg.Done()
+				dup := *req
+				c.inner.RoundTrip(&dup)
+			}()
+		}
+		defer wg.Wait()
+	}
 
 	resp := c.inner.RoundTrip(req)
 

@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/leakcheck"
+)
+
+func TestHandlerFromOriginServes(t *testing.T) {
+	h := HandlerFromOrigin(okOrigin{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/page", nil))
+	if rec.Code != 200 || rec.Body.Len() != 64 {
+		t.Fatalf("status=%d body=%d", rec.Code, rec.Body.Len())
+	}
+	if rec.Header().Get(etagConfigHeader) == "" {
+		t.Fatal("origin headers not copied through")
+	}
+}
+
+// TestHandlerFromOriginTruncationAborts: over a real connection, a
+// simulated truncation is a reset mid-body — the client reads a prefix
+// and then an error, never a clean EOF that would let it cache the stub.
+func TestHandlerFromOriginTruncationAborts(t *testing.T) {
+	leakcheck.Check(t)
+	chaos := NewChaosOrigin(okOrigin{}, ChaosConfig{Seed: 1, TruncateProb: 1})
+	ts := httptest.NewServer(HandlerFromOrigin(chaos))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("truncated response read to a clean EOF")
+	}
+	if chaos.Stats().Truncations != 1 {
+		t.Fatalf("truncations = %d", chaos.Stats().Truncations)
+	}
+}
+
+// TestHandlerStallAbortsOnCancel is the regression test for
+// cancellation-aware stalls: a client that gives up mid-stall unblocks
+// the handler immediately — the stalled round-trip must not hold its
+// goroutine (or its connection slot) for the full stall, and leakcheck
+// verifies nothing is left sleeping after the test.
+func TestHandlerStallAbortsOnCancel(t *testing.T) {
+	leakcheck.Check(t)
+	const stall = time.Minute // far beyond the test's lifetime
+	chaos := NewChaosOrigin(okOrigin{}, ChaosConfig{Seed: 1, StallProb: 1, StallFor: stall})
+	ts := httptest.NewServer(HandlerFromOrigin(chaos))
+	defer ts.Close() // hangs the test if a handler is still stalled
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/page", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the request reach the stall
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled request returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled client never unblocked")
+	}
+	// ts.Close() (deferred) waits for outstanding handlers: if the stall
+	// were not cancellation-aware it would sit for the full minute. Give
+	// the server a moment and bound the whole drain.
+	done := make(chan struct{})
+	go func() { ts.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server drain hung: the stalled handler did not abort on cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("unblocking took %v", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -15,6 +16,19 @@ type Request struct {
 	Method string
 	Path   string
 	Header http.Header
+	// Ctx, when non-nil, is the caller's request context. Adapters that
+	// bridge to real handlers (server.NewHandlerOrigin, HandlerFromOrigin)
+	// attach it to the inner http.Request, so cancelling the caller
+	// cancels probe fan-outs and origin work end to end.
+	Ctx context.Context
+}
+
+// Context returns the request's context, defaulting to Background.
+func (r *Request) Context() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // Origin answers simulated requests. internal/server adapts the real
@@ -29,6 +43,15 @@ type Origin interface {
 // spike or stall) per request, on top of TransportOptions.ServerThink.
 type Stalling interface {
 	StallFor(req *Request) time.Duration
+}
+
+// Draining is an optional Origin interface modelling slow-reader clients:
+// the returned duration is extra virtual time the client takes to drain
+// the response body after the last byte would otherwise have arrived. The
+// connection stays occupied the whole time — the fault that exhausts
+// server-side connection slots without any request-rate increase.
+type Draining interface {
+	DrainFor(req *Request, resp *httpcache.Response) time.Duration
 }
 
 // Conditions describes the emulated network between client and origin,
@@ -261,11 +284,17 @@ func (e *Endpoint) roundTrip(c *simConn, p *pendingFetch, isNew bool, after func
 			respBytes := ResponseWireSize(resp)
 			e.stats.BytesDown += respBytes
 			e.stats.ResponseBytes += int64(len(resp.Body))
+			var drain time.Duration
+			if d, ok := e.origin.(Draining); ok {
+				drain = d.DrainFor(p.req, resp)
+			}
 			stall := e.slowStartStall(c, respBytes)
 			e.sim.After(stall, func() {
 				e.down.Start(respBytes, func() {
-					// Last byte propagates back to the client.
-					e.sim.After(e.cond.RTT/2, func() {
+					// Last byte propagates back to the client; a
+					// slow-reader drain keeps the connection busy past
+					// that, which is the whole point of the fault.
+					e.sim.After(e.cond.RTT/2+drain, func() {
 						if after != nil {
 							after()
 						}

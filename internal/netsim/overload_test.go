@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/httpcache"
+)
+
+// TestChaosBrownoutWindow pins the brown-out sequencer: after every
+// BrownoutEvery normally-timed requests, the next BrownoutLen each stall
+// the full BrownoutStall — a sustained slowdown, not a one-off spike.
+func TestChaosBrownoutWindow(t *testing.T) {
+	const stall = 100 * time.Millisecond
+	c := NewChaosOrigin(okOrigin{}, ChaosConfig{
+		BrownoutEvery: 3, BrownoutLen: 2, BrownoutStall: stall,
+	})
+	want := []time.Duration{0, 0, 0, stall, stall, 0, 0, 0, stall, stall}
+	for i, w := range want {
+		if got := c.StallFor(&Request{}); got != w {
+			t.Fatalf("stall %d = %v, want %v", i, got, w)
+		}
+	}
+	if got := c.Stats().BrownoutStalls; got != 4 {
+		t.Fatalf("brown-out stalls = %d, want 4", got)
+	}
+}
+
+// TestChaosBrownoutComposesWithSpikes: a request inside the brown-out
+// window that also draws the probabilistic spike pays both.
+func TestChaosBrownoutComposesWithSpikes(t *testing.T) {
+	c := NewChaosOrigin(okOrigin{}, ChaosConfig{
+		StallProb: 1, StallFor: 30 * time.Millisecond,
+		BrownoutEvery: 1, BrownoutLen: 1, BrownoutStall: 200 * time.Millisecond,
+	})
+	c.StallFor(&Request{}) // pos 0: outside the window
+	if got := c.StallFor(&Request{}); got != 230*time.Millisecond {
+		t.Fatalf("composed stall = %v, want 230ms", got)
+	}
+}
+
+// TestChaosSlowReadCharged runs the slow-reader fault through the
+// transport: the fetch's completion time includes the drain, modelling a
+// client that sits on the connection long after the last byte arrived.
+func TestChaosSlowReadCharged(t *testing.T) {
+	sim := NewSim()
+	const drain = 500 * time.Millisecond
+	chaos := NewChaosOrigin(okOrigin{}, ChaosConfig{Seed: 1, SlowReadProb: 1, SlowReadFor: drain})
+	cond := Conditions{RTT: 40 * time.Millisecond}
+	ep := NewEndpoint(sim, cond, chaos, TransportOptions{})
+	var end time.Duration
+	ep.Fetch(&Request{Method: "GET", Path: "/"}, func(fr FetchResult) { end = fr.End })
+	sim.Run()
+	// handshake (1 RTT) + exchange (1 RTT) + drain.
+	want := 2*cond.RTT + drain
+	if end != want {
+		t.Fatalf("fetch completed at %v, want %v", end, want)
+	}
+	if chaos.Stats().SlowReads != 1 {
+		t.Fatalf("slow reads = %d", chaos.Stats().SlowReads)
+	}
+}
+
+// TestChaosSlowReadHoldsConnection: with one connection and a slow
+// reader on it, the next request cannot start until the drain finishes —
+// connection-slot exhaustion without any request-rate increase.
+func TestChaosSlowReadHoldsConnection(t *testing.T) {
+	sim := NewSim()
+	const drain = time.Second
+	chaos := NewChaosOrigin(okOrigin{}, ChaosConfig{Seed: 1, SlowReadProb: 1, SlowReadFor: drain})
+	cond := Conditions{RTT: 40 * time.Millisecond}
+	ep := NewEndpoint(sim, cond, chaos, TransportOptions{MaxConns: 1})
+	var first, second time.Duration
+	ep.Fetch(&Request{Method: "GET", Path: "/a"}, func(fr FetchResult) { first = fr.End })
+	ep.Fetch(&Request{Method: "GET", Path: "/b"}, func(fr FetchResult) { second = fr.End })
+	sim.Run()
+	if second < first+drain {
+		t.Fatalf("second fetch finished at %v, before the first drain (%v + %v) released the connection",
+			second, first, drain)
+	}
+}
+
+// barrierOrigin blocks every RoundTrip until `expect` of them are in
+// flight at once — proof of real concurrency, not sequential duplicates.
+type barrierOrigin struct {
+	expect  int32
+	arrived atomic.Int32
+	release chan struct{}
+	peak    atomic.Int32
+}
+
+func newBarrierOrigin(expect int) *barrierOrigin {
+	return &barrierOrigin{expect: int32(expect), release: make(chan struct{})}
+}
+
+func (b *barrierOrigin) RoundTrip(req *Request) *httpcache.Response {
+	if n := b.arrived.Add(1); n == b.expect {
+		close(b.release)
+	}
+	<-b.release
+	return &httpcache.Response{StatusCode: 200, Body: []byte("ok")}
+}
+
+// TestChaosBurstFiresConcurrentDuplicates pins the concurrency-spike
+// fault: one client request becomes BurstSize genuinely concurrent
+// requests at the inner origin, and the burst leaves no goroutines
+// behind (RoundTrip waits for its duplicates).
+func TestChaosBurstFiresConcurrentDuplicates(t *testing.T) {
+	inner := newBarrierOrigin(4)
+	c := NewChaosOrigin(inner, ChaosConfig{BurstEvery: 1, BurstSize: 4})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.RoundTrip(&Request{Method: "GET", Path: "/"})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("burst duplicates never overlapped: the barrier starved")
+	}
+	st := c.Stats()
+	if st.Bursts != 1 || st.BurstRequests != 3 {
+		t.Fatalf("bursts=%d burstRequests=%d, want 1/3", st.Bursts, st.BurstRequests)
+	}
+	if st.Requests != 1 {
+		t.Fatalf("client-visible requests = %d, want 1 (duplicates are internal)", st.Requests)
+	}
+	if got := inner.arrived.Load(); got != 4 {
+		t.Fatalf("inner origin saw %d requests, want 4", got)
+	}
+}
+
+// TestChaosBurstCadence: bursts fire on the configured cadence, not
+// every request.
+func TestChaosBurstCadence(t *testing.T) {
+	inner := okOrigin{}
+	c := NewChaosOrigin(inner, ChaosConfig{BurstEvery: 3, BurstSize: 2})
+	drive(c, 9) // positions 0..8: bursts at 0, 3, 6
+	st := c.Stats()
+	if st.Bursts != 3 || st.BurstRequests != 3 {
+		t.Fatalf("bursts=%d burstRequests=%d, want 3/3", st.Bursts, st.BurstRequests)
+	}
+}
+
+// TestChaosOverloadDeterminism: the new fault modes replay identically
+// under equal seeds, like every other cell of the matrix.
+func TestChaosOverloadDeterminism(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed: 11, SlowReadProb: 0.4, SlowReadFor: 10 * time.Millisecond,
+		BrownoutEvery: 5, BrownoutLen: 3, BrownoutStall: 20 * time.Millisecond,
+	}
+	a, b := NewChaosOrigin(okOrigin{}, cfg), NewChaosOrigin(okOrigin{}, cfg)
+	for i := 0; i < 100; i++ {
+		req := &Request{Method: "GET", Path: "/"}
+		if a.StallFor(req) != b.StallFor(req) {
+			t.Fatalf("stall draw %d diverged", i)
+		}
+		ra, rb := a.RoundTrip(req), b.RoundTrip(req)
+		if a.DrainFor(req, ra) != b.DrainFor(req, rb) {
+			t.Fatalf("drain draw %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if st := a.Stats(); st.SlowReads == 0 || st.BrownoutStalls == 0 {
+		t.Fatalf("overload modes not exercised: %+v", st)
+	}
+}

@@ -1,0 +1,105 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWithBudgetEnforcesDeadline(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	b, ok := BudgetFrom(ctx)
+	if !ok {
+		t.Fatal("no budget on context")
+	}
+	if b.Total() != 30*time.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if b.Exhausted() {
+		t.Fatal("budget exhausted at birth")
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		t.Fatal("budget did not set a context deadline")
+	}
+
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("budget deadline never fired")
+	}
+	if !b.Exhausted() || b.Remaining() != 0 {
+		t.Fatalf("after expiry: exhausted=%v remaining=%v", b.Exhausted(), b.Remaining())
+	}
+	if b.Spent() < 30*time.Millisecond {
+		t.Fatalf("spent = %v, want >= total", b.Spent())
+	}
+}
+
+func TestWithBudgetZeroIsNoOp(t *testing.T) {
+	parent := context.Background()
+	ctx, cancel := WithBudget(parent, 0)
+	defer cancel()
+	if ctx != parent {
+		t.Fatal("zero budget changed the context")
+	}
+	if _, ok := BudgetFrom(ctx); ok {
+		t.Fatal("zero budget recorded a budget")
+	}
+}
+
+func TestWithBudgetKeepsEarlierDeadline(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	ctx, cancel2 := WithBudget(parent, time.Hour)
+	defer cancel2()
+
+	d, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline")
+	}
+	if time.Until(d) > time.Second {
+		t.Fatalf("budget overrode the earlier deadline: %v away", time.Until(d))
+	}
+	if _, ok := BudgetFrom(ctx); !ok {
+		t.Fatal("budget not recorded for accounting")
+	}
+}
+
+func TestRemainingFallsBackToDeadline(t *testing.T) {
+	if _, ok := Remaining(context.Background()); ok {
+		t.Fatal("bare context reported a budget")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rem, ok := Remaining(ctx)
+	if !ok || rem <= 0 || rem > time.Minute {
+		t.Fatalf("remaining = %v, %v", rem, ok)
+	}
+}
+
+func TestStageContextNeverExceedsBudget(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	stage, scancel := StageContext(ctx, time.Hour)
+	defer scancel()
+	d, ok := stage.Deadline()
+	if !ok {
+		t.Fatal("stage has no deadline")
+	}
+	if time.Until(d) > 25*time.Millisecond {
+		t.Fatalf("stage deadline %v away exceeds budget", time.Until(d))
+	}
+}
+
+func TestStageContextTighterThanBudget(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), time.Hour)
+	defer cancel()
+	stage, scancel := StageContext(ctx, 10*time.Millisecond)
+	defer scancel()
+	d, _ := stage.Deadline()
+	if time.Until(d) > 15*time.Millisecond {
+		t.Fatalf("stage deadline %v away, want ~10ms", time.Until(d))
+	}
+}

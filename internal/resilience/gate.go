@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"cachecatalyst/internal/telemetry"
+)
+
+// Gate admission errors. Callers route each to a different degradation
+// rung: a timed-out wait means the server is busy but draining (degraded
+// service is worth attempting), a full queue means it is saturated (only
+// pre-computed answers or a refusal are affordable).
+var (
+	// ErrQueueTimeout reports that the request waited its full queue
+	// allowance (or its context expired while waiting) without a slot
+	// freeing up.
+	ErrQueueTimeout = errors.New("resilience: admission queue wait timed out")
+	// ErrQueueFull reports that the request was refused instantly because
+	// the wait queue itself was at capacity.
+	ErrQueueFull = errors.New("resilience: admission queue full")
+)
+
+// GateOptions configures a Gate.
+type GateOptions struct {
+	// MaxInflight bounds how many acquisitions may be outstanding at
+	// once. Zero selects 256.
+	MaxInflight int
+	// MaxQueue bounds how many requests may wait for a slot; arrivals
+	// beyond it are refused immediately with ErrQueueFull. Zero selects
+	// MaxInflight; negative disables queueing entirely (every acquisition
+	// either gets a free slot or ErrQueueFull).
+	MaxQueue int
+	// QueueTimeout is how long a queued request waits for a slot before
+	// giving up with ErrQueueTimeout. Zero selects 50 ms — long enough to
+	// absorb a scheduling hiccup, short enough that a shed request still
+	// has latency budget left for the degraded response.
+	QueueTimeout time.Duration
+	// Telemetry, when set, indexes the gate's counters and gauges under
+	// Name (e.g. "<name>.admitted"). Name must be non-empty when
+	// Telemetry is set.
+	Telemetry *telemetry.Registry
+	Name      string
+}
+
+// Gate is a bounded-concurrency admission controller with a short timed
+// queue: the front door of the overload story. Under normal load every
+// Acquire returns a slot immediately; under saturation requests queue
+// briefly, and past that they are refused fast — the caller degrades
+// instead of stacking goroutines until memory or latency collapses.
+type Gate struct {
+	slots    chan struct{}
+	maxQueue int
+	timeout  time.Duration
+
+	queued   atomic.Int64
+	inflight telemetry.Gauge
+	depth    telemetry.Gauge
+
+	// Admitted counts successful acquisitions; ShedTimeout and ShedFull
+	// count refusals by kind. Exported-by-accessor only; the registry
+	// indexes the same storage.
+	admitted    telemetry.Counter
+	shedTimeout telemetry.Counter
+	shedFull    telemetry.Counter
+}
+
+// NewGate returns a gate enforcing opts.
+func NewGate(opts GateOptions) *Gate {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 256
+	}
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = opts.MaxInflight
+	}
+	if opts.MaxQueue < 0 {
+		opts.MaxQueue = 0
+	}
+	if opts.QueueTimeout <= 0 {
+		opts.QueueTimeout = 50 * time.Millisecond
+	}
+	g := &Gate{
+		slots:    make(chan struct{}, opts.MaxInflight),
+		maxQueue: opts.MaxQueue,
+		timeout:  opts.QueueTimeout,
+	}
+	if opts.Telemetry != nil && opts.Name != "" {
+		reg, n := opts.Telemetry, opts.Name
+		reg.RegisterCounter(n+".admitted", &g.admitted)
+		reg.RegisterCounter(n+".shed_timeout", &g.shedTimeout)
+		reg.RegisterCounter(n+".shed_full", &g.shedFull)
+		reg.RegisterGauge(n+".inflight", &g.inflight)
+		reg.RegisterGauge(n+".queued", &g.depth)
+	}
+	return g
+}
+
+// Acquire claims a concurrency slot, waiting in the timed queue when none
+// is free. On success it returns a release func (idempotent — calling it
+// twice frees one slot); on refusal it returns ErrQueueTimeout or
+// ErrQueueFull. A context already cancelled or expiring mid-wait sheds
+// with ErrQueueTimeout: the caller's budget is gone either way.
+//
+// Hot paths that pair each success with exactly one Release should use
+// AcquireSlot instead: the idempotence guard here costs two allocations
+// per admission.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if err := g.AcquireSlot(ctx); err != nil {
+		return nil, err
+	}
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			g.Release()
+		}
+	}, nil
+}
+
+// AcquireSlot is Acquire without the release closure: the caller owns the
+// slot on nil return and must free it with exactly one Release. This is
+// the allocation-free form for per-request hot paths.
+func (g *Gate) AcquireSlot(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		g.inflight.Add(1)
+		return nil
+	default:
+	}
+	if int(g.queued.Add(1)) > g.maxQueue {
+		g.queued.Add(-1)
+		g.shedFull.Add(1)
+		return ErrQueueFull
+	}
+	g.depth.Set(g.queued.Load())
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	defer func() {
+		g.depth.Set(g.queued.Add(-1))
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		g.inflight.Add(1)
+		return nil
+	case <-timer.C:
+		g.shedTimeout.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		g.shedTimeout.Add(1)
+		return ErrQueueTimeout
+	}
+}
+
+// Release frees one slot claimed by a successful AcquireSlot (or by the
+// release func Acquire returned, which guards its own idempotence).
+func (g *Gate) Release() {
+	<-g.slots
+	g.inflight.Add(-1)
+}
+
+// Inflight returns the number of currently held slots.
+func (g *Gate) Inflight() int { return len(g.slots) }
+
+// Shed returns the total number of refused acquisitions.
+func (g *Gate) Shed() int64 { return g.shedTimeout.Load() + g.shedFull.Load() }
+
+// Admitted returns the total number of successful acquisitions.
+func (g *Gate) Admitted() int64 { return g.admitted.Load() }

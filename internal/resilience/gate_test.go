@@ -1,0 +1,152 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/leakcheck"
+	"cachecatalyst/internal/telemetry"
+)
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := NewGate(GateOptions{MaxInflight: 2, MaxQueue: -1})
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Inflight() != 2 {
+		t.Fatalf("inflight = %d", g.Inflight())
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire: %v, want ErrQueueFull", err)
+	}
+	r1()
+	r1() // idempotent: must not free a second slot
+	if g.Inflight() != 1 {
+		t.Fatalf("inflight after release = %d", g.Inflight())
+	}
+	r3, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	if g.Admitted() != 3 || g.Shed() != 1 {
+		t.Fatalf("admitted=%d shed=%d", g.Admitted(), g.Shed())
+	}
+}
+
+func TestGateQueueTimesOut(t *testing.T) {
+	g := NewGate(GateOptions{MaxInflight: 1, MaxQueue: 4, QueueTimeout: 5 * time.Millisecond})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("queued acquire: %v, want ErrQueueTimeout", err)
+	}
+	if waited := time.Since(start); waited < 5*time.Millisecond || waited > time.Second {
+		t.Fatalf("waited %v, want ~5ms", waited)
+	}
+	release()
+}
+
+func TestGateQueueDrainsToWaiter(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewGate(GateOptions{MaxInflight: 1, MaxQueue: 4, QueueTimeout: 2 * time.Second})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued waiter never got the freed slot")
+	}
+}
+
+func TestGateCancelledContextSheds(t *testing.T) {
+	g := NewGate(GateOptions{MaxInflight: 1, MaxQueue: 4, QueueTimeout: time.Minute})
+	release, _ := g.Acquire(context.Background())
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := g.Acquire(ctx); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("cancelled acquire: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled waiter did not unblock promptly")
+	}
+}
+
+func TestGateTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := NewGate(GateOptions{MaxInflight: 1, MaxQueue: -1, Telemetry: reg, Name: "test.gate"})
+	release, _ := g.Acquire(context.Background())
+	g.Acquire(context.Background()) // shed: queue disabled
+	release()
+	snap := reg.Snapshot()
+	if snap.Counters["test.gate.admitted"] != 1 || snap.Counters["test.gate.shed_full"] != 1 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if snap.Gauges["test.gate.inflight"] != 0 {
+		t.Fatalf("inflight gauge: %+v", snap.Gauges)
+	}
+}
+
+func TestGateConcurrentStress(t *testing.T) {
+	leakcheck.Check(t)
+	g := NewGate(GateOptions{MaxInflight: 4, MaxQueue: 8, QueueTimeout: time.Millisecond})
+	var wg sync.WaitGroup
+	var served, shed telemetry.Counter
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background())
+			if err != nil {
+				shed.Add(1)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+			release()
+			served.Add(1)
+		}()
+	}
+	wg.Wait()
+	if g.Inflight() != 0 {
+		t.Fatalf("slots leaked: %d", g.Inflight())
+	}
+	if served.Load()+shed.Load() != 64 {
+		t.Fatalf("served %d + shed %d != 64", served.Load(), shed.Load())
+	}
+	if served.Load() != g.Admitted() || shed.Load() != g.Shed() {
+		t.Fatalf("accounting mismatch: served=%d admitted=%d shed=%d gateShed=%d",
+			served.Load(), g.Admitted(), shed.Load(), g.Shed())
+	}
+}

@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"cachecatalyst/internal/telemetry"
+)
+
+// ServeOptions configures a graceful Serve run.
+type ServeOptions struct {
+	// ShutdownTimeout is how long in-flight requests get to finish once
+	// the drain begins; stragglers past it are force-closed. Zero
+	// selects 10 seconds.
+	ShutdownTimeout time.Duration
+	// Telemetry, when set together with SnapshotTo, is flushed as one
+	// JSON snapshot after the listener closes — the final flight-recorder
+	// read of a process that is about to exit.
+	Telemetry  *telemetry.Registry
+	SnapshotTo io.Writer
+	// Logf reports lifecycle transitions (drain started, drain result);
+	// nil disables logging.
+	Logf func(format string, args ...any)
+	// OnDrain runs after the listener stops accepting but before the
+	// final snapshot is taken — the hook for stopping health checkers
+	// and other background loops so the process exits leak-free.
+	OnDrain func()
+}
+
+func (o ServeOptions) shutdownTimeout() time.Duration {
+	if o.ShutdownTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.ShutdownTimeout
+}
+
+func (o ServeOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Serve runs srv on ln until ctx is cancelled — the caller wires SIGTERM
+// to ctx via signal.NotifyContext — then drains gracefully: the listener
+// stops accepting, in-flight requests get ShutdownTimeout to finish, and
+// whatever remains is force-closed. A configured telemetry registry is
+// flushed as JSON before returning, so the run's counters survive the
+// process.
+//
+// The return is nil after a clean drain (including a drain that followed
+// a cancelled ctx), the shutdown error when in-flight work outlived the
+// timeout, or the serve error when the server failed on its own.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, opts ServeOptions) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	var err error
+	select {
+	case err = <-errCh:
+		// The server failed before any shutdown was requested.
+	case <-ctx.Done():
+		opts.logf("catalystd: draining (in-flight budget %v)", opts.shutdownTimeout())
+		shCtx, cancel := context.WithTimeout(context.Background(), opts.shutdownTimeout())
+		err = srv.Shutdown(shCtx)
+		cancel()
+		if err != nil {
+			// The timeout elapsed with requests still in flight: cut them
+			// off rather than hang the exit.
+			srv.Close()
+			opts.logf("catalystd: drain incomplete, connections force-closed: %v", err)
+		} else {
+			opts.logf("catalystd: drain complete")
+		}
+		<-errCh // the Serve goroutine has returned ErrServerClosed
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if opts.OnDrain != nil {
+		opts.OnDrain()
+	}
+	flushSnapshot(opts)
+	return err
+}
+
+// flushSnapshot writes the registry's final state as one JSON object.
+func flushSnapshot(opts ServeOptions) {
+	if opts.Telemetry == nil || opts.SnapshotTo == nil {
+		return
+	}
+	enc := json.NewEncoder(opts.SnapshotTo)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(opts.Telemetry.Snapshot()); err != nil {
+		opts.logf("catalystd: telemetry snapshot flush failed: %v", err)
+	}
+}

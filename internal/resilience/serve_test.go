@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/leakcheck"
+	"cachecatalyst/internal/telemetry"
+)
+
+// startServe runs Serve on a fresh loopback listener and returns the base
+// URL, the cancel that triggers the drain, and the channel Serve's result
+// lands on.
+func startServe(t *testing.T, handler http.Handler, opts ServeOptions) (base string, shutdown context.CancelFunc, result chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{Handler: handler}
+	result = make(chan error, 1)
+	go func() { result <- Serve(ctx, srv, ln, opts) }()
+	return "http://" + ln.Addr().String(), cancel, result
+}
+
+// TestServeDrainsInflightOnShutdown is the kill-under-drain chaos cell: a
+// SIGTERM (modelled as ctx cancellation) arriving while a request is in
+// flight must let that request finish, refuse the listener to new work,
+// flush the telemetry snapshot, and leave no goroutines behind.
+func TestServeDrainsInflightOnShutdown(t *testing.T) {
+	leakcheck.Check(t)
+	reg := telemetry.NewRegistry()
+	served := reg.Counter("test.served")
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		served.Add(1)
+		fmt.Fprint(w, "drained fine")
+	})
+	var snapshot bytes.Buffer
+	drained := make(chan struct{})
+	base, shutdown, result := startServe(t, handler, ServeOptions{
+		ShutdownTimeout: 5 * time.Second,
+		Telemetry:       reg,
+		SnapshotTo:      &snapshot,
+		OnDrain:         func() { close(drained) },
+	})
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- fmt.Sprintf("%d %s", resp.StatusCode, b)
+	}()
+
+	<-inHandler // the request is in flight
+	shutdown()  // SIGTERM lands mid-request
+	time.Sleep(20 * time.Millisecond)
+	close(release) // the in-flight handler finishes inside the timeout
+
+	if body := <-got; body != "200 drained fine" {
+		t.Fatalf("in-flight request during drain: %q", body)
+	}
+	if err := <-result; err != nil {
+		t.Fatalf("Serve after clean drain: %v", err)
+	}
+	select {
+	case <-drained:
+	default:
+		t.Fatal("OnDrain hook never ran")
+	}
+
+	// The flushed snapshot is real JSON holding the run's counters.
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(snapshot.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, snapshot.Bytes())
+	}
+	if snap.Counters["test.served"] != 1 {
+		t.Fatalf("snapshot counters: %+v", snap.Counters)
+	}
+
+	// The listener is closed: new work is refused, not queued.
+	if _, err := http.Get(base + "/after"); err == nil {
+		t.Fatal("drained server accepted a new request")
+	}
+}
+
+// TestServeForceClosesStragglers pins the other half of the contract: a
+// request that outlives ShutdownTimeout is cut off and Serve reports the
+// incomplete drain instead of hanging the exit.
+func TestServeForceClosesStragglers(t *testing.T) {
+	leakcheck.Check(t)
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	base, shutdown, result := startServe(t, handler, ServeOptions{ShutdownTimeout: 20 * time.Millisecond})
+
+	go func() {
+		resp, err := http.Get(base + "/hang")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+	shutdown()
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("incomplete drain reported as clean")
+		}
+		if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "context") {
+			t.Fatalf("unexpected drain error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung past its shutdown timeout")
+	}
+}
+
+// TestServeReturnsServerError pins the non-drain exit: a server that fails
+// on its own (listener closed underneath it) surfaces the error.
+func TestServeReturnsServerError(t *testing.T) {
+	leakcheck.Check(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.NotFoundHandler()}
+	result := make(chan error, 1)
+	go func() { result <- Serve(context.Background(), srv, ln, ServeOptions{}) }()
+	time.Sleep(10 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("listener failure reported as clean exit")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not notice the dead listener")
+	}
+}

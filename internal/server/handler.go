@@ -10,6 +10,7 @@ import (
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
+	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/telemetry"
 	"cachecatalyst/internal/vclock"
 )
@@ -45,6 +46,21 @@ type Options struct {
 	// Server-Timing header, the back-channel clients use to annotate
 	// their request traces with origin-side decisions.
 	ServerTiming bool
+	// MaxInflight bounds how many ETag-map resolutions run concurrently —
+	// the one stage of a request with fan-out amplification (a page's BFS
+	// touches every subresource). A request refused a slot still serves
+	// its HTML, just without the map: the client falls back to
+	// conventional caching, which degrades latency, not correctness.
+	// Zero disables the gate.
+	MaxInflight int
+	// QueueTimeout bounds how long a request waits for a resolution slot
+	// before shedding the map. Zero selects the gate default (50ms).
+	QueueTimeout time.Duration
+	// RequestBudget, when positive, deadlines each request's context; map
+	// resolution inherits the remainder and stops issuing probes when it
+	// is spent, so an overloaded server ships partial maps on time
+	// instead of complete maps late.
+	RequestBudget time.Duration
 }
 
 // Metrics counts server activity. All fields are atomic telemetry
@@ -59,6 +75,9 @@ type Metrics struct {
 	// MapBytes accumulates encoded X-Etag-Config sizes, the overhead the
 	// ablation benchmarks quantify.
 	MapBytes telemetry.Counter
+	// MapSheds counts HTML responses served without a map because the
+	// resolution gate (Options.MaxInflight) refused a slot in time.
+	MapSheds telemetry.Counter
 }
 
 // Server is the web server under study. It implements http.Handler.
@@ -68,6 +87,7 @@ type Server struct {
 	recorder *Recorder
 	access   *accessLog
 	renders  *cachestore.Store[*pageRender] // nil when disabled
+	mapGate  *resilience.Gate               // map-resolution admission; nil when disabled
 	serveNS  *telemetry.Histogram           // nil without telemetry
 	Metrics  Metrics
 }
@@ -101,6 +121,14 @@ func New(content Content, opts Options) *Server {
 			Name:      "server.renders",
 		})
 	}
+	if opts.MaxInflight > 0 {
+		s.mapGate = resilience.NewGate(resilience.GateOptions{
+			MaxInflight:  opts.MaxInflight,
+			QueueTimeout: opts.QueueTimeout,
+			Telemetry:    opts.Telemetry,
+			Name:         "server.gate",
+		})
+	}
 	if opts.Telemetry != nil {
 		opts.Telemetry.RegisterCounter("server.requests", &s.Metrics.Requests)
 		opts.Telemetry.RegisterCounter("server.not_modified", &s.Metrics.NotModified)
@@ -108,6 +136,7 @@ func New(content Content, opts Options) *Server {
 		opts.Telemetry.RegisterCounter("server.body_bytes", &s.Metrics.BodyBytes)
 		opts.Telemetry.RegisterCounter("server.maps_built", &s.Metrics.MapsBuilt)
 		opts.Telemetry.RegisterCounter("server.map_bytes", &s.Metrics.MapBytes)
+		opts.Telemetry.RegisterCounter("server.map_sheds", &s.Metrics.MapSheds)
 		s.serveNS = opts.Telemetry.Histogram("server.serve_ns")
 	}
 	return s
@@ -134,6 +163,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	ctx, endSpan := telemetry.StartSpan(ctx, "server")
 	defer endSpan()
+	if s.opts.RequestBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = resilience.WithBudget(ctx, s.opts.RequestBudget)
+		defer cancel()
+	}
 	h := w.Header()
 	// decide records one cache decision everywhere it is observable: the
 	// request trace, and — before the status line is committed — the
@@ -191,14 +225,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if s.opts.Catalyst && IsHTML(res.ContentType) {
 		pr := s.renderPage(p, res)
-		m := s.resolveMap(ctx, p, pr.refs, sessionID)
-		mapEntries = len(m)
-		h.Set(core.HeaderName, m.Encode())
-		s.Metrics.MapsBuilt.Add(1)
-		s.Metrics.MapBytes.Add(int64(m.WireSize()))
-		decide("map-built", p)
 		body = pr.body
 		tag = pr.tag
+		// The resolve phase is the only stage with fan-out amplification,
+		// so it alone is gated: a refused request ships its HTML without
+		// the map rather than queueing behind a saturated resolver.
+		if err := s.admitMap(ctx); err != nil {
+			s.Metrics.MapSheds.Add(1)
+			decide("map-shed", p)
+		} else {
+			m := s.resolveMap(ctx, p, pr.refs, sessionID)
+			s.releaseMap()
+			mapEntries = len(m)
+			h.Set(core.HeaderName, m.Encode())
+			s.Metrics.MapsBuilt.Add(1)
+			s.Metrics.MapBytes.Add(int64(m.WireSize()))
+			decide("map-built", p)
+		}
 	} else if s.recorder != nil && !IsHTML(res.ContentType) {
 		// Recording mode: remember which subresources this session's
 		// page loads actually requested.
@@ -278,6 +321,22 @@ func (s *Server) renderPage(p string, res *Resource) *pageRender {
 	}
 	pr, _ := s.renders.GetOrLoad(p+"\x00"+res.ETag.String(), build)
 	return pr
+}
+
+// admitMap acquires a map-resolution slot, or reports that the map should
+// be shed; releaseMap frees it. With no gate configured every request is
+// admitted for free.
+func (s *Server) admitMap(ctx context.Context) error {
+	if s.mapGate == nil {
+		return nil
+	}
+	return s.mapGate.AcquireSlot(ctx)
+}
+
+func (s *Server) releaseMap() {
+	if s.mapGate != nil {
+		s.mapGate.Release()
+	}
 }
 
 // resolveMap runs the resolve phase for an already-extracted page, folding

@@ -32,6 +32,12 @@ func (a *originAdapter) RoundTrip(req *netsim.Request) *httpcache.Response {
 		method = "GET"
 	}
 	r := httptest.NewRequest(method, req.Path, nil)
+	if req.Ctx != nil {
+		// Propagate the caller's context so cancelling the simulated
+		// request cancels the real handler's work (probe fan-outs,
+		// budget deadlines) end to end.
+		r = r.WithContext(req.Ctx)
+	}
 	for k, vs := range req.Header {
 		for _, v := range vs {
 			r.Header.Add(k, v)
