@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz chaos bench benchdiff cover
+.PHONY: verify build test race vet fuzz chaos bench benchdiff cover cachesim
 
 verify: vet build race
 
@@ -21,10 +21,21 @@ vet:
 	$(GO) vet ./...
 
 # Short fuzz pass over the hostile-input parsers (X-Etag-Config decoding,
-# map building). The corpus seeds also run as part of plain `go test`.
+# map building, cache-trace parsing). The corpus seeds also run as part of
+# plain `go test`.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeMap -fuzztime=10s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzBuildMap -fuzztime=10s ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzParseTrace -fuzztime=10s ./internal/cachesim/
+
+# Cache-policy smoke: replay the committed harness-exported trace and a
+# synthetic Zipf/lognormal trace through every policy, checking ratios stay
+# within [0,1], no policy beats the FOO-style offline bound, and every
+# policy scores hits. See EXPERIMENTS.md, "Cache policies vs the offline
+# optimal bound".
+cachesim:
+	$(GO) run ./cmd/cachesim -trace internal/cachesim/testdata/harness_quick.trace -budget 40% -check
+	$(GO) run ./cmd/cachesim -synth -requests 60000 -objects 4000 -budget 2% -check
 
 # Benchmark sweep with pinned -benchtime/-count so runs are benchstat-
 # comparable across commits. Output lands in BENCH_<date>.json (`go test

@@ -29,6 +29,7 @@ import (
 	"io/fs"
 	"time"
 
+	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/server"
@@ -100,6 +101,14 @@ type ServerOptions struct {
 	// resolution inherits the remainder and ships partial maps on time
 	// rather than complete maps late.
 	RequestBudget time.Duration
+	// MaxRenderBytes bounds the rendered-page cache. Zero selects the
+	// server default (16 MiB); negative disables the cache.
+	MaxRenderBytes int64
+	// RenderCachePolicy selects the rendered-page cache's eviction and
+	// admission policy; the zero value is exact global LRU. See
+	// cachestore.ParsePolicy for the named alternatives (gdsf,
+	// tinylfu-lru, ...).
+	RenderCachePolicy cachestore.Policy
 }
 
 // NewServer serves the directory tree fsys with CacheCatalyst enabled: the
@@ -112,15 +121,17 @@ func NewServer(fsys fs.FS, opts ServerOptions) (*server.Server, error) {
 		return nil, err
 	}
 	return server.New(content, server.Options{
-		Catalyst:      true,
-		Record:        opts.Record,
-		MapOptions:    core.BuildOptions{MaxEntries: opts.MaxMapEntries},
-		AccessLogSize: opts.AccessLogSize,
-		Telemetry:     opts.Telemetry,
-		ServerTiming:  opts.ServerTiming,
-		MaxInflight:   opts.MaxInflight,
-		QueueTimeout:  opts.QueueTimeout,
-		RequestBudget: opts.RequestBudget,
+		Catalyst:          true,
+		Record:            opts.Record,
+		MapOptions:        core.BuildOptions{MaxEntries: opts.MaxMapEntries},
+		AccessLogSize:     opts.AccessLogSize,
+		Telemetry:         opts.Telemetry,
+		ServerTiming:      opts.ServerTiming,
+		MaxInflight:       opts.MaxInflight,
+		QueueTimeout:      opts.QueueTimeout,
+		RequestBudget:     opts.RequestBudget,
+		MaxRenderBytes:    opts.MaxRenderBytes,
+		RenderCachePolicy: opts.RenderCachePolicy,
 	}), nil
 }
 

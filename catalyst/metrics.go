@@ -22,6 +22,11 @@ type MetricsOptions struct {
 	// under /debug/pprof/. Off by default: profiling endpoints on a
 	// production port are opt-in.
 	PProf bool
+	// Config, when set, is echoed verbatim under "config" in the
+	// MetricsPath JSON — the daemon's effective settings (cache policy,
+	// budgets), so a scrape shows which knobs produced the counters
+	// next to them.
+	Config any
 }
 
 // WithMetrics wraps srv so that MetricsPath serves a JSON snapshot of the
@@ -46,8 +51,9 @@ func WithMetricsOptions(srv *server.Server, opts MetricsOptions) http.Handler {
 		w.Header().Set("Cache-Control", "no-store")
 		payload := struct {
 			server.MetricsSnapshot
+			Config    any                 `json:"config,omitempty"`
 			Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
-		}{MetricsSnapshot: srv.Snapshot()}
+		}{MetricsSnapshot: srv.Snapshot(), Config: opts.Config}
 		if reg != nil {
 			snap := reg.Snapshot()
 			payload.Telemetry = &snap

@@ -64,6 +64,13 @@ type MiddlewareOptions struct {
 	// Freshness is unaffected either way — the X-Etag-Config header is
 	// always assembled from live probes.
 	MaxRenderBytes int64
+	// CachePolicy selects the eviction/admission policy for all three of
+	// the middleware's caches (probes, rendered pages, stale copies).
+	// The zero value is exact global LRU — the safe default for the hot
+	// request path. GDSF keeps small popular entries when probe or
+	// render entries vary wildly in size; a TinyLFU admission filter
+	// stops crawler-driven one-hit paths from flushing hot pages.
+	CachePolicy cachestore.Policy
 	// Metrics, when set, receives the middleware's resilience counters
 	// (panics recovered, breaker trips, map trims, probe evictions).
 	Metrics *MiddlewareMetrics
@@ -206,6 +213,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		SizeOf: func(_ string, p probe) int64 {
 			return probeBaseCost + int64(len(p.cssBody))
 		},
+		Policy:    opts.CachePolicy,
 		OnEvict:   func(string, probe) { opts.Metrics.ProbesSwept.Add(1) },
 		Telemetry: opts.Telemetry,
 		Name:      "middleware.probes",
@@ -214,6 +222,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		m.renders = cachestore.New[*renderEntry](cachestore.Options[*renderEntry]{
 			MaxBytes:  opts.MaxRenderBytes,
 			SizeOf:    renderEntrySize,
+			Policy:    opts.CachePolicy,
 			OnEvict:   func(string, *renderEntry) { opts.Metrics.RendersEvicted.Add(1) },
 			Telemetry: opts.Telemetry,
 			Name:      "middleware.renders",
@@ -227,6 +236,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		m.stales = cachestore.New[*staleEntry](cachestore.Options[*staleEntry]{
 			MaxBytes:  maxStale,
 			SizeOf:    staleEntrySize,
+			Policy:    opts.CachePolicy,
 			Telemetry: opts.Telemetry,
 			Name:      "middleware.stales",
 		})

@@ -23,6 +23,19 @@
 // serving stale copies (Warning: 110) when the upstream flaps, instead of
 // error-proxying its 5xxs.
 //
+// # Cache policy
+//
+// The daemon's derived caches — rendered pages in serve mode; probes,
+// rendered pages and stale copies in proxy mode — default to exact LRU.
+// -cache-policy picks an alternative (gdsf keeps small popular entries
+// when sizes vary wildly; tinylfu-lru and tinylfu-gdsf add an admission
+// filter that refuses one-hit wonders), and -cache-budget resizes the
+// rendered-page cache. With -metrics, the effective settings are echoed
+// under "config" at /debug/catalystd, and each cache reports per-policy
+// counters (admission rejects, victim scans) in the telemetry snapshot.
+// Compare policies offline against recorded or synthetic workloads with
+// cmd/cachesim.
+//
 // # Overload and lifecycle
 //
 // -max-inflight bounds concurrent instrumented work; excess requests
@@ -46,10 +59,12 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cachecatalyst/catalyst"
+	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/server"
 	"cachecatalyst/internal/telemetry"
@@ -69,8 +84,23 @@ func main() {
 		maxInflight     = flag.Int("max-inflight", 256, "max concurrent instrumented requests; excess degrade down the ladder (stale, passthrough, 503). 0 disables admission control")
 		requestBudget   = flag.Duration("request-budget", 0, "wall-clock budget per request; probe fan-out stops when spent (0 disables)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "how long in-flight requests get to finish after SIGTERM before being force-closed")
+
+		cachePolicyName = flag.String("cache-policy", "lru", "eviction/admission policy for the derived caches (rendered pages, probes, stale copies): "+strings.Join(cachestore.PolicyNames(), " | "))
+		cacheBudget     = flag.Int64("cache-budget", 0, "byte budget for the rendered-page cache; 0 selects the 16 MiB default, negative disables it")
 	)
 	flag.Parse()
+
+	cachePolicy, err := cachestore.ParsePolicy(*cachePolicyName)
+	if err != nil {
+		log.Fatalf("catalystd: %v", err)
+	}
+	// Echoed under "config" at the metrics path, so scrapes record which
+	// knobs produced the counters they carry.
+	daemonConfig := map[string]any{
+		"cachePolicy": cachePolicy.Name(),
+		"cacheBudget": *cacheBudget,
+		"maxInflight": *maxInflight,
+	}
 
 	// The registry always exists so the shutdown snapshot has something
 	// to flush; -metrics additionally serves it over HTTP.
@@ -85,13 +115,13 @@ func main() {
 	switch {
 	case *origin != "":
 		var err error
-		handler, onDrain, err = proxyHandler(*origin, reg, *maxInflight, *requestBudget, *timing)
+		handler, onDrain, err = proxyHandler(*origin, reg, *maxInflight, *requestBudget, *timing, cachePolicy, *cacheBudget)
 		if err != nil {
 			log.Fatalf("catalystd: %v", err)
 		}
-		fmt.Printf("catalystd: proxying %s on %s (CacheCatalyst + health-checked failover)\n", *origin, *addr)
+		fmt.Printf("catalystd: proxying %s on %s (CacheCatalyst + health-checked failover, %s caches)\n", *origin, *addr, cachePolicy.Name())
 		if *metrics {
-			handler = withRegistrySnapshot(handler, reg)
+			handler = withRegistrySnapshot(handler, reg, daemonConfig)
 			fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
 		}
 	default:
@@ -109,23 +139,25 @@ func main() {
 		} else {
 			var err error
 			srv, err = catalyst.NewServer(os.DirFS(*dir), catalyst.ServerOptions{
-				Record:        *record,
-				Policy:        catalyst.DefaultPolicy,
-				AccessLogSize: accessLog,
-				Telemetry:     reg,
-				ServerTiming:  *timing,
-				MaxInflight:   *maxInflight,
-				RequestBudget: *requestBudget,
+				Record:            *record,
+				Policy:            catalyst.DefaultPolicy,
+				AccessLogSize:     accessLog,
+				Telemetry:         reg,
+				ServerTiming:      *timing,
+				MaxInflight:       *maxInflight,
+				RequestBudget:     *requestBudget,
+				MaxRenderBytes:    *cacheBudget,
+				RenderCachePolicy: cachePolicy,
 			})
 			if err != nil {
 				log.Fatalf("catalystd: %v", err)
 			}
-			fmt.Printf("catalystd: serving %s on %s (CacheCatalyst%s)\n",
-				*dir, *addr, map[bool]string{true: " + recording", false: ""}[*record])
+			fmt.Printf("catalystd: serving %s on %s (CacheCatalyst%s, %s render cache)\n",
+				*dir, *addr, map[bool]string{true: " + recording", false: ""}[*record], cachePolicy.Name())
 		}
 		handler = srv
 		if *metrics {
-			handler = catalyst.WithMetricsOptions(srv, catalyst.MetricsOptions{Telemetry: reg, PProf: *pprof})
+			handler = catalyst.WithMetricsOptions(srv, catalyst.MetricsOptions{Telemetry: reg, PProf: *pprof, Config: daemonConfig})
 			fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
 			if *pprof {
 				fmt.Println("catalystd: pprof at /debug/pprof/")
@@ -159,7 +191,7 @@ func main() {
 // health checker, and a circuit breaker: while the upstream flaps, the
 // daemon serves the last good copy of each page instead of proxying
 // errors. The returned hook stops the health checker at drain time.
-func proxyHandler(origin string, reg *telemetry.Registry, maxInflight int, budget time.Duration, timing bool) (http.Handler, func(), error) {
+func proxyHandler(origin string, reg *telemetry.Registry, maxInflight int, budget time.Duration, timing bool, cachePolicy cachestore.Policy, cacheBudget int64) (http.Handler, func(), error) {
 	u, err := url.Parse(origin)
 	if err != nil {
 		return nil, nil, fmt.Errorf("-origin %q: %w", origin, err)
@@ -204,25 +236,28 @@ func proxyHandler(origin string, reg *telemetry.Registry, maxInflight int, budge
 	health.Start()
 
 	h := catalyst.Middleware(proxy, catalyst.MiddlewareOptions{
-		Telemetry:     reg,
-		ServerTiming:  timing,
-		MaxInflight:   maxInflight,
-		RequestBudget: budget,
-		OriginBreaker: breaker,
+		Telemetry:      reg,
+		ServerTiming:   timing,
+		MaxInflight:    maxInflight,
+		RequestBudget:  budget,
+		OriginBreaker:  breaker,
+		CachePolicy:    cachePolicy,
+		MaxRenderBytes: cacheBudget,
 	})
 	return h, health.Stop, nil
 }
 
 // withRegistrySnapshot mounts the telemetry snapshot at MetricsPath in
 // proxy mode, where there is no *server.Server for WithMetricsOptions.
-func withRegistrySnapshot(next http.Handler, reg *telemetry.Registry) http.Handler {
+func withRegistrySnapshot(next http.Handler, reg *telemetry.Registry, config any) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(catalyst.MetricsPath, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Cache-Control", "no-store")
 		payload := struct {
+			Config    any                `json:"config,omitempty"`
 			Telemetry telemetry.Snapshot `json:"telemetry"`
-		}{Telemetry: reg.Snapshot()}
+		}{Config: config, Telemetry: reg.Snapshot()}
 		if err := json.NewEncoder(w).Encode(payload); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}

@@ -136,6 +136,7 @@ type Browser struct {
 	cache     *httpcache.Cache
 	registry  *sw.Registry
 	telemetry *telemetry.Registry // nil unless WithTelemetry was called
+	recorder  sw.AccessRecorder   // nil unless WithAccessRecorder was called
 	// cookies holds name→value per host; enough for the session cookie
 	// the recording extension depends on.
 	cookies map[string]map[string]string
@@ -206,6 +207,17 @@ func (b *Browser) WithTelemetry(reg *telemetry.Registry) *Browser {
 // Telemetry returns the registry passed to WithTelemetry, or nil.
 func (b *Browser) Telemetry() *telemetry.Registry { return b.telemetry }
 
+// WithAccessRecorder makes every Service Worker this browser installs
+// report its subresource accesses (key and byte size) to rec — the hook
+// harness runs use to export the workload as a replayable cache trace.
+// Survives ClearState, like telemetry wiring. Returns b for chaining at
+// construction.
+func (b *Browser) WithAccessRecorder(rec sw.AccessRecorder) *Browser {
+	b.recorder = rec
+	b.ClearState()
+	return b
+}
+
 // ClearState discards all client state — the paper's "cold cache" setup.
 func (b *Browser) ClearState() {
 	opts := httpcache.Options{}
@@ -214,7 +226,7 @@ func (b *Browser) ClearState() {
 		opts.Name = "browser.httpcache"
 	}
 	b.cache = httpcache.New(b.clock, opts)
-	b.registry = sw.NewRegistry().WithTelemetry(b.telemetry)
+	b.registry = sw.NewRegistry().WithTelemetry(b.telemetry).WithRecorder(b.recorder)
 	b.cookies = make(map[string]map[string]string)
 }
 

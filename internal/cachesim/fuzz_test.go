@@ -1,0 +1,47 @@
+package cachesim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace asserts the parser never panics and that every accepted
+// trace survives a write/parse round trip — the property cmd/cachesim and
+// the harness exporter rely on.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("0 1 100\n")
+	f.Add("# comment\n\n5 2 2048\n5 1 100\n")
+	f.Add("1 2\n")
+	f.Add("x y z\n")
+	f.Add("0 1 -5\n")
+	f.Add("9223372036854775807 18446744073709551615 9223372036854775807\n")
+	f.Add("0 1 10 trailing junk\n")
+	f.Add("   3   4   5   \n")
+	f.Fuzz(func(t *testing.T, input string) {
+		reqs, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, r := range reqs {
+			if r.Size <= 0 {
+				t.Fatalf("request %d has non-positive size %d", i, r.Size)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteTrace(&sb, reqs); err != nil {
+			t.Fatalf("WriteTrace on accepted trace: %v", err)
+		}
+		again, err := ParseTrace(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse of written trace failed: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip changed length %d -> %d", len(reqs), len(again))
+		}
+		for i := range reqs {
+			if again[i] != reqs[i] {
+				t.Fatalf("request %d changed in round trip: %+v -> %+v", i, reqs[i], again[i])
+			}
+		}
+	})
+}

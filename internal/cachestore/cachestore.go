@@ -10,10 +10,15 @@
 // middleware's probe cache), each with its own eviction bugs and none safe
 // to share between goroutines. They now all store through a Store.
 //
-// Eviction is globally exact LRU regardless of the shard count: every entry
-// carries a store-wide touch stamp, each shard's list is ordered by stamp,
-// so the globally least-recently-used entry is always the shard tail with
-// the smallest stamp — found by one O(shards) scan, no global lock.
+// Eviction and admission are pluggable (Options.Policy; see policy.go).
+// The default is globally exact LRU regardless of the shard count: every
+// entry carries a store-wide touch stamp, each shard's list is ordered by
+// stamp, so the globally least-recently-used entry is always the shard
+// tail with the smallest stamp — found by one O(shards) scan, no global
+// lock. Rank-based policies (GDSF) replace the per-shard recency list
+// with a per-shard min-heap on the policy rank and evict the smallest
+// root the same way; an admission policy (TinyLFU) additionally gates
+// budget-displacing inserts.
 package cachestore
 
 import (
@@ -38,14 +43,19 @@ type Options[V any] struct {
 	// SizeOf reports an entry's accounting size. Nil charges 1 per
 	// entry, turning MaxBytes into a maximum entry count.
 	SizeOf func(key string, v V) int64
+	// Policy selects the eviction policy and optional admission filter.
+	// The zero value is exact global LRU admitting everything — the
+	// pre-policy behaviour, on the pre-policy fast path.
+	Policy Policy
 	// OnEvict, when set, observes budget evictions — not Delete, Clear
 	// or replacement. It is called with no shard lock held, so it may
 	// call back into the store.
 	OnEvict func(key string, v V)
 	// Telemetry, when set together with Name, registers the store's
 	// counters in the given registry as "<Name>.hits", "<Name>.misses",
-	// "<Name>.puts", "<Name>.evictions", "<Name>.loads" and
-	// "<Name>.loads_shared". The registry indexes the store's own
+	// "<Name>.puts", "<Name>.evictions", "<Name>.loads",
+	// "<Name>.loads_shared", "<Name>.admission_rejects" and
+	// "<Name>.victim_scans". The registry indexes the store's own
 	// counters — Counters() and the registry snapshot read the same
 	// storage.
 	Telemetry *telemetry.Registry
@@ -64,23 +74,36 @@ type Counters struct {
 	// callers that piggybacked on another goroutine's in-flight load
 	// instead of running their own.
 	Loads, LoadsShared int64
+	// AdmissionRejects counts inserts the admission policy refused;
+	// VictimScans counts candidate entries examined while selecting
+	// victims (one per non-empty shard peeked per selection pass).
+	AdmissionRejects, VictimScans int64
 }
 
 type node[V any] struct {
 	key  string
 	val  V
 	size int64
-	// stamp is the store-wide touch counter value at the last Get/Put of
-	// this entry; smaller means less recently used.
-	stamp      uint64
+	// stamp is the entry's eviction rank — the smallest rank in the
+	// store is evicted first. Under the default LRU policy it is the
+	// store-wide touch counter value at the last Get/Put (smaller means
+	// less recently used); under a rank policy it is whatever the
+	// ranker computed at the last access.
+	stamp uint64
+	// freq counts this entry's accesses while resident (saturating).
+	freq uint32
+	// hidx is the entry's index in its shard's rank heap; -1 when the
+	// store runs the LRU list path instead.
+	hidx       int32
 	prev, next *node[V]
 }
 
 type shard[V any] struct {
 	mu    sync.Mutex
 	items map[string]*node[V]
-	head  *node[V] // most recently used
-	tail  *node[V] // least recently used
+	head  *node[V]   // most recently used (LRU policy only)
+	tail  *node[V]   // least recently used (LRU policy only)
+	heap  []*node[V] // min-heap on stamp (rank policies only)
 }
 
 // The shard list operations require the shard mutex.
@@ -120,17 +143,20 @@ func (s *shard[V]) moveFront(n *node[V]) {
 // Store is a sharded LRU store. The zero value is not usable; construct
 // with New. A Store is safe for concurrent use.
 type Store[V any] struct {
-	shards   []shard[V]
-	mask     uint64
-	maxBytes int64
-	sizeOf   func(string, V) int64
-	onEvict  func(string, V)
+	shards  []shard[V]
+	mask    uint64
+	sizeOf  func(string, V) int64
+	onEvict func(string, V)
+	ranker  ranker   // nil selects the recency-list exact-LRU path
+	admit   admitter // nil admits everything
 
-	bytes atomic.Int64
-	touch atomic.Uint64 // LRU stamps
+	maxBytes atomic.Int64 // live-adjustable via Resize
+	bytes    atomic.Int64
+	touch    atomic.Uint64 // LRU stamps
 
 	hits, misses, puts, evictions telemetry.Counter
 	loads, loadsShared            telemetry.Counter
+	admissionRejects, victimScans telemetry.Counter
 
 	flight flightGroup[V]
 }
@@ -146,11 +172,17 @@ func New[V any](opts Options[V]) *Store[V] {
 		pow <<= 1
 	}
 	s := &Store[V]{
-		shards:   make([]shard[V], pow),
-		mask:     uint64(pow - 1),
-		maxBytes: opts.MaxBytes,
-		sizeOf:   opts.SizeOf,
-		onEvict:  opts.OnEvict,
+		shards:  make([]shard[V], pow),
+		mask:    uint64(pow - 1),
+		sizeOf:  opts.SizeOf,
+		onEvict: opts.OnEvict,
+	}
+	s.maxBytes.Store(opts.MaxBytes)
+	if ev := opts.Policy.Eviction; ev != nil {
+		s.ranker = ev.newRanker()
+	}
+	if ad := opts.Policy.Admission; ad != nil {
+		s.admit = ad.newAdmitter()
 	}
 	if s.sizeOf == nil {
 		s.sizeOf = func(string, V) int64 { return 1 }
@@ -166,24 +198,35 @@ func New[V any](opts Options[V]) *Store[V] {
 		opts.Telemetry.RegisterCounter(opts.Name+".evictions", &s.evictions)
 		opts.Telemetry.RegisterCounter(opts.Name+".loads", &s.loads)
 		opts.Telemetry.RegisterCounter(opts.Name+".loads_shared", &s.loadsShared)
+		opts.Telemetry.RegisterCounter(opts.Name+".admission_rejects", &s.admissionRejects)
+		opts.Telemetry.RegisterCounter(opts.Name+".victim_scans", &s.victimScans)
 	}
 	return s
 }
 
-func (s *Store[V]) shard(key string) *shard[V] {
-	// Inline FNV-1a; good spread on URL-shaped keys, no allocation.
+// hashKey is inline FNV-1a; good spread on URL-shaped keys, no allocation.
+// The same hash selects the shard and feeds the admission sketch.
+func hashKey(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	return &s.shards[h&s.mask]
+	return h
 }
 
-// Get returns the value for key, promoting it to most-recently-used and
-// counting the hit or miss.
+func (s *Store[V]) shard(key string) (*shard[V], uint64) {
+	h := hashKey(key)
+	return &s.shards[h&s.mask], h
+}
+
+// Get returns the value for key, promoting it under the active eviction
+// policy and counting the hit or miss.
 func (s *Store[V]) Get(key string) (V, bool) {
-	sh := s.shard(key)
+	sh, h := s.shard(key)
+	if s.admit != nil {
+		s.admit.record(h)
+	}
 	sh.mu.Lock()
 	n, ok := sh.items[key]
 	if !ok {
@@ -192,17 +235,35 @@ func (s *Store[V]) Get(key string) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	sh.moveFront(n)
-	n.stamp = s.touch.Add(1)
+	s.promote(sh, n)
 	v := n.val
 	sh.mu.Unlock()
 	s.hits.Add(1)
 	return v, true
 }
 
-// Peek returns the value for key without touching LRU order or counters.
+// promote records an access on a resident entry: LRU moves it to the
+// shard's list front with a fresh touch stamp; rank policies recompute its
+// rank and restore the heap. Requires the shard lock.
+func (s *Store[V]) promote(sh *shard[V], n *node[V]) {
+	if s.ranker == nil {
+		// The exact pre-policy LRU path; only rankers consume freq, so
+		// the hit path skips even that write.
+		sh.moveFront(n)
+		n.stamp = s.touch.Add(1)
+		return
+	}
+	if n.freq != ^uint32(0) {
+		n.freq++
+	}
+	n.stamp = s.ranker.onAccess(n.freq, n.size)
+	sh.heapFix(n)
+}
+
+// Peek returns the value for key without touching eviction order or
+// counters.
 func (s *Store[V]) Peek(key string) (V, bool) {
-	sh := s.shard(key)
+	sh, _ := s.shard(key)
 	sh.mu.Lock()
 	n, ok := sh.items[key]
 	var v V
@@ -214,20 +275,48 @@ func (s *Store[V]) Peek(key string) (V, bool) {
 }
 
 // Put stores v under key, replacing any previous entry, then enforces the
-// byte budget.
+// byte budget. With an admission policy, a new key whose insert would
+// exceed the budget is stored only if the policy judges it more valuable
+// than the current victim; resident keys are always updated in place.
 func (s *Store[V]) Put(key string, v V) {
 	size := s.sizeOf(key, v)
-	sh := s.shard(key)
+	sh, h := s.shard(key)
+	// The admission question is asked before taking the insert shard's
+	// lock — victim peeking locks shards one at a time and must never
+	// nest. The gap between the peek and the insert is benign: the
+	// sketch is approximate, and a racing eviction merely changes which
+	// near-minimal victim the candidate was compared against.
+	var victimHash uint64
+	askAdmission := false
+	if s.admit != nil {
+		s.admit.record(h)
+		if max := s.maxBytes.Load(); max > 0 && s.bytes.Load()+size > max {
+			if vk, ok := s.peekVictimKey(); ok && vk != key {
+				victimHash = hashKey(vk)
+				askAdmission = true
+			}
+		}
+	}
 	sh.mu.Lock()
 	if n, ok := sh.items[key]; ok {
 		s.bytes.Add(size - n.size)
 		n.val, n.size = v, size
-		sh.moveFront(n)
-		n.stamp = s.touch.Add(1)
+		s.promote(sh, n)
 	} else {
-		n := &node[V]{key: key, val: v, size: size, stamp: s.touch.Add(1)}
+		if askAdmission && !s.admit.admit(h, victimHash) {
+			sh.mu.Unlock()
+			s.admissionRejects.Add(1)
+			return
+		}
+		n := &node[V]{key: key, val: v, size: size, freq: 1, hidx: -1}
+		if s.ranker == nil {
+			n.stamp = s.touch.Add(1)
+			sh.pushFront(n)
+		} else {
+			n.stamp = s.ranker.onAccess(1, size)
+			sh.heapPush(n)
+		}
 		sh.items[key] = n
-		sh.pushFront(n)
 		s.bytes.Add(size)
 	}
 	sh.mu.Unlock()
@@ -240,10 +329,11 @@ func (s *Store[V]) Put(key string, v V) {
 // victim; each still evicts some near-LRU entry and the loop re-checks the
 // budget, so the store converges. Single-threaded use is exactly LRU.
 func (s *Store[V]) enforceBudget() {
-	if s.maxBytes <= 0 {
+	max := s.maxBytes.Load()
+	if max <= 0 {
 		return
 	}
-	for s.bytes.Load() > s.maxBytes {
+	for s.bytes.Load() > max {
 		key, val, ok := s.evictOne()
 		if !ok {
 			return
@@ -252,52 +342,106 @@ func (s *Store[V]) enforceBudget() {
 		if s.onEvict != nil {
 			s.onEvict(key, val)
 		}
+		max = s.maxBytes.Load()
 	}
 }
 
-// evictOne removes and returns the entry with the smallest touch stamp.
-// Shards are locked one at a time — never nested — so evictors cannot
-// deadlock with each other or with Put.
-func (s *Store[V]) evictOne() (string, V, bool) {
-	var zero V
+// victim returns the shard's eviction candidate — the list tail under LRU,
+// the heap root under a rank policy — or nil. Requires the shard lock.
+func (s *Store[V]) victim(sh *shard[V]) *node[V] {
+	if s.ranker == nil {
+		return sh.tail
+	}
+	if len(sh.heap) == 0 {
+		return nil
+	}
+	return sh.heap[0]
+}
+
+// findVictimShard scans every shard for the globally smallest rank,
+// counting the candidates examined. Shards are locked one at a time —
+// never nested — so selection cannot deadlock with Put or other evictors.
+func (s *Store[V]) findVictimShard() int {
 	best := -1
 	var bestStamp uint64
+	scanned := int64(0)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		if sh.tail != nil && (best < 0 || sh.tail.stamp < bestStamp) {
-			best, bestStamp = i, sh.tail.stamp
+		if n := s.victim(sh); n != nil {
+			scanned++
+			if best < 0 || n.stamp < bestStamp {
+				best, bestStamp = i, n.stamp
+			}
 		}
 		sh.mu.Unlock()
 	}
+	if scanned > 0 {
+		s.victimScans.Add(scanned)
+	}
+	return best
+}
+
+// peekVictimKey names the current global eviction candidate without
+// removing it, for admission comparisons.
+func (s *Store[V]) peekVictimKey() (string, bool) {
+	best := s.findVictimShard()
+	if best < 0 {
+		return "", false
+	}
+	sh := &s.shards[best]
+	sh.mu.Lock()
+	n := s.victim(sh)
+	sh.mu.Unlock()
+	if n == nil {
+		return "", false
+	}
+	return n.key, true
+}
+
+// evictOne removes and returns the entry with the smallest rank.
+func (s *Store[V]) evictOne() (string, V, bool) {
+	var zero V
+	best := s.findVictimShard()
 	if best < 0 {
 		return "", zero, false
 	}
 	sh := &s.shards[best]
 	sh.mu.Lock()
-	n := sh.tail
+	n := s.victim(sh)
 	if n == nil {
 		// A concurrent evictor drained this shard between the scan and
 		// the re-lock; it is making progress, so stop here.
 		sh.mu.Unlock()
 		return "", zero, false
 	}
-	sh.unlink(n)
+	s.remove(sh, n)
+	sh.mu.Unlock()
+	if s.ranker != nil {
+		s.ranker.onEvict(n.stamp)
+	}
+	return n.key, n.val, true
+}
+
+// remove unhooks a resident entry from its shard's bookkeeping. Requires
+// the shard lock.
+func (s *Store[V]) remove(sh *shard[V], n *node[V]) {
+	if s.ranker == nil {
+		sh.unlink(n)
+	} else {
+		sh.heapRemove(n)
+	}
 	delete(sh.items, n.key)
 	s.bytes.Add(-n.size)
-	sh.mu.Unlock()
-	return n.key, n.val, true
 }
 
 // Delete removes the entry for key, reporting whether one existed.
 func (s *Store[V]) Delete(key string) bool {
-	sh := s.shard(key)
+	sh, _ := s.shard(key)
 	sh.mu.Lock()
 	n, ok := sh.items[key]
 	if ok {
-		sh.unlink(n)
-		delete(sh.items, key)
-		s.bytes.Add(-n.size)
+		s.remove(sh, n)
 	}
 	sh.mu.Unlock()
 	return ok
@@ -313,9 +457,22 @@ func (s *Store[V]) Clear() {
 		}
 		sh.items = make(map[string]*node[V])
 		sh.head, sh.tail = nil, nil
+		sh.heap = nil
 		sh.mu.Unlock()
 	}
 }
+
+// Resize changes the byte budget while the store serves traffic, evicting
+// down under the active policy when the new budget is smaller. A budget of
+// 0 or less removes the bound. Concurrent Puts observe the new budget as
+// soon as it is stored.
+func (s *Store[V]) Resize(maxBytes int64) {
+	s.maxBytes.Store(maxBytes)
+	s.enforceBudget()
+}
+
+// MaxBytes returns the current byte budget (0 = unbounded).
+func (s *Store[V]) MaxBytes() int64 { return s.maxBytes.Load() }
 
 // Len returns the number of stored entries.
 func (s *Store[V]) Len() int {
@@ -347,50 +504,20 @@ func (s *Store[V]) Keys() []string {
 }
 
 // Audit cross-checks the store's bookkeeping invariants: every shard's
-// recency list and map must agree entry for entry, list order must follow
-// the touch stamps, and the charged sizes must sum to Bytes(). It returns
-// the first inconsistency found, or nil. Audit is meant for tests — the
-// byte total is only meaningful when no concurrent mutation is in flight.
+// eviction structure (recency list under LRU, rank heap under a rank
+// policy) and map must agree entry for entry, the ordering invariant must
+// hold (list order follows the touch stamps; the heap property holds on
+// ranks), and the charged sizes must sum to Bytes(). It returns the first
+// inconsistency found, or nil. Audit is meant for tests — the byte total
+// is only meaningful when no concurrent mutation is in flight.
 func (s *Store[V]) Audit() error {
 	var total int64
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		listed := 0
-		prevStamp := ^uint64(0)
-		var last *node[V]
-		for n := sh.head; n != nil; n = n.next {
-			listed++
-			if listed > len(sh.items) {
-				sh.mu.Unlock()
-				return fmt.Errorf("cachestore: shard %d recency list longer than its map (%d entries)", i, len(sh.items))
-			}
-			if n.stamp > prevStamp {
-				sh.mu.Unlock()
-				return fmt.Errorf("cachestore: shard %d stamps out of order at %q (%d after %d)", i, n.key, n.stamp, prevStamp)
-			}
-			prevStamp = n.stamp
-			if sh.items[n.key] != n {
-				sh.mu.Unlock()
-				return fmt.Errorf("cachestore: shard %d list node %q not in map", i, n.key)
-			}
-			size := s.sizeOf(n.key, n.val)
-			if size != n.size {
-				sh.mu.Unlock()
-				return fmt.Errorf("cachestore: entry %q charged %d bytes, SizeOf says %d", n.key, n.size, size)
-			}
-			total += n.size
-			last = n
+		n, err := s.auditShard(i)
+		if err != nil {
+			return err
 		}
-		if listed != len(sh.items) {
-			sh.mu.Unlock()
-			return fmt.Errorf("cachestore: shard %d lists %d entries, map holds %d", i, listed, len(sh.items))
-		}
-		if sh.tail != last {
-			sh.mu.Unlock()
-			return fmt.Errorf("cachestore: shard %d tail does not terminate the list", i)
-		}
-		sh.mu.Unlock()
+		total += n
 	}
 	if got := s.bytes.Load(); got != total {
 		return fmt.Errorf("cachestore: byte counter %d, entries sum to %d", got, total)
@@ -398,14 +525,75 @@ func (s *Store[V]) Audit() error {
 	return nil
 }
 
+// auditShard checks one shard's invariants and returns its charged bytes.
+func (s *Store[V]) auditShard(i int) (int64, error) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var total int64
+	if s.ranker != nil {
+		if len(sh.heap) != len(sh.items) {
+			return 0, fmt.Errorf("cachestore: shard %d heap holds %d entries, map holds %d", i, len(sh.heap), len(sh.items))
+		}
+		for j, n := range sh.heap {
+			if int(n.hidx) != j {
+				return 0, fmt.Errorf("cachestore: shard %d heap node %q claims index %d, is at %d", i, n.key, n.hidx, j)
+			}
+			if j > 0 && sh.heap[(j-1)/2].stamp > n.stamp {
+				return 0, fmt.Errorf("cachestore: shard %d heap property violated at %q", i, n.key)
+			}
+			if sh.items[n.key] != n {
+				return 0, fmt.Errorf("cachestore: shard %d heap node %q not in map", i, n.key)
+			}
+			size := s.sizeOf(n.key, n.val)
+			if size != n.size {
+				return 0, fmt.Errorf("cachestore: entry %q charged %d bytes, SizeOf says %d", n.key, n.size, size)
+			}
+			total += n.size
+		}
+		return total, nil
+	}
+	listed := 0
+	prevStamp := ^uint64(0)
+	var last *node[V]
+	for n := sh.head; n != nil; n = n.next {
+		listed++
+		if listed > len(sh.items) {
+			return 0, fmt.Errorf("cachestore: shard %d recency list longer than its map (%d entries)", i, len(sh.items))
+		}
+		if n.stamp > prevStamp {
+			return 0, fmt.Errorf("cachestore: shard %d stamps out of order at %q (%d after %d)", i, n.key, n.stamp, prevStamp)
+		}
+		prevStamp = n.stamp
+		if sh.items[n.key] != n {
+			return 0, fmt.Errorf("cachestore: shard %d list node %q not in map", i, n.key)
+		}
+		size := s.sizeOf(n.key, n.val)
+		if size != n.size {
+			return 0, fmt.Errorf("cachestore: entry %q charged %d bytes, SizeOf says %d", n.key, n.size, size)
+		}
+		total += n.size
+		last = n
+	}
+	if listed != len(sh.items) {
+		return 0, fmt.Errorf("cachestore: shard %d lists %d entries, map holds %d", i, listed, len(sh.items))
+	}
+	if sh.tail != last {
+		return 0, fmt.Errorf("cachestore: shard %d tail does not terminate the list", i)
+	}
+	return total, nil
+}
+
 // Counters returns a snapshot of the store's counters.
 func (s *Store[V]) Counters() Counters {
 	return Counters{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Puts:        s.puts.Load(),
-		Evictions:   s.evictions.Load(),
-		Loads:       s.loads.Load(),
-		LoadsShared: s.loadsShared.Load(),
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Puts:             s.puts.Load(),
+		Evictions:        s.evictions.Load(),
+		Loads:            s.loads.Load(),
+		LoadsShared:      s.loadsShared.Load(),
+		AdmissionRejects: s.admissionRejects.Load(),
+		VictimScans:      s.victimScans.Load(),
 	}
 }

@@ -1,0 +1,356 @@
+// Eviction and admission policies.
+//
+// The store's replacement behaviour is split into two independently
+// pluggable decisions, because they answer different questions:
+//
+//   - An EvictionPolicy answers "which resident entry should leave when
+//     the budget is exceeded?" by assigning every entry a rank; the store
+//     always evicts the globally smallest rank.
+//   - An AdmissionPolicy answers "should this new entry be allowed to
+//     displace a resident one at all?" and gates inserts in front of
+//     whatever eviction policy is active.
+//
+// Web objects span four-plus orders of magnitude in size, exactly the
+// regime where pure recency (LRU) — and even Belady's fixed-size OPT — is
+// suboptimal. GDSF folds size and frequency into the rank; TinyLFU keeps a
+// frequency sketch of everything it has seen (including misses) so a
+// one-hit wonder cannot flush a frequently re-read entry.
+package cachestore
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// An EvictionPolicy chooses which resident entry a Store evicts first.
+// Implementations are provided by this package (LRU, GDSF); the zero
+// Options value selects LRU. The interface is sealed: per-entry rank
+// bookkeeping is internal to the store.
+type EvictionPolicy interface {
+	// Name identifies the policy in flags and telemetry ("lru", "gdsf").
+	Name() string
+	// newRanker returns the store-wide ranking state, or nil to select
+	// the recency-list exact-global-LRU fast path.
+	newRanker() ranker
+}
+
+// ranker computes per-entry eviction ranks; the store evicts the entry
+// with the globally smallest rank. Methods are called with a shard lock
+// held, possibly from different shards concurrently, so shared state must
+// be atomic.
+type ranker interface {
+	// onAccess returns the entry's rank after its freq-th access. size is
+	// the entry's charged size.
+	onAccess(freq uint32, size int64) uint64
+	// onEvict observes the evicted victim's rank (GDSF aging: the global
+	// inflation value L rises to the evicted priority).
+	onEvict(rank uint64)
+}
+
+// lruPolicy is the default: exact global least-recently-used order via the
+// store's recency lists and touch stamps, unchanged from before policies
+// existed. Its ranker is nil, which keeps the pre-policy fast path.
+type lruPolicy struct{}
+
+// LRU returns the default exact-global-LRU eviction policy. A nil
+// Options.Policy.Eviction selects the same behaviour.
+func LRU() EvictionPolicy { return lruPolicy{} }
+
+func (lruPolicy) Name() string      { return "lru" }
+func (lruPolicy) newRanker() ranker { return nil }
+
+// gdsfPolicy is greedy-dual size-frequency: rank = L + frequency/size,
+// where L is a store-global inflation value raised to each victim's rank
+// on eviction. Small, frequently-hit objects earn high ranks; large cold
+// ones are evicted first; L ages out formerly popular entries that stop
+// being touched.
+type gdsfPolicy struct{}
+
+// GDSF returns the greedy-dual size-frequency eviction policy
+// (Cherkasova's GDSF with unit cost, optimizing object hit ratio while
+// strongly preferring to spend bytes on small popular objects).
+func GDSF() EvictionPolicy { return gdsfPolicy{} }
+
+func (gdsfPolicy) Name() string      { return "gdsf" }
+func (gdsfPolicy) newRanker() ranker { return &gdsfRanker{} }
+
+// gdsfRanker holds L as float64 bits. Ranks are float64 bit patterns:
+// IEEE 754 non-negative floats order identically to their bit patterns, so
+// the store's uint64 rank comparisons stay a plain integer compare.
+type gdsfRanker struct {
+	l atomic.Uint64 // math.Float64bits(L); L only ever rises
+}
+
+func (g *gdsfRanker) onAccess(freq uint32, size int64) uint64 {
+	if size < 1 {
+		size = 1
+	}
+	p := math.Float64frombits(g.l.Load()) + float64(freq)/float64(size)
+	return math.Float64bits(p)
+}
+
+func (g *gdsfRanker) onEvict(rank uint64) {
+	for {
+		cur := g.l.Load()
+		if rank <= cur || g.l.CompareAndSwap(cur, rank) {
+			return
+		}
+	}
+}
+
+// An AdmissionPolicy gates inserts: when storing a new key would exceed
+// the byte budget, the store asks the policy whether the candidate may
+// displace the would-be victim. Rejected candidates are simply not stored
+// (counted as admission_rejects); resident keys are always updated in
+// place. The interface is sealed like EvictionPolicy.
+type AdmissionPolicy interface {
+	// Name identifies the policy in flags and telemetry ("tinylfu").
+	Name() string
+	// newAdmitter returns the store-wide admission state.
+	newAdmitter() admitter
+}
+
+// admitter is the per-store admission state. record is called on every
+// access (hits, misses and puts) with the key's hash; admit compares the
+// candidate against the eviction policy's current victim. Both are called
+// without any shard lock held and must be safe for concurrent use.
+type admitter interface {
+	record(h uint64)
+	admit(candidate, victim uint64) bool
+}
+
+// TinyLFUOptions tunes the TinyLFU admission filter.
+type TinyLFUOptions struct {
+	// Counters is the per-row width of the 4-row count-min sketch,
+	// rounded up to a power of two. Zero selects 8192 (128 KiB of
+	// sketch). Size it near the number of distinct objects a full cache
+	// holds; too small inflates estimates, admitting too eagerly.
+	Counters int
+	// SampleSize is the number of recorded accesses between aging steps
+	// (every counter halves, so frequency estimates decay and the filter
+	// adapts when popularity shifts). Zero selects 10× Counters.
+	SampleSize int
+}
+
+// TinyLFU returns a TinyLFU-style admission filter with default options: a
+// count-min frequency sketch over everything the store has been asked
+// about, gating each insert on estimate(candidate) ≥ estimate(victim).
+func TinyLFU() AdmissionPolicy { return TinyLFUWith(TinyLFUOptions{}) }
+
+// TinyLFUWith is TinyLFU with explicit sketch sizing.
+func TinyLFUWith(opts TinyLFUOptions) AdmissionPolicy { return tinyLFUPolicy{opts: opts} }
+
+type tinyLFUPolicy struct{ opts TinyLFUOptions }
+
+func (tinyLFUPolicy) Name() string { return "tinylfu" }
+
+func (p tinyLFUPolicy) newAdmitter() admitter {
+	width := p.opts.Counters
+	if width <= 0 {
+		width = 8192
+	}
+	pow := 1
+	for pow < width {
+		pow <<= 1
+	}
+	sample := uint64(p.opts.SampleSize)
+	if sample == 0 {
+		sample = uint64(pow) * 10
+	}
+	return &tinylfuSketch{
+		counters: make([]atomic.Uint32, sketchRows*pow),
+		mask:     uint64(pow - 1),
+		sample:   sample,
+	}
+}
+
+const (
+	sketchRows = 4
+	// sketchMax caps counters at 4 bits of resolution, the classic
+	// TinyLFU choice: admission only ever compares estimates, and capping
+	// keeps one burst from dominating an entire aging window.
+	sketchMax = 15
+)
+
+// sketchSeeds decorrelate the four rows; odd constants from splitmix64.
+var sketchSeeds = [sketchRows]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0xd6e8feb86659fd93,
+}
+
+// tinylfuSketch is a 4-row count-min sketch with periodic halving. All
+// operations are atomic but deliberately lossy under races (a dropped
+// increment or a read during aging skews an estimate by at most one) —
+// the sketch is approximate by construction and admission only compares
+// two estimates.
+type tinylfuSketch struct {
+	counters []atomic.Uint32
+	mask     uint64
+	adds     atomic.Uint64
+	sample   uint64
+}
+
+func (t *tinylfuSketch) idx(h uint64, row int) int {
+	x := h ^ sketchSeeds[row]
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return row*int(t.mask+1) + int(x&t.mask)
+}
+
+func (t *tinylfuSketch) record(h uint64) {
+	for r := 0; r < sketchRows; r++ {
+		c := &t.counters[t.idx(h, r)]
+		if v := c.Load(); v < sketchMax {
+			c.Store(v + 1)
+		}
+	}
+	if t.adds.Add(1)%t.sample == 0 {
+		t.age()
+	}
+}
+
+func (t *tinylfuSketch) estimate(h uint64) uint32 {
+	est := uint32(math.MaxUint32)
+	for r := 0; r < sketchRows; r++ {
+		if v := t.counters[t.idx(h, r)].Load(); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// admit favors the candidate on ties: the sketch has just recorded the
+// candidate's access, and evicting a never-again-touched victim costs
+// nothing, while rejecting a warming-up object costs its future hits.
+func (t *tinylfuSketch) admit(candidate, victim uint64) bool {
+	return t.estimate(candidate) >= t.estimate(victim)
+}
+
+// age halves every counter, exponentially decaying history so the filter
+// tracks shifting popularity. Exactly one recorder triggers each step (Add
+// returns unique values); concurrent records during the sweep lose at most
+// their single increment.
+func (t *tinylfuSketch) age() {
+	for i := range t.counters {
+		c := &t.counters[i]
+		c.Store(c.Load() / 2)
+	}
+}
+
+// Policy pairs an eviction policy with an optional admission filter. The
+// zero value is the store default: exact global LRU, admit everything.
+type Policy struct {
+	// Eviction selects the victim ordering; nil means exact global LRU.
+	Eviction EvictionPolicy
+	// Admission, when set, gates budget-displacing inserts.
+	Admission AdmissionPolicy
+}
+
+// Name returns the policy's flag spelling, e.g. "lru", "gdsf",
+// "tinylfu-lru", "tinylfu-gdsf".
+func (p Policy) Name() string {
+	ev := "lru"
+	if p.Eviction != nil {
+		ev = p.Eviction.Name()
+	}
+	if p.Admission != nil {
+		return p.Admission.Name() + "-" + ev
+	}
+	return ev
+}
+
+// PolicyNames lists the spellings ParsePolicy accepts, for flag usage
+// strings.
+func PolicyNames() []string {
+	return []string{"lru", "gdsf", "tinylfu-lru", "tinylfu-gdsf"}
+}
+
+// ParsePolicy resolves a policy by name: "lru" (or empty), "gdsf",
+// "tinylfu-lru" (TinyLFU admission in front of LRU eviction; "tinylfu"
+// is accepted as shorthand), or "tinylfu-gdsf".
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "lru":
+		return Policy{}, nil
+	case "gdsf":
+		return Policy{Eviction: GDSF()}, nil
+	case "tinylfu", "tinylfu-lru":
+		return Policy{Admission: TinyLFU()}, nil
+	case "tinylfu-gdsf":
+		return Policy{Eviction: GDSF(), Admission: TinyLFU()}, nil
+	}
+	return Policy{}, fmt.Errorf("cachestore: unknown policy %q (have lru, gdsf, tinylfu-lru, tinylfu-gdsf)", name)
+}
+
+// Rank-heap bookkeeping for non-LRU eviction policies. Each shard keeps
+// its entries in a binary min-heap on node.stamp (the policy rank), so the
+// shard's cheapest victim is heap[0] and the global victim is the smallest
+// root across shards — the same O(shards) victim scan the LRU lists use,
+// with O(log n) maintenance per touch. All methods require the shard lock.
+
+func (sh *shard[V]) heapPush(n *node[V]) {
+	n.hidx = int32(len(sh.heap))
+	sh.heap = append(sh.heap, n)
+	sh.heapUp(int(n.hidx))
+}
+
+func (sh *shard[V]) heapRemove(n *node[V]) {
+	i := int(n.hidx)
+	last := len(sh.heap) - 1
+	if i != last {
+		sh.heap[i] = sh.heap[last]
+		sh.heap[i].hidx = int32(i)
+	}
+	sh.heap[last] = nil
+	sh.heap = sh.heap[:last]
+	if i != last {
+		sh.heapFix(sh.heap[i])
+	}
+	n.hidx = -1
+}
+
+func (sh *shard[V]) heapFix(n *node[V]) {
+	i := int(n.hidx)
+	if !sh.heapDown(i) {
+		sh.heapUp(i)
+	}
+}
+
+func (sh *shard[V]) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if sh.heap[parent].stamp <= sh.heap[i].stamp {
+			break
+		}
+		sh.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// heapDown reports whether the node moved.
+func (sh *shard[V]) heapDown(i int) bool {
+	moved := false
+	for {
+		left := 2*i + 1
+		if left >= len(sh.heap) {
+			return moved
+		}
+		least := left
+		if right := left + 1; right < len(sh.heap) && sh.heap[right].stamp < sh.heap[left].stamp {
+			least = right
+		}
+		if sh.heap[i].stamp <= sh.heap[least].stamp {
+			return moved
+		}
+		sh.heapSwap(i, least)
+		i = least
+		moved = true
+	}
+}
+
+func (sh *shard[V]) heapSwap(i, j int) {
+	sh.heap[i], sh.heap[j] = sh.heap[j], sh.heap[i]
+	sh.heap[i].hidx = int32(i)
+	sh.heap[j].hidx = int32(j)
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"cachecatalyst/internal/cachesim"
+	"cachecatalyst/internal/netsim"
+	"cachecatalyst/internal/webgen"
+)
+
+// ExportTrace drives catalyst worlds over the configured corpus and
+// revisit schedule and returns every Service-Worker subresource access as
+// a webcachesim-format trace (see internal/cachesim). One recorder spans
+// all sites, so the trace mixes origins the way a shared cache would see
+// them — cold loads contribute the one-hit-wonder tail, revisits the
+// popular core, and both pages of each site the intra-site reuse.
+//
+// The export exists to close the measurement loop: cmd/cachesim replays
+// the returned trace through any cachestore policy and scores it against
+// the offline optimal bound, so policy choices for the real stores are
+// grounded in the workload the emulated system actually generates.
+func ExportTrace(cfg Config) ([]cachesim.Request, error) {
+	if len(cfg.Grid) == 0 {
+		return nil, fmt.Errorf("harness: config has no network conditions")
+	}
+	cond := cfg.Grid[0]
+	rec := cachesim.NewRecorder()
+	for site := 0; site < cfg.Corpus.Sites; site++ {
+		w := NewWorld(cfg.Corpus, site, SchemeCatalyst, cfg.Transport)
+		w.Browser.WithAccessRecorder(rec)
+		if err := loadTraceVisits(w, cond, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return rec.Trace(), nil
+}
+
+// loadTraceVisits performs the cold visit and every configured revisit,
+// touching both generated pages per visit so the trace carries cross-page
+// reuse (shared assets appear under multiple navigations).
+func loadTraceVisits(w *World, cond netsim.Conditions, cfg Config) error {
+	visit := func() error {
+		if _, err := w.Load(cond); err != nil {
+			return fmt.Errorf("harness: site %s: %w", w.Site.Host, err)
+		}
+		if _, err := w.LoadPage(cond, webgen.SecondaryPagePath); err != nil {
+			return fmt.Errorf("harness: site %s: %w", w.Site.Host, err)
+		}
+		return nil
+	}
+	if err := visit(); err != nil {
+		return err
+	}
+	for _, d := range cfg.Delays {
+		w.Advance(d)
+		if err := visit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -114,9 +114,14 @@ func (e *Entry) Size() int64 {
 
 // Options configures a Cache.
 type Options struct {
-	// MaxBytes bounds the cache size; 0 means unlimited. Least-recently
-	// used entries are evicted first.
+	// MaxBytes bounds the cache size; 0 means unlimited. The Policy
+	// chooses victims (exact LRU by default).
 	MaxBytes int64
+	// Policy selects the eviction/admission policy for stored entries.
+	// The zero value is exact LRU — what real browser caches approximate.
+	// Size-aware policies model proxy/CDN caches facing the same RFC 9111
+	// freshness rules with very mixed object sizes.
+	Policy cachestore.Policy
 	// HeuristicFraction is the fraction of (Date − Last-Modified) used as
 	// the freshness lifetime when the response carries no explicit
 	// expiration (RFC 9111 §4.2.2 suggests 10%). Zero selects the default.
@@ -180,6 +185,7 @@ func New(clock vclock.Clock, opts Options) *Cache {
 		Shards:   1,
 		MaxBytes: opts.MaxBytes,
 		SizeOf:   func(_ string, e *Entry) int64 { return e.Size() },
+		Policy:   opts.Policy,
 		OnEvict:  func(string, *Entry) { c.evictions.Add(1) },
 	})
 	if opts.Telemetry != nil {

@@ -37,6 +37,13 @@ type Options struct {
 	// (path, content ETag) so an unchanged page skips re-parsing and
 	// re-hashing on every hit. Zero selects 16 MiB; negative disables it.
 	MaxRenderBytes int64
+	// RenderCachePolicy selects the rendered-page cache's eviction and
+	// admission policy; the zero value is exact global LRU. Rendered
+	// pages span from landing stubs to huge generated documents, so a
+	// size-aware policy can keep many small hot pages instead of one
+	// giant one. (CachePolicy, by contrast, is this package's
+	// Cache-Control configuration — unrelated.)
+	RenderCachePolicy cachestore.Policy
 	// Telemetry, when set, indexes the server's counters, the
 	// rendered-page cache's counters, and a serve-latency histogram in
 	// the given registry under "server.*". The registry reads the same
@@ -117,6 +124,7 @@ func New(content Content, opts Options) *Server {
 				}
 				return n
 			},
+			Policy:    opts.RenderCachePolicy,
 			Telemetry: opts.Telemetry,
 			Name:      "server.renders",
 		})

@@ -42,6 +42,18 @@ type CacheStorage struct {
 // Evictions returns the number of entries removed by the storage quota.
 func (c *CacheStorage) Evictions() int64 { return c.evictions.Load() }
 
+// CacheStorageOptions configures a CacheStorage.
+type CacheStorageOptions struct {
+	// MaxBytes bounds stored body bytes; 0 means unbounded (real
+	// browsers impose an origin quota; experiments pick one explicitly).
+	MaxBytes int64
+	// Policy selects the quota's eviction/admission policy. The zero
+	// value is exact LRU, matching how browsers evict Cache API
+	// storage; size-aware policies let storage-pressure experiments ask
+	// what a smarter quota would keep.
+	Policy cachestore.Policy
+}
+
 // NewCacheStorage returns an empty, unbounded store.
 func NewCacheStorage() *CacheStorage {
 	return NewBoundedCacheStorage(0)
@@ -50,10 +62,17 @@ func NewCacheStorage() *CacheStorage {
 // NewBoundedCacheStorage returns an empty store evicting least-recently
 // used entries beyond maxBytes of body data (0 = unbounded).
 func NewBoundedCacheStorage(maxBytes int64) *CacheStorage {
+	return NewCacheStorageOptions(CacheStorageOptions{MaxBytes: maxBytes})
+}
+
+// NewCacheStorageOptions returns an empty store with an explicit quota
+// and cache policy.
+func NewCacheStorageOptions(opts CacheStorageOptions) *CacheStorage {
 	c := &CacheStorage{}
 	c.store = cachestore.New[*httpcache.Response](cachestore.Options[*httpcache.Response]{
-		MaxBytes: maxBytes,
+		MaxBytes: opts.MaxBytes,
 		SizeOf:   func(_ string, r *httpcache.Response) int64 { return int64(len(r.Body)) },
+		Policy:   opts.Policy,
 		OnEvict:  func(string, *httpcache.Response) { c.evictions.Add(1) },
 	})
 	return c
@@ -101,6 +120,16 @@ func (c *CacheStorage) Keys() []string { return c.store.Keys() }
 // Bytes returns the total stored body bytes.
 func (c *CacheStorage) Bytes() int64 { return c.store.Bytes() }
 
+// AccessRecorder observes every subresource access a Worker serves or
+// fetches, with the object's byte size. internal/cachesim's Recorder
+// implements it: wiring one into a harness run exports the emulated
+// browsers' request stream as a webcachesim-format trace, so cache
+// policies can be replayed offline against the workload the system
+// actually generated. Implementations must be safe for concurrent use.
+type AccessRecorder interface {
+	Record(key string, size int64)
+}
+
 // SiteWorker is an existing, site-provided Service Worker the CacheCatalyst
 // worker must coexist with (§6, third issue). If it claims a request the
 // catalyst logic steps aside.
@@ -131,9 +160,10 @@ type Stats struct {
 // are telemetry instruments so a registry can index them (RegisterTelemetry)
 // while Stats() keeps serving the legacy snapshot.
 type Worker struct {
-	cache *CacheStorage
-	etags core.ETagMap
-	site  SiteWorker
+	cache    *CacheStorage
+	etags    core.ETagMap
+	site     SiteWorker
+	recorder AccessRecorder
 
 	localHits, networkFetches  telemetry.Counter
 	mapUpdates, mapDecodeFails telemetry.Counter
@@ -151,6 +181,14 @@ func NewWorker() *Worker {
 // composition the paper's future work calls for.
 func (w *Worker) WithSiteWorker(s SiteWorker) *Worker {
 	w.site = s
+	return w
+}
+
+// WithRecorder attaches an access recorder: every subresource the worker
+// answers from cache or receives from the network is reported with its
+// body size. Returns w for chaining.
+func (w *Worker) WithRecorder(r AccessRecorder) *Worker {
+	w.recorder = r
 	return w
 }
 
@@ -234,6 +272,9 @@ func (w *Worker) HandleFetchContext(ctx context.Context, path string) (*httpcach
 		if core.Decide(w.etags, path, cachedTag) == core.ServeFromCache {
 			w.localHits.Add(1)
 			telemetry.Event(ctx, "sw-hit", path)
+			if w.recorder != nil {
+				w.recorder.Record(path, int64(len(cached.Body)))
+			}
 			return cached, true
 		}
 	}
@@ -245,6 +286,9 @@ func (w *Worker) HandleFetchContext(ctx context.Context, path string) (*httpcach
 // OnSubresourceResponse stores a network-fetched subresource under its new
 // entity tag so subsequent visits can serve it locally.
 func (w *Worker) OnSubresourceResponse(path string, resp *httpcache.Response) {
+	if w.recorder != nil {
+		w.recorder.Record(path, int64(len(resp.Body)))
+	}
 	w.cache.Put(path, resp)
 }
 
@@ -254,6 +298,7 @@ func (w *Worker) OnSubresourceResponse(path string, resp *httpcache.Response) {
 type Registry struct {
 	workers   map[string]*Worker
 	telemetry *telemetry.Registry
+	recorder  AccessRecorder
 }
 
 // NewRegistry returns an empty registry (a browser profile with no
@@ -266,6 +311,13 @@ func NewRegistry() *Registry {
 // into reg under "sw.<origin>". Already-installed workers are unaffected.
 func (r *Registry) WithTelemetry(reg *telemetry.Registry) *Registry {
 	r.telemetry = reg
+	return r
+}
+
+// WithRecorder makes Register attach rec to every newly installed worker.
+// Already-installed workers are unaffected.
+func (r *Registry) WithRecorder(rec AccessRecorder) *Registry {
+	r.recorder = rec
 	return r
 }
 
@@ -285,6 +337,9 @@ func (r *Registry) Register(origin string) *Worker {
 	w := NewWorker()
 	if r.telemetry != nil {
 		w.RegisterTelemetry(r.telemetry, "sw."+origin)
+	}
+	if r.recorder != nil {
+		w.WithRecorder(r.recorder)
 	}
 	r.workers[origin] = w
 	return w
