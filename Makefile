@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz chaos bench benchdiff cover cachesim
+.PHONY: verify build test race vet fuzz chaos bench benchdiff cover cachesim schemes
 
 verify: vet build race
 
@@ -27,6 +27,15 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeMap -fuzztime=10s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzBuildMap -fuzztime=10s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzParseTrace -fuzztime=10s ./internal/cachesim/
+	$(GO) test -run=^$$ -fuzz=FuzzDeltaRoundTrip -fuzztime=10s ./internal/delta/
+
+# Scheme-matrix smoke: the conformance suite (golden table, shape claims,
+# determinism, cancellation under -race) plus one live cell via the example.
+# See EXPERIMENTS.md, "Scheme matrix".
+schemes:
+	$(GO) test -race -count=1 -run 'SchemeMatrix|Scheme|Delta|EarlyHints|Negative' \
+		./internal/harness/ ./internal/browser/ ./internal/delta/ ./catalyst/
+	$(GO) run ./examples/pushcompare
 
 # Cache-policy smoke: replay the committed harness-exported trace and a
 # synthetic Zipf/lognormal trace through every policy, checking ratios stay
@@ -68,7 +77,7 @@ benchdiff:
 # Coverage with a floor so the suite cannot silently shed coverage. The
 # floor trails the measured total (80.9% when set) by a safety margin;
 # raise it as coverage grows.
-COVERAGE_FLOOR ?= 78.0
+COVERAGE_FLOOR ?= 80.0
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \

@@ -109,6 +109,14 @@ type MiddlewareMetrics struct {
 	// BudgetExhausted counts HTML responses delivered un-decorated
 	// because the request's deadline budget ran out before map assembly.
 	BudgetExhausted telemetry.Counter
+	// HintsSent counts 103 Early Hints responses emitted ahead of HTML
+	// (MiddlewareOptions.EarlyHints).
+	HintsSent telemetry.Counter
+	// DeltasServed counts HTML responses answered with a CCD1 patch
+	// against the client's named base instead of the full body;
+	// DeltaBytesSaved accumulates body bytes avoided that way.
+	DeltasServed    telemetry.Counter
+	DeltaBytesSaved telemetry.Counter
 }
 
 // RegisterTelemetry indexes the counters in reg under "middleware.*"; the
@@ -124,6 +132,9 @@ func (m *MiddlewareMetrics) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.RegisterCounter("middleware.ladder_passthrough", &m.LadderPassthrough)
 	reg.RegisterCounter("middleware.ladder_rejected", &m.LadderRejected)
 	reg.RegisterCounter("middleware.budget_exhausted", &m.BudgetExhausted)
+	reg.RegisterCounter("middleware.hints_sent", &m.HintsSent)
+	reg.RegisterCounter("middleware.deltas_served", &m.DeltasServed)
+	reg.RegisterCounter("middleware.delta_bytes_saved", &m.DeltaBytesSaved)
 }
 
 // MiddlewareMetricsSnapshot is the JSON form of MiddlewareMetrics.
@@ -138,6 +149,9 @@ type MiddlewareMetricsSnapshot struct {
 	LadderPassthrough int64 `json:"ladderPassthrough"`
 	LadderRejected    int64 `json:"ladderRejected"`
 	BudgetExhausted   int64 `json:"budgetExhausted"`
+	HintsSent         int64 `json:"hintsSent"`
+	DeltasServed      int64 `json:"deltasServed"`
+	DeltaBytesSaved   int64 `json:"deltaBytesSaved"`
 }
 
 // Snapshot returns the counters as plain values.
@@ -153,6 +167,9 @@ func (m *MiddlewareMetrics) Snapshot() MiddlewareMetricsSnapshot {
 		LadderPassthrough: m.LadderPassthrough.Load(),
 		LadderRejected:    m.LadderRejected.Load(),
 		BudgetExhausted:   m.BudgetExhausted.Load(),
+		HintsSent:         m.HintsSent.Load(),
+		DeltasServed:      m.DeltasServed.Load(),
+		DeltaBytesSaved:   m.DeltaBytesSaved.Load(),
 	}
 }
 

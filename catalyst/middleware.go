@@ -13,6 +13,7 @@ import (
 
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/delta"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/telemetry"
@@ -128,6 +129,22 @@ type MiddlewareOptions struct {
 	// ("map-built", "etag-match") into a Server-Timing header so clients
 	// can annotate their traces with the origin middleware's view.
 	ServerTiming bool
+	// EarlyHints sends a 103 Early Hints informational response carrying
+	// preload links for the page's subresources as soon as the HTML has
+	// rendered — before the probe fan-out and map assembly, which are the
+	// slow stages hints let the client overlap. Requires a ResponseWriter
+	// that supports 1xx responses (net/http's does; a bare
+	// httptest.ResponseRecorder does not — test through httptest.Server).
+	EarlyHints bool
+	// Delta enables delta-encoded HTML: recently served page bodies are
+	// retained keyed by their validator, and a request naming one in
+	// X-Delta-Base is answered with a CCD1 patch (internal/delta) against
+	// that base — marked X-Delta-From — whenever the patch is smaller
+	// than the full body. The Etag is always the current entity's.
+	Delta bool
+	// MaxDeltaBytes bounds the retained-base cache behind Delta. Zero
+	// selects 8 MiB.
+	MaxDeltaBytes int64
 }
 
 func (o MiddlewareOptions) breakerThreshold() int {
@@ -241,6 +258,19 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 			Name:      "middleware.stales",
 		})
 	}
+	if opts.Delta {
+		maxDelta := opts.MaxDeltaBytes
+		if maxDelta == 0 {
+			maxDelta = 8 << 20
+		}
+		m.deltaBases = cachestore.New[[]byte](cachestore.Options[[]byte]{
+			MaxBytes:  maxDelta,
+			SizeOf:    func(key string, body []byte) int64 { return int64(len(key) + len(body)) },
+			Policy:    opts.CachePolicy,
+			Telemetry: opts.Telemetry,
+			Name:      "middleware.delta_bases",
+		})
+	}
 	if opts.MaxInflight > 0 {
 		m.gate = resilience.NewGate(resilience.GateOptions{
 			MaxInflight:  opts.MaxInflight,
@@ -274,9 +304,13 @@ type middleware struct {
 	probes  *cachestore.Store[probe]
 	renders *cachestore.Store[*renderEntry] // nil when disabled
 	stales  *cachestore.Store[*staleEntry]  // last-known-good serves; nil when disabled
-	gate    *resilience.Gate                // admission control; nil when disabled
-	breaker *resilience.Breaker             // inner-handler health; nil when disabled
-	htmlNS  *telemetry.Histogram            // nil without telemetry
+	// deltaBases retains recently served page bodies keyed by
+	// pageURL + "\x00" + validator, the diff bases for Options.Delta;
+	// nil when the feature is off.
+	deltaBases *cachestore.Store[[]byte]
+	gate       *resilience.Gate     // admission control; nil when disabled
+	breaker    *resilience.Breaker  // inner-handler health; nil when disabled
+	htmlNS     *telemetry.Histogram // nil without telemetry
 	// probeGen counts observable probe-cache changes: it bumps whenever a
 	// probe flight lands a (tag, ok) pair that differs from what the
 	// cache held before. While it stands still, every map assembled from
@@ -437,6 +471,27 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer endSpan()
 	ent := m.render(pageURL, sw.body())
 
+	// Early hints go out the moment the reference list exists: the probe
+	// fan-out below is the serve's slow stage, and the 103 lets the client
+	// start subresource fetches while it runs.
+	if m.opts.EarlyHints && m.emitEarlyHints(w, ent.refs) {
+		m.opts.Metrics.HintsSent.Add(1)
+		telemetry.Event(ctx, "hints", pageURL)
+	}
+
+	// Delta bases: every decorated serve retains its body under its
+	// validator; a request naming a retained base gets a patch below.
+	var deltaBase []byte
+	deltaFrom := ""
+	if m.deltaBases != nil {
+		m.deltaBases.Put(pageURL+"\x00"+ent.tag.String(), []byte(ent.injected))
+		if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != ent.tag.String() {
+			if base, okBase := m.deltaBases.Get(pageURL + "\x00" + baseTag); okBase {
+				deltaBase, deltaFrom = base, baseTag
+			}
+		}
+	}
+
 	// Load the generation before resolving: probes that change state
 	// during the resolve bump it, which both blocks reuse of a cached
 	// encoding below and prevents this request from caching one.
@@ -493,11 +548,54 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	h.Set("Content-Length", strconv.Itoa(len(ent.injected)))
+	body := []byte(ent.injected)
+	if deltaBase != nil {
+		// A validator match above wins over a patch (the 304 transfers
+		// nothing at all); here the entity changed, so diff lazily and
+		// serve the patch only when it actually saves bytes.
+		if patch := delta.Diff(deltaBase, body); len(patch) < len(body) {
+			m.opts.Metrics.DeltasServed.Add(1)
+			m.opts.Metrics.DeltaBytesSaved.Add(int64(len(body) - len(patch)))
+			h.Set(delta.FromHeader, deltaFrom)
+			telemetry.Event(ctx, "delta", pageURL)
+			if m.opts.ServerTiming {
+				telemetry.AppendServerTiming(h, "delta")
+			}
+			body = patch
+		}
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	if r.Method != http.MethodHead {
-		_, _ = w.Write([]byte(ent.injected))
+		_, _ = w.Write(body)
 	}
+}
+
+// maxPreloadHints caps the Link headers one 103 carries; past a few dozen
+// the hints themselves delay the HTML they are racing.
+const maxPreloadHints = 32
+
+// emitEarlyHints writes a 103 Early Hints response advertising refs as
+// preload links. Reports whether hints were sent.
+func (m *middleware) emitEarlyHints(w http.ResponseWriter, refs []core.Ref) bool {
+	if len(refs) == 0 {
+		return false
+	}
+	h := w.Header()
+	n := 0
+	for _, ref := range refs {
+		if n == maxPreloadHints {
+			break
+		}
+		as := "image"
+		if ref.CSS {
+			as = "style"
+		}
+		h.Add("Link", "<"+ref.Key+">; rel=preload; as="+as)
+		n++
+	}
+	w.WriteHeader(http.StatusEarlyHints)
+	return true
 }
 
 // requestPageURL is the origin-relative URL of the page being served, query
@@ -558,7 +656,7 @@ func jsonStringLen(s string) int {
 	for i := 0; i < len(s); {
 		if b := s[i]; b < utf8.RuneSelf {
 			switch {
-			case b == '"' || b == '\\' || b == '\n' || b == '\r' || b == '\t':
+			case b == '"' || b == '\\' || b == '\n' || b == '\r' || b == '\t' || b == '\b' || b == '\f':
 				n += 2
 			case b < 0x20 || b == '<' || b == '>' || b == '&':
 				n += 6

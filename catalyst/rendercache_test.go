@@ -241,6 +241,7 @@ func TestJSONStringLenMatchesMarshal(t *testing.T) {
 		`quote " backslash \ done`,
 		"tabs\tnewlines\nreturns\r",
 		"low controls \x00\x01\x1f",
+		"shorthand escapes \b and \f",
 		"html <b>&amp;</b>",
 		"line seps \u2028 and \u2029",
 		"snowman ☃ and emoji \U0001F600",

@@ -1,0 +1,63 @@
+// Command schemes prints the scheme-matrix conformance table: every
+// acceleration scheme — conventional caching, CacheCatalyst, HTTP/2 Server
+// Push, 103 Early Hints, delta-encoded HTML, and negative caching — crossed
+// with a grid of network conditions.
+//
+//	schemes                  # the quick matrix behind EXPERIMENTS.md
+//	schemes -sites 20        # more sites per cell
+//	schemes -json            # machine-readable cells
+//
+// The default configuration is exactly harness.QuickMatrixConfig, so the
+// output should match the committed golden table
+// (internal/harness/testdata/scheme_matrix.golden) byte for byte.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"cachecatalyst/internal/harness"
+)
+
+func main() {
+	var (
+		sites    = flag.Int("sites", 0, "override corpus size (0 = quick-config default)")
+		seed     = flag.Int64("seed", 0, "override corpus seed (0 = quick-config default)")
+		parallel = flag.Int("parallel", 0, "measurement parallelism (0 = GOMAXPROCS)")
+		h2       = flag.Bool("h2", false, "use HTTP/2 multiplexing instead of 6 HTTP/1.1 connections")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+	)
+	flag.Parse()
+
+	cfg := harness.QuickMatrixConfig()
+	if *sites > 0 {
+		cfg.Corpus.Sites = *sites
+	}
+	if *seed != 0 {
+		cfg.Corpus.Seed = *seed
+	}
+	cfg.Transport.H2 = *h2
+	cfg.Parallelism = *parallel
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := harness.RunSchemeMatrixContext(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schemes: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "schemes: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(harness.MatrixTable(res))
+}

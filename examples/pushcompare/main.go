@@ -1,18 +1,18 @@
-// Acceleration-scheme shoot-out: CacheCatalyst vs HTTP/2 Server Push vs a
-// Remote-Dependency-Resolution proxy — the comparison §5 of the paper
-// discusses qualitatively and defers to future work quantitatively.
+// Acceleration-scheme shoot-out at the 5G-median network condition: the
+// comparison §5 of the paper discusses qualitatively, run as a single cell
+// of the scheme matrix (see cmd/schemes for the full grid).
 //
-// For each scheme the example loads a corpus of synthetic homepages over
-// the 5G-median link, cold and then warm (one hour later), and reports
-// mean PLT and bytes on the wire. The expected picture, which the numbers
-// reproduce:
+// Six schemes load the same corpus cold and then warm (one hour and one
+// day later). The expected picture, which the numbers reproduce:
 //
-//   - RDR wins cold loads (one bulk transfer instead of discovery chains)
-//     but keeps paying full freight on warm revisits;
+//   - push-all wastes bandwidth re-sending content the client already has,
+//     so it loses every warm revisit;
 //
-//   - push-all wastes bandwidth on content the client already has;
+//   - early hints only help when there is latency headroom to overlap:
+//     at low RTT the hint bytes themselves can cost more than they save;
 //
-//   - CacheCatalyst is unremarkable cold but near-optimal warm.
+//   - CacheCatalyst is unremarkable cold but near-optimal warm, and the
+//     delta and negative-caching variants shave the remaining transfers.
 //
 //     go run ./examples/pushcompare
 package main
@@ -20,28 +20,26 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
 	"cachecatalyst/internal/harness"
-	"cachecatalyst/internal/webgen"
+	"cachecatalyst/internal/netsim"
 )
 
 func main() {
-	cfg := harness.Config{
-		Corpus: webgen.Params{Sites: 8, Seed: 3, Scale: 0.8},
-	}
-	cond := harness.Median5G()
-	delay := time.Hour
+	cfg := harness.QuickMatrixConfig()
+	cfg.Corpus.Sites = 8
+	cfg.Grid = []netsim.Conditions{harness.Median5G()}
 
-	rows, err := harness.RunBaselines(cfg, cond, delay)
+	res, err := harness.RunSchemeMatrix(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d sites, %s, revisit after %s\n\n", cfg.Corpus.Sites, cond, delay)
-	fmt.Print(harness.BaselineTable(rows, delay))
+	fmt.Printf("%d sites, revisits after +1h and +1d\n\n", cfg.Corpus.Sites)
+	fmt.Print(harness.MatrixTable(res))
 
 	fmt.Println("\nreading the table:")
-	fmt.Println("  cold PLT — RDR's bulk delivery beats everyone on first contact")
-	fmt.Println("  warm PLT — catalyst needs (almost) only the navigation round trip")
-	fmt.Println("  warm KB  — push-all and RDR re-send content the client already holds")
+	fmt.Println("  warm KB   — push re-sends what the client already holds")
+	fmt.Println("  warm reqs — the map answers revalidation without round trips;")
+	fmt.Println("              negative caching also absorbs the broken references")
+	fmt.Println("  Δ vs conv — positive = faster warm PLT than conventional caching")
 }

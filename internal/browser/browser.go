@@ -23,6 +23,7 @@ import (
 	"cachecatalyst/internal/baselines"
 	"cachecatalyst/internal/core"
 	"cachecatalyst/internal/cssparse"
+	"cachecatalyst/internal/delta"
 	"cachecatalyst/internal/htmlparse"
 	"cachecatalyst/internal/httpcache"
 	"cachecatalyst/internal/jsexec"
@@ -48,6 +49,11 @@ const (
 	// are delivered without further round trips; everything else follows
 	// the conventional path.
 	Bundled
+	// EarlyHints is the conventional browser consuming 103 Early Hints:
+	// the navigation's preload Link headers (delivered ahead of the HTML
+	// body by netsim.FetchWithHints) start subresource fetches before the
+	// document arrives. Caching is plain RFC 9111.
+	EarlyHints
 )
 
 func (m Mode) String() string {
@@ -56,6 +62,8 @@ func (m Mode) String() string {
 		return "catalyst"
 	case Bundled:
 		return "bundled"
+	case EarlyHints:
+		return "early-hints"
 	}
 	return "conventional"
 }
@@ -118,6 +126,19 @@ type LoadResult struct {
 	// needed — the wasted bandwidth §5 attributes to push-all.
 	PushedResources int
 	PushedUnused    int
+	// HintedPreloads counts fetches started from 103 Early Hints preload
+	// links before the document arrived; HintedUnused counts hints the
+	// page never actually referenced (wasted preload bandwidth).
+	HintedPreloads int
+	HintedUnused   int
+	// DeltaApplied counts navigations reconstructed by patching the
+	// cached base HTML (catalyst-delta); DeltaFallbacks counts patches
+	// that failed verification and forced a full refetch.
+	DeltaApplied   int64
+	DeltaFallbacks int64
+	// NegativeHits counts resources answered by a cached 404 with zero
+	// network time (negative caching).
+	NegativeHits int64
 	// Trace is the load's request trace: every cache decision any layer
 	// recorded, in order. LoadContext reuses a trace already carried by
 	// the context; otherwise each load gets a fresh one.
@@ -137,6 +158,14 @@ type Browser struct {
 	registry  *sw.Registry
 	telemetry *telemetry.Registry // nil unless WithTelemetry was called
 	recorder  sw.AccessRecorder   // nil unless WithAccessRecorder was called
+	// delta enables the catalyst-delta scheme: stale navigations name
+	// their cached validator in X-Delta-Base and patch the cached body
+	// with the server's CCD1 response (internal/delta).
+	delta bool
+	// negTTL, when positive, enables negative caching in the mode's
+	// fetch-intercepting layer: the Service Worker in Catalyst mode, the
+	// HTTP cache otherwise.
+	negTTL time.Duration
 	// cookies holds name→value per host; enough for the session cookie
 	// the recording extension depends on.
 	cookies map[string]map[string]string
@@ -218,6 +247,25 @@ func (b *Browser) WithAccessRecorder(rec sw.AccessRecorder) *Browser {
 	return b
 }
 
+// WithDelta enables delta-encoded navigations (Catalyst mode only): a
+// stale page revisit offers its cached validator as a patch base and
+// reconstructs the current document from the server's diff. Returns b for
+// chaining at construction.
+func (b *Browser) WithDelta() *Browser {
+	b.delta = true
+	return b
+}
+
+// WithNegativeCache enables negative caching with the given TTL in the
+// mode's fetch-intercepting layer: the Service Worker for Catalyst mode,
+// the HTTP cache otherwise. Resets client state. Returns b for chaining
+// at construction.
+func (b *Browser) WithNegativeCache(ttl time.Duration) *Browser {
+	b.negTTL = ttl
+	b.ClearState()
+	return b
+}
+
 // ClearState discards all client state — the paper's "cold cache" setup.
 func (b *Browser) ClearState() {
 	opts := httpcache.Options{}
@@ -225,8 +273,17 @@ func (b *Browser) ClearState() {
 		opts.Telemetry = b.telemetry
 		opts.Name = "browser.httpcache"
 	}
+	if b.negTTL > 0 && b.mode != Catalyst {
+		// In Catalyst mode the Service Worker owns negative entries —
+		// its map-driven flip-to-200 invalidation is stronger than TTL
+		// expiry, and a second copy in the HTTP cache would outlive it.
+		opts.NegativeTTL = b.negTTL
+	}
 	b.cache = httpcache.New(b.clock, opts)
 	b.registry = sw.NewRegistry().WithTelemetry(b.telemetry).WithRecorder(b.recorder)
+	if b.negTTL > 0 {
+		b.registry.WithNegativeCache(b.negTTL, b.clock)
+	}
 	b.cookies = make(map[string]map[string]string)
 }
 
@@ -292,6 +349,8 @@ func (b *Browser) LoadContext(ctx context.Context, origins Origins, cond netsim.
 		cond:      cond,
 		endpoints: make(map[string]*netsim.Endpoint),
 		seen:      make(map[string]bool),
+		completed: make(map[string]bool),
+		hinted:    make(map[string]bool),
 		pageHost:  host,
 		pagePath:  path,
 	}
@@ -309,6 +368,7 @@ func (b *Browser) LoadContext(ctx context.Context, origins Origins, cond netsim.
 	if l.pushed != nil {
 		l.result.PushedUnused = len(l.pushed) - len(l.pushedUsed)
 	}
+	l.result.HintedUnused = len(l.hinted)
 	for _, ep := range l.endpoints {
 		st := ep.Stats()
 		l.result.BytesDown += st.BytesDown
@@ -329,7 +389,19 @@ type loader struct {
 	endpoints map[string]*netsim.Endpoint
 	// seen dedupes fetches by host+path, like a browser coalescing
 	// identical in-flight requests.
-	seen     map[string]bool
+	seen map[string]bool
+	// completed marks resources fully settled (delivered+processed or
+	// failed). A seen-but-not-completed resource is in flight — the
+	// parser can still register it as render-blocking (preloads start
+	// before the parser knows what blocks).
+	completed map[string]bool
+	// hinted tracks 103-preloaded keys not yet referenced by the page;
+	// what remains at the end of the load is wasted preload work.
+	hinted map[string]bool
+	// hintKey/onHints route the navigation's early-hint delivery: only
+	// the request whose host+path equals hintKey fetches with hints.
+	hintKey  string
+	onHints  func(http.Header)
 	pageHost string
 	pagePath string
 	result   LoadResult
@@ -351,7 +423,10 @@ type loader struct {
 // scripts): FCP waits for it.
 func (l *loader) fetchBlocking(host, path string, kind htmlparse.ResourceKind) {
 	key := host + path
-	if !l.seen[key] {
+	// A resource becomes render-blocking when first requested, or when the
+	// parser discovers that a resource already in flight (a 103 preload
+	// started it) blocks rendering — FCP must wait either way.
+	if !l.seen[key] || !l.completed[key] && !l.blockingKeys[key] {
 		if l.blockingKeys == nil {
 			l.blockingKeys = make(map[string]bool)
 		}
@@ -359,6 +434,13 @@ func (l *loader) fetchBlocking(host, path string, kind htmlparse.ResourceKind) {
 		l.addBlocking()
 	}
 	l.fetch(host, path, kind)
+}
+
+// finish marks a resource settled (delivered or failed) and retires any
+// render-blocking obligation, reporting whether it was blocking.
+func (l *loader) finish(host, path string) bool {
+	l.completed[host+path] = true
+	return l.completeBlocking(host, path)
 }
 
 // completeBlocking retires the blocking obligation for a delivered (or
@@ -409,6 +491,8 @@ func (l *loader) endpoint(host string) (*netsim.Endpoint, bool) {
 func (l *loader) fetch(host, path string, kind htmlparse.ResourceKind) {
 	key := host + path
 	if l.seen[key] {
+		// A reference to a hinted resource means the preload was useful.
+		delete(l.hinted, key)
 		return
 	}
 	l.seen[key] = true
@@ -419,6 +503,8 @@ func (l *loader) fetch(host, path string, kind htmlparse.ResourceKind) {
 		l.fetchCatalyst(host, path, kind, isNav)
 	case Bundled:
 		l.fetchBundled(host, path, kind, isNav)
+	case EarlyHints:
+		l.fetchEarlyHints(host, path, kind, isNav)
 	default:
 		l.fetchConventional(host, path, kind, isNav)
 	}
@@ -445,6 +531,14 @@ func (l *loader) deliverLocal(host, path string, kind htmlparse.ResourceKind, so
 				Source: source, Status: resp.StatusCode,
 				Decisions: dec,
 			})
+		}
+		if resp.StatusCode != http.StatusOK {
+			// A cached negative entry (404) delivered locally: the
+			// resource fails without a network request.
+			l.result.NegativeHits++
+			l.result.Errors++
+			l.finish(host, path)
+			return
 		}
 		l.process(host, path, kind, resp)
 	})
@@ -529,14 +623,19 @@ func (l *loader) fetchCatalyst(host, path string, kind htmlparse.ResourceKind, i
 		// HTML is typically no-cache, so this costs a conditional request
 		// whose 304 still carries the refreshed X-Etag-Config header —
 		// the client gets fresh tokens without re-downloading the page.
-		l.fetchViaHTTPCache(host, path, kind, func(resp *httpcache.Response) {
+		navAfter := func(resp *httpcache.Response) {
 			if !registered && strings.Contains(string(resp.Body), `serviceWorker`) {
 				l.b.registry.Register(host)
 			}
 			if w, ok := l.b.registry.Lookup(host); ok {
 				w.OnNavigationResponse(resp)
 			}
-		})
+		}
+		if l.b.delta {
+			l.fetchDeltaNav(host, path, kind, navAfter)
+			return
+		}
+		l.fetchViaHTTPCache(host, path, kind, navAfter)
 		return
 	}
 	if registered {
@@ -553,6 +652,87 @@ func (l *loader) fetchCatalyst(host, path string, kind htmlparse.ResourceKind, i
 		if w, ok := l.b.registry.Lookup(l.pageHost); ok {
 			w.OnSubresourceResponse(swKey, resp)
 		}
+	})
+}
+
+// fetchDeltaNav is the catalyst-delta navigation path: a stale cached page
+// with a validator offers that validator as a patch base (X-Delta-Base);
+// the server may answer with a CCD1 patch (X-Delta-From) instead of the
+// full body, which the client applies to its cached copy. A patch that
+// fails verification falls back to a plain full fetch.
+func (l *loader) fetchDeltaNav(host, path string, kind htmlparse.ResourceKind, after func(*httpcache.Response)) {
+	key := cacheKey(host, path)
+	entry, state := l.b.cache.Get(key)
+	if state == httpcache.Fresh {
+		if after != nil {
+			after(entry.Response)
+		}
+		l.deliverLocal(host, path, kind, "cache", entry.Response, "cache")
+		return
+	}
+	var tagStr string
+	if state == httpcache.Stale {
+		if tag, ok := entry.ETag(); ok {
+			tagStr = tag.String()
+		}
+	}
+	if tagStr == "" {
+		// No validator to name a base: plain path.
+		l.fetchViaHTTPCache(host, path, kind, after)
+		return
+	}
+	baseBody := entry.Response.Body
+	hdr := make(http.Header)
+	hdr.Set("If-None-Match", tagStr)
+	hdr.Set(delta.RequestHeader, tagStr)
+	l.networkFetch(host, path, kind, hdr, func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response {
+		if resp.StatusCode == http.StatusNotModified {
+			l.result.Validations304++
+			l.b.cache.Refresh(key, resp, l.absTime(reqAt), l.absTime(respAt))
+			fresh, _ := l.b.cache.Peek(key)
+			if after != nil {
+				after(fresh.Response)
+			}
+			return fresh.Response
+		}
+		if from := resp.Header.Get(delta.FromHeader); from != "" && !resp.Truncated {
+			recon, err := delta.Apply(baseBody, resp.Body)
+			if err == nil {
+				full := &httpcache.Response{
+					StatusCode: http.StatusOK,
+					Header:     resp.Header.Clone(),
+					Body:       recon,
+				}
+				full.Header.Del(delta.FromHeader)
+				full.Header.Set("Content-Length", fmt.Sprint(len(recon)))
+				l.result.DeltaApplied++
+				l.decide(host, path, []string{"delta-applied"})
+				l.result.Validations200++
+				l.b.cache.Put(key, full, l.absTime(reqAt), l.absTime(respAt))
+				if after != nil {
+					after(full)
+				}
+				return full
+			}
+			// Corrupt or mismatched patch: refetch in full, without
+			// offering a base.
+			l.result.DeltaFallbacks++
+			l.decide(host, path, []string{"delta-fallback"})
+			l.networkFetch(host, path, kind, make(http.Header), func(resp2 *httpcache.Response, reqAt2, respAt2 time.Duration) *httpcache.Response {
+				l.b.cache.Put(key, resp2, l.absTime(reqAt2), l.absTime(respAt2))
+				if after != nil {
+					after(resp2)
+				}
+				return resp2
+			})
+			return nil // consumed: the fallback fetch delivers
+		}
+		l.result.Validations200++
+		l.b.cache.Put(key, resp, l.absTime(reqAt), l.absTime(respAt))
+		if after != nil {
+			after(resp)
+		}
+		return resp
 	})
 }
 
@@ -588,6 +768,73 @@ func (l *loader) fetchBundled(host, path string, kind htmlparse.ResourceKind, is
 	l.fetchConventional(host, path, kind, false)
 }
 
+// --- Early Hints mode ---------------------------------------------------
+
+// fetchEarlyHints is the conventional path, except the navigation request
+// subscribes to 103 Early Hints: preload links delivered ahead of the HTML
+// body start subresource fetches immediately.
+func (l *loader) fetchEarlyHints(host, path string, kind htmlparse.ResourceKind, isNav bool) {
+	if isNav {
+		l.hintKey = host + path
+		l.onHints = func(h http.Header) { l.consumeHints(host, path, h) }
+	}
+	l.fetchViaHTTPCache(host, path, kind, nil)
+}
+
+// consumeHints starts a fetch for every preload link in an early-hints
+// header block, resolved against the navigation URL.
+func (l *loader) consumeHints(navHost, navPath string, hdr http.Header) {
+	base := &url.URL{Scheme: "https", Host: navHost, Path: navPath}
+	for _, ref := range parseLinkPreloads(hdr.Values("Link")) {
+		h, p, ok := l.resolve(base, ref)
+		if !ok {
+			continue
+		}
+		key := h + p
+		if l.seen[key] {
+			continue
+		}
+		l.result.HintedPreloads++
+		l.hinted[key] = true
+		l.decide(h, p, []string{"hinted"})
+		l.fetch(h, p, kindForPath(p))
+	}
+}
+
+// parseLinkPreloads extracts the URLs of rel=preload targets from Link
+// header values (which may each carry multiple comma-separated links).
+func parseLinkPreloads(links []string) []string {
+	var out []string
+	for _, header := range links {
+		for _, link := range strings.Split(header, ",") {
+			if !strings.Contains(link, "rel=preload") {
+				continue
+			}
+			open := strings.IndexByte(link, '<')
+			end := strings.IndexByte(link, '>')
+			if open < 0 || end <= open+1 {
+				continue
+			}
+			out = append(out, link[open+1:end])
+		}
+	}
+	return out
+}
+
+// kindForPath infers the resource kind a preload target will be parsed as.
+func kindForPath(p string) htmlparse.ResourceKind {
+	if i := strings.IndexByte(p, '?'); i >= 0 {
+		p = p[:i]
+	}
+	switch {
+	case strings.HasSuffix(p, ".css"):
+		return htmlparse.KindStylesheet
+	case strings.HasSuffix(p, ".js"):
+		return htmlparse.KindScript
+	}
+	return htmlparse.KindImage
+}
+
 // --- Shared plumbing --------------------------------------------------
 
 // networkFetch issues a request; intercept post-processes the raw response
@@ -598,7 +845,7 @@ func (l *loader) networkFetch(host, path string, kind htmlparse.ResourceKind, hd
 	ep, ok := l.endpoint(host)
 	if !ok {
 		l.result.Errors++
-		l.completeBlocking(host, path)
+		l.finish(host, path)
 		return
 	}
 	hdr.Set("Referer", "https://"+l.pageHost+l.pagePath)
@@ -622,7 +869,12 @@ func retryable(resp *httpcache.Response) bool {
 func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlparse.ResourceKind, hdr http.Header, intercept func(resp *httpcache.Response, reqAt, respAt time.Duration) *httpcache.Response, attempt int) {
 	l.result.NetworkRequests++
 	reqAt := l.sim.Now()
-	ep.Fetch(&netsim.Request{Method: "GET", Path: path, Header: hdr}, func(fr netsim.FetchResult) {
+	req := &netsim.Request{Method: "GET", Path: path, Header: hdr}
+	fetch := func(done func(netsim.FetchResult)) { ep.Fetch(req, done) }
+	if l.onHints != nil && host+path == l.hintKey {
+		fetch = func(done func(netsim.FetchResult)) { ep.FetchWithHints(req, l.onHints, done) }
+	}
+	fetch(func(fr netsim.FetchResult) {
 		if retryable(fr.Resp) && attempt < l.b.MaxFetchRetries {
 			l.result.Retries++
 			if fr.Resp.Truncated {
@@ -649,10 +901,15 @@ func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlp
 					Decisions: dec,
 				})
 			}
-			l.completeBlocking(host, path)
+			l.finish(host, path)
 			return
 		}
 		resp := intercept(fr.Resp, reqAt, fr.End)
+		if resp == nil {
+			// The interceptor consumed the response and scheduled its own
+			// follow-up fetch (delta fallback): nothing to deliver here.
+			return
+		}
 		if l.b.OnFetch != nil {
 			l.b.OnFetch(FetchEvent{
 				Host: host, Path: path,
@@ -664,7 +921,7 @@ func (l *loader) attemptFetch(ep *netsim.Endpoint, host, path string, kind htmlp
 		}
 		if resp.StatusCode != http.StatusOK {
 			l.result.Errors++
-			l.completeBlocking(host, path)
+			l.finish(host, path)
 			return
 		}
 		l.process(host, path, kind, resp)
@@ -699,7 +956,7 @@ func (l *loader) absTime(d time.Duration) time.Time {
 
 // process inspects a delivered resource and schedules dependent fetches.
 func (l *loader) process(host, path string, kind htmlparse.ResourceKind, resp *httpcache.Response) {
-	wasBlocking := l.completeBlocking(host, path)
+	wasBlocking := l.finish(host, path)
 	ct := resp.Header.Get("Content-Type")
 	switch {
 	case kind == htmlparse.KindDocument && strings.HasPrefix(ct, "text/html"):

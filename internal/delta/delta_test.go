@@ -1,0 +1,173 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// htmlish builds a pseudo-HTML document from a seeded rng, reusing a
+// small vocabulary so that related documents share long runs.
+func htmlish(rng *rand.Rand, paras int) []byte {
+	words := []string{
+		"<p>", "</p>", "<div class=\"content\">", "</div>",
+		"lorem", "ipsum", "dolor", "sit", "amet", "consectetur",
+		"<a href=\"/page\">", "</a>", "<img src=\"/img/a.png\">",
+	}
+	var b strings.Builder
+	b.WriteString("<!doctype html><html><head><title>t</title></head><body>")
+	for i := 0; i < paras; i++ {
+		for j := 0; j < 8; j++ {
+			b.WriteString(words[rng.Intn(len(words))])
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteString("</body></html>")
+	return []byte(b.String())
+}
+
+// mutate applies a few random edits (insert/delete/replace spans) to
+// doc, simulating dynamic-HTML churn between visits.
+func mutate(rng *rand.Rand, doc []byte) []byte {
+	out := append([]byte(nil), doc...)
+	edits := 1 + rng.Intn(4)
+	for i := 0; i < edits; i++ {
+		if len(out) == 0 {
+			out = append(out, htmlish(rng, 1)...)
+			continue
+		}
+		pos := rng.Intn(len(out))
+		switch rng.Intn(3) {
+		case 0: // insert
+			ins := htmlish(rng, 1+rng.Intn(2))
+			out = append(out[:pos], append(ins, out[pos:]...)...)
+		case 1: // delete
+			end := pos + rng.Intn(len(out)-pos)
+			out = append(out[:pos], out[end:]...)
+		default: // replace
+			end := pos + rng.Intn(len(out)-pos)
+			rep := htmlish(rng, 1)
+			out = append(out[:pos], append(rep, out[end:]...)...)
+		}
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	cases := []struct{ name, base, target string }{
+		{"identical", "<html>hello</html>", "<html>hello</html>"},
+		{"empty-both", "", ""},
+		{"empty-base", "", "<html>new</html>"},
+		{"empty-target", "<html>old</html>", ""},
+		{"disjoint", "aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb"},
+		{"prefix-shared", strings.Repeat("<p>x</p>", 50), strings.Repeat("<p>x</p>", 50) + "<p>new</p>"},
+		{"middle-edit", strings.Repeat("a", 200) + "OLD" + strings.Repeat("b", 200),
+			strings.Repeat("a", 200) + "NEWER" + strings.Repeat("b", 200)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			patch := Diff([]byte(tc.base), []byte(tc.target))
+			got, err := Apply([]byte(tc.base), patch)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if !bytes.Equal(got, []byte(tc.target)) {
+				t.Fatalf("round trip mismatch: got %q want %q", got, tc.target)
+			}
+		})
+	}
+}
+
+// TestRoundTripProperty is the quick-check style property test from the
+// issue: for arbitrary base/target HTML pairs, Apply(base, Diff(base,
+// target)) == target.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		base := htmlish(rng, rng.Intn(20))
+		var target []byte
+		switch i % 3 {
+		case 0:
+			target = mutate(rng, base) // related documents
+		case 1:
+			target = htmlish(rng, rng.Intn(20)) // unrelated
+		default:
+			target = append([]byte(nil), base...) // identical
+		}
+		patch := Diff(base, target)
+		got, err := Apply(base, patch)
+		if err != nil {
+			t.Fatalf("iter %d: Apply: %v", i, err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatalf("iter %d: round trip mismatch (base %d, target %d bytes)", i, len(base), len(target))
+		}
+	}
+}
+
+func TestDiffCompressesSimilarDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := htmlish(rng, 60)
+	target := mutate(rng, base)
+	patch := Diff(base, target)
+	if len(patch) >= len(target) {
+		t.Fatalf("patch (%d bytes) not smaller than target (%d bytes) for similar docs", len(patch), len(target))
+	}
+}
+
+// TestApplyRejectsTruncation cuts a valid patch at every length and
+// requires Apply to fail on each proper prefix — the same failure mode
+// ChaosOrigin's mid-body truncation fault produces.
+func TestApplyRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := htmlish(rng, 30)
+	target := mutate(rng, base)
+	patch := Diff(base, target)
+	for cut := 0; cut < len(patch); cut++ {
+		if _, err := Apply(base, patch[:cut]); err == nil {
+			t.Fatalf("Apply accepted a %d/%d-byte prefix", cut, len(patch))
+		}
+	}
+}
+
+// TestApplyRejectsCorruption flips one byte at every position; the CRC32
+// framing must catch all single-byte corruptions.
+func TestApplyRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := htmlish(rng, 20)
+	target := mutate(rng, base)
+	patch := Diff(base, target)
+	for pos := 0; pos < len(patch); pos++ {
+		bad := append([]byte(nil), patch...)
+		bad[pos] ^= 0x5a
+		got, err := Apply(base, bad)
+		if err == nil && !bytes.Equal(got, target) {
+			t.Fatalf("corruption at byte %d produced garbage without error", pos)
+		}
+	}
+}
+
+func TestApplyRejectsWrongBase(t *testing.T) {
+	base := []byte(strings.Repeat("<p>base</p>", 20))
+	target := []byte(strings.Repeat("<p>base</p>", 19) + "<p>edit</p>")
+	patch := Diff(base, target)
+
+	if _, err := Apply([]byte("something else entirely"), patch); err == nil {
+		t.Fatal("Apply accepted a patch against the wrong base (length mismatch)")
+	}
+	// Same length, different content: caught by the base checksum.
+	wrong := append([]byte(nil), base...)
+	wrong[0] ^= 0xff
+	if _, err := Apply(wrong, patch); err == nil {
+		t.Fatal("Apply accepted a patch against a same-length wrong base")
+	}
+}
+
+func TestApplyRejectsGarbage(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, []byte("x"), []byte("CCD"), []byte("CCD2aaaaaaaaaaaa"), []byte("CCD1")} {
+		if _, err := Apply([]byte("base"), in); err == nil {
+			t.Fatalf("Apply accepted garbage %q", in)
+		}
+	}
+}

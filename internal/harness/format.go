@@ -96,6 +96,30 @@ func CoverageTable(rows []CoverageRow) string {
 	return b.String()
 }
 
+// MatrixTable renders the scheme × condition matrix, one block per network
+// condition: the Figure-3-style per-scheme comparison the conformance
+// suite pins with a golden file. Positive Δ means faster than the
+// conventional scheme in the same condition.
+func MatrixTable(r *MatrixResult) string {
+	var b strings.Builder
+	b.WriteString("scheme matrix: warm revisits, averaged over sites x delays\n")
+	for _, row := range r.Cells {
+		if len(row) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[%s]\n", row[0].Cond)
+		w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "scheme\tcold PLT\twarm PLT\twarm FCP\twarm KB\twarm reqs\terrs\tΔ vs conv")
+		for _, c := range row {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\t%.1f\t%.1f\t%+.1f%%\n",
+				c.Scheme, msDur(c.MeanColdPLT), msDur(c.MeanWarmPLT), msDur(c.MeanWarmFCP),
+				c.MeanWarmBytes/1024, c.MeanWarmRequests, c.MeanErrors, c.VsConventionalPct)
+		}
+		w.Flush()
+	}
+	return b.String()
+}
+
 // shortDur renders durations the way the paper labels delays (1m, 1h, 6h,
 // 1d, 1w).
 func shortDur(d time.Duration) string {

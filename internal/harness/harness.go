@@ -40,6 +40,19 @@ const (
 	SchemeServerPush
 	// SchemeRDR is a remote-dependency-resolution proxy.
 	SchemeRDR
+	// SchemeEarlyHints is the conventional client consuming 103 Early
+	// Hints: the server advertises the page's subresources as preload
+	// links delivered ahead of the HTML body.
+	SchemeEarlyHints
+	// SchemeCatalystDelta is catalyst+record plus delta-encoded
+	// navigations: stale page revisits transfer a CCD1 patch against the
+	// client's cached copy instead of the full document.
+	SchemeCatalystDelta
+	// SchemeNegativeCache is catalyst+record plus client-side negative
+	// caching: complete 404s are answered locally within NegativeTTL, and
+	// the X-Etag-Config map evicts a cached 404 the moment the resource
+	// appears.
+	SchemeNegativeCache
 )
 
 func (s Scheme) String() string {
@@ -56,6 +69,12 @@ func (s Scheme) String() string {
 		return "server-push"
 	case SchemeRDR:
 		return "rdr-proxy"
+	case SchemeEarlyHints:
+		return "early-hints"
+	case SchemeCatalystDelta:
+		return "catalyst-delta"
+	case SchemeNegativeCache:
+		return "negative-cache"
 	}
 	return "unknown"
 }
@@ -64,7 +83,19 @@ func (s Scheme) String() string {
 var AllSchemes = []Scheme{
 	SchemeConventional, SchemeCatalyst, SchemeCatalystRecord,
 	SchemeCatalystFull, SchemeServerPush, SchemeRDR,
+	SchemeEarlyHints, SchemeCatalystDelta, SchemeNegativeCache,
 }
+
+// MatrixSchemes are the six schemes of the conformance matrix, in
+// reporting order.
+var MatrixSchemes = []Scheme{
+	SchemeConventional, SchemeCatalyst, SchemeServerPush,
+	SchemeEarlyHints, SchemeCatalystDelta, SchemeNegativeCache,
+}
+
+// NegativeTTL is the client-side negative-caching lifetime used by
+// SchemeNegativeCache.
+const NegativeTTL = time.Hour
 
 // RDRProxyThink is the per-request origin-side processing charged under
 // SchemeRDR, standing in for the proxy's dependency resolution over its
@@ -131,6 +162,26 @@ func NewWorld(p webgen.Params, siteIndex int, scheme Scheme, transport netsim.Tr
 		mode = browser.Bundled
 		wrap = func(o netsim.Origin) netsim.Origin { return baselines.NewBundleOrigin(o, baselines.RDR) }
 		transport.ServerThink += RDRProxyThink
+	case SchemeEarlyHints:
+		srvOpts.EarlyHints = true
+		mode = browser.EarlyHints
+	case SchemeCatalystDelta:
+		srvOpts.Catalyst = true
+		srvOpts.Record = true
+		srvOpts.Delta = true
+		mode = browser.Catalyst
+	case SchemeNegativeCache:
+		srvOpts.Catalyst = true
+		srvOpts.Record = true
+		mode = browser.Catalyst
+	}
+
+	b := browser.New(clock, mode, transport)
+	switch scheme {
+	case SchemeCatalystDelta:
+		b.WithDelta()
+	case SchemeNegativeCache:
+		b.WithNegativeCache(NegativeTTL)
 	}
 
 	srv := server.New(site.Content(), srvOpts)
@@ -139,7 +190,7 @@ func NewWorld(p webgen.Params, siteIndex int, scheme Scheme, transport netsim.Tr
 		Scheme:  scheme,
 		Site:    site,
 		Clock:   clock,
-		Browser: browser.New(clock, mode, transport),
+		Browser: b,
 		Origins: browser.OriginMap{
 			site.Host:    wrap(server.NewOrigin(srv)),
 			site.CDNHost: server.NewOrigin(cdn),

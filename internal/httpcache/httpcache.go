@@ -90,6 +90,12 @@ type Entry struct {
 	ResponseTime time.Time
 	// CC is the parsed Cache-Control of the stored response.
 	CC headers.CacheControl
+	// Negative marks a cached error response (a 404) stored under the
+	// negative-caching scheme. Negative entries are served Fresh within
+	// Options.NegativeTTL and then deleted outright — they are never
+	// Stale, so they carry no validator and cannot be resurrected by a
+	// conditional request or stale-if-error once expired.
+	Negative bool
 	// varyValues captures the request header values named by the
 	// response's Vary field at store time (lowercased name → value), for
 	// the RFC 9111 §4.1 secondary-key match. This cache stores one
@@ -122,6 +128,13 @@ type Options struct {
 	// Size-aware policies model proxy/CDN caches facing the same RFC 9111
 	// freshness rules with very mixed object sizes.
 	Policy cachestore.Policy
+	// NegativeTTL, when positive, enables negative caching: complete,
+	// storable 404 responses are kept and served Fresh for this long,
+	// saving the round trip that repeatedly re-discovers a missing
+	// resource. Expired negative entries are deleted (Miss), never
+	// validated, so a resource that has since appeared ("flip to 200")
+	// is fetched in full.
+	NegativeTTL time.Duration
 	// HeuristicFraction is the fraction of (Date − Last-Modified) used as
 	// the freshness lifetime when the response carries no explicit
 	// expiration (RFC 9111 §4.2.2 suggests 10%). Zero selects the default.
@@ -149,7 +162,7 @@ type Cache struct {
 
 	// Counters for experiment reporting — shared storage with any
 	// registry passed in Options.Telemetry.
-	hits, misses, validations, evictions telemetry.Counter
+	hits, misses, validations, evictions, negativeHits telemetry.Counter
 }
 
 // CacheStats is a snapshot of a Cache's counters.
@@ -160,15 +173,19 @@ type CacheStats struct {
 	// Validations counts stale lookups that required a conditional
 	// request; Evictions counts entries removed by the byte budget.
 	Validations, Evictions int64
+	// NegativeHits counts Fresh lookups answered by a cached 404
+	// (a subset of Hits).
+	NegativeHits int64
 }
 
 // Stats returns a snapshot of the cache's counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Validations: c.validations.Load(),
-		Evictions:   c.evictions.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Validations:  c.validations.Load(),
+		Evictions:    c.evictions.Load(),
+		NegativeHits: c.negativeHits.Load(),
 	}
 }
 
@@ -197,6 +214,7 @@ func New(clock vclock.Clock, opts Options) *Cache {
 		opts.Telemetry.RegisterCounter(name+".misses", &c.misses)
 		opts.Telemetry.RegisterCounter(name+".validations", &c.validations)
 		opts.Telemetry.RegisterCounter(name+".evictions", &c.evictions)
+		opts.Telemetry.RegisterCounter(name+".negative_hits", &c.negativeHits)
 	}
 	return c
 }
@@ -230,8 +248,12 @@ func (c *Cache) Put(url string, resp *Response, requestTime, responseTime time.T
 // PutWithRequest stores a response along with the request header values its
 // Vary field names, enabling the secondary-key check on later lookups.
 func (c *Cache) PutWithRequest(url string, reqHeader http.Header, resp *Response, requestTime, responseTime time.Time) {
+	negative := false
 	if !Storable(resp) {
-		return
+		if !c.storableNegative(resp) {
+			return
+		}
+		negative = true
 	}
 	e := &Entry{
 		URL:          url,
@@ -239,9 +261,21 @@ func (c *Cache) PutWithRequest(url string, reqHeader http.Header, resp *Response
 		RequestTime:  requestTime,
 		ResponseTime: responseTime,
 		CC:           headers.ParseCacheControl(resp.Header.Get("Cache-Control")),
+		Negative:     negative,
 		varyValues:   varyValues(resp.Header.Get("Vary"), reqHeader),
 	}
 	c.store.Put(url, e)
+}
+
+// storableNegative reports whether a non-storable response qualifies for
+// negative caching: the feature is enabled, the status is exactly 404,
+// the body is complete, and the origin did not forbid storage.
+func (c *Cache) storableNegative(resp *Response) bool {
+	if c.opts.NegativeTTL <= 0 || resp.StatusCode != http.StatusNotFound || resp.Truncated {
+		return false
+	}
+	cc := headers.ParseCacheControl(resp.Header.Get("Cache-Control"))
+	return !cc.NoStore
 }
 
 // varyValues snapshots the request header values named by a Vary field.
@@ -284,6 +318,20 @@ func (c *Cache) Get(url string) (*Entry, State) {
 func (c *Cache) GetWithRequest(url string, reqHeader http.Header) (*Entry, State) {
 	e, ok := c.store.Get(url)
 	if !ok {
+		c.misses.Add(1)
+		return nil, Miss
+	}
+	if e.Negative {
+		// Negative entries are either Fresh (within the TTL) or gone:
+		// they never become Stale, because a 404 carries no validator
+		// worth revalidating and must not be resurrected by
+		// stale-if-error once it may have flipped to 200.
+		if c.clock.Now().Sub(e.ResponseTime) < c.opts.NegativeTTL {
+			c.hits.Add(1)
+			c.negativeHits.Add(1)
+			return e, Fresh
+		}
+		c.store.Delete(url)
 		c.misses.Add(1)
 		return nil, Miss
 	}

@@ -162,6 +162,9 @@ type pendingFetch struct {
 	req  *Request
 	done func(FetchResult)
 	t0   time.Duration
+	// onHints, when set, receives a clone of the response headers early —
+	// the 103 Early Hints model. See Endpoint.FetchWithHints.
+	onHints func(http.Header)
 }
 
 type simConn struct {
@@ -190,7 +193,19 @@ func (e *Endpoint) Stats() Stats { return e.stats }
 // arrived. Under H2, concurrent fetches multiplex over one connection; under
 // HTTP/1.1 they queue for up to MaxConns parallel connections.
 func (e *Endpoint) Fetch(req *Request, done func(FetchResult)) {
-	p := &pendingFetch{req: req, done: done, t0: e.sim.Now()}
+	e.FetchWithHints(req, nil, done)
+}
+
+// FetchWithHints is Fetch with an informational-response channel: when the
+// origin's response carries Link headers and onHints is non-nil, a small
+// 103 Early Hints interim response is modelled on the downlink and onHints
+// runs with a clone of the response headers as soon as it propagates —
+// ahead of the (typically much larger) final response body. The model is
+// conservative: the hints leave after origin processing, so they beat the
+// body by its serialization time rather than the server think time a real
+// 103 (sent before the handler runs) can also save.
+func (e *Endpoint) FetchWithHints(req *Request, onHints func(http.Header), done func(FetchResult)) {
+	p := &pendingFetch{req: req, done: done, t0: e.sim.Now(), onHints: onHints}
 	if e.opts.H2 {
 		e.fetchH2(p)
 		return
@@ -284,6 +299,18 @@ func (e *Endpoint) roundTrip(c *simConn, p *pendingFetch, isNew bool, after func
 			respBytes := ResponseWireSize(resp)
 			e.stats.BytesDown += respBytes
 			e.stats.ResponseBytes += int64(len(resp.Body))
+			if p.onHints != nil {
+				if links := resp.Header.Values("Link"); len(links) > 0 {
+					hintBytes := earlyHintsWireSize(links)
+					e.stats.BytesDown += hintBytes
+					hdr := resp.Header.Clone()
+					e.down.Start(hintBytes, func() {
+						e.sim.After(e.cond.RTT/2, func() {
+							p.onHints(hdr)
+						})
+					})
+				}
+			}
 			var drain time.Duration
 			if d, ok := e.origin.(Draining); ok {
 				drain = d.DrainFor(p.req, resp)
@@ -357,6 +384,16 @@ func ResponseWireSize(resp *httpcache.Response) int64 {
 	n := int64(len("HTTP/1.1 200 OK\r\n"))
 	n += headerWireSize(resp.Header)
 	return n + 2 + int64(len(resp.Body))
+}
+
+// earlyHintsWireSize returns the serialized size of a 103 interim response
+// carrying the given Link header values.
+func earlyHintsWireSize(links []string) int64 {
+	n := int64(len("HTTP/1.1 103 Early Hints\r\n"))
+	for _, v := range links {
+		n += int64(len("Link: ") + len(v) + len("\r\n"))
+	}
+	return n + 2
 }
 
 func headerWireSize(h http.Header) int64 {

@@ -8,6 +8,7 @@ import (
 
 	"cachecatalyst/internal/cachestore"
 	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/delta"
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
 	"cachecatalyst/internal/resilience"
@@ -68,6 +69,24 @@ type Options struct {
 	// is spent, so an overloaded server ships partial maps on time
 	// instead of complete maps late.
 	RequestBudget time.Duration
+	// EarlyHints advertises each HTML page's statically extractable
+	// subresources as "Link: <url>; rel=preload" response headers — the
+	// content of a 103 Early Hints interim response. The simulator's
+	// transport (netsim.FetchWithHints) models the interim response
+	// racing ahead of the HTML body; on real sockets a front-end would
+	// translate the headers into an actual 103. Works with or without
+	// Catalyst.
+	EarlyHints bool
+	// Delta enables delta-encoded HTML (the catalyst-delta scheme): when
+	// a request names a previous page version in X-Delta-Base and that
+	// version's body is still in the delta base cache, the server
+	// responds with a CCD1 patch (internal/delta) instead of the full
+	// body, marked by X-Delta-From. Requires Catalyst (the scheme patches
+	// the SW-cached copy).
+	Delta bool
+	// MaxDeltaBytes bounds the delta base cache (previous page bodies
+	// kept for diffing). Zero selects 8 MiB.
+	MaxDeltaBytes int64
 }
 
 // Metrics counts server activity. All fields are atomic telemetry
@@ -85,18 +104,27 @@ type Metrics struct {
 	// MapSheds counts HTML responses served without a map because the
 	// resolution gate (Options.MaxInflight) refused a slot in time.
 	MapSheds telemetry.Counter
+	// HintsSent counts responses that carried Link preload headers
+	// (Options.EarlyHints).
+	HintsSent telemetry.Counter
+	// DeltasServed counts HTML responses answered with a CCD1 patch
+	// instead of the full body; DeltaBytesSaved accumulates the size
+	// difference (full body minus patch).
+	DeltasServed    telemetry.Counter
+	DeltaBytesSaved telemetry.Counter
 }
 
 // Server is the web server under study. It implements http.Handler.
 type Server struct {
-	content  Content
-	opts     Options
-	recorder *Recorder
-	access   *accessLog
-	renders  *cachestore.Store[*pageRender] // nil when disabled
-	mapGate  *resilience.Gate               // map-resolution admission; nil when disabled
-	serveNS  *telemetry.Histogram           // nil without telemetry
-	Metrics  Metrics
+	content    Content
+	opts       Options
+	recorder   *Recorder
+	access     *accessLog
+	renders    *cachestore.Store[*pageRender] // nil when disabled
+	deltaBases *cachestore.Store[[]byte]      // previous page bodies; nil unless Options.Delta
+	mapGate    *resilience.Gate               // map-resolution admission; nil when disabled
+	serveNS    *telemetry.Histogram           // nil without telemetry
+	Metrics    Metrics
 }
 
 // New returns a server over content.
@@ -129,6 +157,18 @@ func New(content Content, opts Options) *Server {
 			Name:      "server.renders",
 		})
 	}
+	if opts.Catalyst && opts.Delta {
+		maxDelta := opts.MaxDeltaBytes
+		if maxDelta == 0 {
+			maxDelta = 8 << 20
+		}
+		s.deltaBases = cachestore.New[[]byte](cachestore.Options[[]byte]{
+			MaxBytes:  maxDelta,
+			SizeOf:    func(key string, b []byte) int64 { return int64(len(key) + len(b)) },
+			Telemetry: opts.Telemetry,
+			Name:      "server.delta_bases",
+		})
+	}
 	if opts.MaxInflight > 0 {
 		s.mapGate = resilience.NewGate(resilience.GateOptions{
 			MaxInflight:  opts.MaxInflight,
@@ -145,6 +185,9 @@ func New(content Content, opts Options) *Server {
 		opts.Telemetry.RegisterCounter("server.maps_built", &s.Metrics.MapsBuilt)
 		opts.Telemetry.RegisterCounter("server.map_bytes", &s.Metrics.MapBytes)
 		opts.Telemetry.RegisterCounter("server.map_sheds", &s.Metrics.MapSheds)
+		opts.Telemetry.RegisterCounter("server.hints_sent", &s.Metrics.HintsSent)
+		opts.Telemetry.RegisterCounter("server.deltas_served", &s.Metrics.DeltasServed)
+		opts.Telemetry.RegisterCounter("server.delta_bytes_saved", &s.Metrics.DeltaBytesSaved)
 		s.serveNS = opts.Telemetry.Histogram("server.serve_ns")
 	}
 	return s
@@ -231,10 +274,36 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sessionID = s.recorder.SessionID(w, r)
 	}
 
+	// deltaBase holds the previous page body a patch may be computed
+	// against; set only when the client named a base we still have.
+	var deltaBase []byte
+	deltaFrom := ""
+
+	if isHTML := IsHTML(res.ContentType); s.opts.EarlyHints && isHTML {
+		var refs []core.Ref
+		if s.opts.Catalyst {
+			refs = s.renderPage(p, res).refs
+		} else {
+			refs = core.ExtractPageRefs(p, string(res.Body))
+		}
+		if s.emitPreloadHints(h, refs) {
+			s.Metrics.HintsSent.Add(1)
+			decide("hints", p)
+		}
+	}
+
 	if s.opts.Catalyst && IsHTML(res.ContentType) {
 		pr := s.renderPage(p, res)
 		body = pr.body
 		tag = pr.tag
+		if s.deltaBases != nil {
+			s.deltaBases.Put(p+"\x00"+tag.String(), body)
+			if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != tag.String() {
+				if base, okB := s.deltaBases.Get(p + "\x00" + baseTag); okB {
+					deltaBase, deltaFrom = base, baseTag
+				}
+			}
+		}
 		// The resolve phase is the only stage with fan-out amplification,
 		// so it alone is gated: a refused request ships its HTML without
 		// the map rather than queueing behind a saturated resolver.
@@ -266,6 +335,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if deltaBase != nil {
+		// The diff is computed only on the 200 path: a 304 (the client's
+		// validator still matches) never needs one.
+		if patch := delta.Diff(deltaBase, body); len(patch) < len(body) {
+			s.Metrics.DeltasServed.Add(1)
+			s.Metrics.DeltaBytesSaved.Add(int64(len(body) - len(patch)))
+			h.Set(delta.FromHeader, deltaFrom)
+			decide("delta", p)
+			body = patch
+		}
+	}
+
 	decide("network", p)
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
@@ -276,6 +357,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	n, _ := w.Write(body)
 	s.Metrics.BodyBytes.Add(int64(n))
 	s.logAccess(r, http.StatusOK, n, mapEntries)
+}
+
+// maxPreloadHints caps Link header emission per response: real 103
+// deployments hint the critical few, and an unbounded list would bloat
+// the interim response past its usefulness.
+const maxPreloadHints = 32
+
+// emitPreloadHints writes "Link: <url>; rel=preload; as=..." headers for
+// the page's statically extractable references. Reports whether any hint
+// was emitted.
+func (s *Server) emitPreloadHints(h http.Header, refs []core.Ref) bool {
+	n := 0
+	for _, ref := range refs {
+		if n >= maxPreloadHints {
+			break
+		}
+		as := "image"
+		if ref.CSS {
+			as = "style"
+		}
+		h.Add("Link", "<"+ref.Key+">; rel=preload; as="+as)
+		n++
+	}
+	return n > 0
 }
 
 // notModified evaluates the request's conditional headers per RFC 9110

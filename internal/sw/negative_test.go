@@ -1,0 +1,125 @@
+package sw
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/httpcache"
+	"cachecatalyst/internal/vclock"
+)
+
+func swResp404() *httpcache.Response {
+	return &httpcache.Response{
+		StatusCode: http.StatusNotFound,
+		Header:     http.Header{"Content-Type": {"text/plain"}},
+		Body:       []byte("404 page not found\n"),
+	}
+}
+
+func newNegativeWorker(ttl time.Duration) (*Worker, *vclock.Virtual) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	return NewWorker().WithNegativeCache(ttl, clk), clk
+}
+
+func TestWorkerNegativeHitWithinTTL(t *testing.T) {
+	w, clk := newNegativeWorker(time.Hour)
+	w.OnSubresourceResponse("/missing.png", swResp404())
+
+	clk.Advance(30 * time.Minute)
+	got, ok := w.HandleFetch("/missing.png")
+	if !ok || got.StatusCode != http.StatusNotFound {
+		t.Fatalf("HandleFetch = %+v, %v; want local 404", got, ok)
+	}
+	st := w.Stats()
+	if st.NegativeHits != 1 || st.NetworkFetches != 0 {
+		t.Fatalf("stats = %+v, want 1 negative hit and no network", st)
+	}
+}
+
+func TestWorkerNegativeExpiry(t *testing.T) {
+	w, clk := newNegativeWorker(time.Hour)
+	w.OnSubresourceResponse("/missing.png", swResp404())
+
+	clk.Advance(2 * time.Hour)
+	if _, ok := w.HandleFetch("/missing.png"); ok {
+		t.Fatal("expired negative entry still served locally")
+	}
+	st := w.Stats()
+	if st.NegativeHits != 0 || st.NetworkFetches != 1 {
+		t.Fatalf("stats = %+v, want network fetch after expiry", st)
+	}
+}
+
+// TestWorkerNegativeFlipVia200: a 200 arriving for a remembered-404 path
+// (e.g. after the expiry forced a refetch, or any other code path that
+// reaches the origin) must clear the negative entry immediately.
+func TestWorkerNegativeFlipVia200(t *testing.T) {
+	w, _ := newNegativeWorker(time.Hour)
+	w.OnSubresourceResponse("/late.css", swResp404())
+
+	w.OnSubresourceResponse("/late.css", resp("v1", "body { }", nil))
+	got, ok := w.HandleFetch("/late.css")
+	if ok && got.StatusCode == http.StatusNotFound {
+		t.Fatal("negative entry survived a 200 response")
+	}
+	if st := w.Stats(); st.NegativeEvictions != 1 {
+		t.Fatalf("NegativeEvictions = %d, want 1", st.NegativeEvictions)
+	}
+}
+
+// TestWorkerNegativeFlipViaMap is the catalyst-flavoured flip-to-200
+// invalidation: a navigation's proactive ETag map lists every live
+// resource, so a remembered 404 whose path appears in the map is provably
+// wrong and must be dropped — even though its TTL has not expired.
+func TestWorkerNegativeFlipViaMap(t *testing.T) {
+	w, clk := newNegativeWorker(time.Hour)
+	w.OnSubresourceResponse("/late.css", swResp404())
+	w.OnSubresourceResponse("/other.png", swResp404())
+
+	clk.Advance(5 * time.Minute)
+	w.OnNavigationResponse(navResp(core.ETagMap{"/late.css": {Opaque: "v1"}}))
+
+	// /late.css was invalidated by the map; the next fetch goes to the
+	// network and gets the real resource.
+	if _, ok := w.HandleFetch("/late.css"); ok {
+		t.Fatal("map-listed negative entry still served locally")
+	}
+	// /other.png is not in the map, so its negative entry stands.
+	if got, ok := w.HandleFetch("/other.png"); !ok || got.StatusCode != http.StatusNotFound {
+		t.Fatalf("unrelated negative entry lost: %+v, %v", got, ok)
+	}
+	st := w.Stats()
+	if st.NegativeEvictions != 1 {
+		t.Fatalf("NegativeEvictions = %d, want 1", st.NegativeEvictions)
+	}
+}
+
+func TestWorkerNegativeIgnoresTruncated404(t *testing.T) {
+	w, _ := newNegativeWorker(time.Hour)
+	tr := swResp404()
+	tr.Truncated = true
+	w.OnSubresourceResponse("/x", tr)
+	if _, ok := w.HandleFetch("/x"); ok {
+		t.Fatal("truncated 404 was negative-cached")
+	}
+}
+
+func TestWorkerNegativeDisabledByDefault(t *testing.T) {
+	w := NewWorker()
+	w.OnSubresourceResponse("/missing.png", swResp404())
+	if _, ok := w.HandleFetch("/missing.png"); ok {
+		t.Fatal("negative caching active without WithNegativeCache")
+	}
+}
+
+func TestRegistryWiresNegativeCache(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	r := NewRegistry().WithNegativeCache(time.Hour, clk)
+	w := r.Register("site.example")
+	w.OnSubresourceResponse("/missing.png", swResp404())
+	if _, ok := w.HandleFetch("/missing.png"); !ok {
+		t.Fatal("registry-installed worker did not negative-cache")
+	}
+}

@@ -1,0 +1,72 @@
+package webgen
+
+import (
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/server"
+	"cachecatalyst/internal/vclock"
+)
+
+// brokenPaths returns the paths of resources gated behind appearsAfter.
+func brokenPaths(s *Site) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for path, spec := range s.specs {
+		if spec.appearsAfter > 0 {
+			out[path] = spec.appearsAfter
+		}
+	}
+	return out
+}
+
+func TestBrokenFracResourcesAppearLater(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	site := GenerateOne(Params{Sites: 1, Seed: 3, Scale: 1.0, BrokenFrac: 0.5}, 0, clk)
+
+	broken := brokenPaths(site)
+	if len(broken) == 0 {
+		t.Fatal("BrokenFrac 0.5 produced no broken resources")
+	}
+	main, cdn := site.Content(), site.CDNContent()
+	view := func(path string) server.Content {
+		if site.specs[path].crossOrigin {
+			return cdn
+		}
+		return main
+	}
+	for path, delay := range broken {
+		if _, ok := view(path).Get(path); ok {
+			t.Fatalf("%s served before its appearance delay %v", path, delay)
+		}
+	}
+
+	// Past the longest delay every broken resource has flipped to 200.
+	clk.Advance(appearDelays[len(appearDelays)-1] + time.Minute)
+	for path := range broken {
+		res, ok := view(path).Get(path)
+		if !ok || len(res.Body) == 0 {
+			t.Fatalf("%s still missing after all appearance delays", path)
+		}
+	}
+}
+
+// TestBrokenFracZeroKeepsCorpusIdentical guards the rng-draw ordering:
+// enabling-then-disabling the feature must not shift any other draw, so a
+// zero BrokenFrac corpus is identical to one generated before the feature
+// existed (represented here by the default params).
+func TestBrokenFracZeroKeepsCorpusIdentical(t *testing.T) {
+	a := GenerateOne(Params{Sites: 1, Seed: 9, Scale: 0.5}, 0, vclock.NewVirtual(vclock.Epoch))
+	b := GenerateOne(Params{Sites: 1, Seed: 9, Scale: 0.5, BrokenFrac: 0}, 0, vclock.NewVirtual(vclock.Epoch))
+	if len(a.specs) != len(b.specs) {
+		t.Fatalf("spec counts differ: %d vs %d", len(a.specs), len(b.specs))
+	}
+	for path, sa := range a.specs {
+		sb, ok := b.specs[path]
+		if !ok {
+			t.Fatalf("path %s missing with BrokenFrac=0", path)
+		}
+		if sa.size != sb.size || sa.period != sb.period || sa.phase != sb.phase || sa.crossOrigin != sb.crossOrigin {
+			t.Fatalf("spec %s differs: %+v vs %+v", path, sa, sb)
+		}
+	}
+}

@@ -48,6 +48,10 @@ type resourceSpec struct {
 	// (?v=N) with an immutable TTL — the manual cache-busting best
 	// practice. Their reference in HTML changes when they do.
 	fingerprinted bool
+	// appearsAfter, when positive, makes the resource 404 until that long
+	// after the site epoch — a reference deployed before its asset
+	// (Params.BrokenFrac). The flip to 200 happens as the clock advances.
+	appearsAfter time.Duration
 }
 
 // Site is one generated website. It exposes two server.Content views: the
@@ -151,6 +155,11 @@ func (s *Site) get(path string) (*server.Resource, bool) {
 		return nil, false
 	}
 	now := s.clock.Now()
+	if spec.appearsAfter > 0 && now.Before(s.epoch.Add(spec.appearsAfter)) {
+		// Referenced but not yet deployed: the server 404s until the
+		// asset appears.
+		return nil, false
+	}
 	v := s.version(spec, now)
 	if spec.kind == htmlparse.KindDocument {
 		// The page's bytes embed the current ?v= stamps of fingerprinted

@@ -76,6 +76,13 @@ type Params struct {
 	// paper's win assumes today's header misconfiguration. Default 0
 	// (matching the measured-pathology calibration); negative is 0.
 	FingerprintFrac float64
+	// BrokenFrac is the fraction of HTML-referenced images that 404 for a
+	// while after generation — the page references them before the asset
+	// deploy lands, the pathology negative caching targets. A broken
+	// resource "appears" (flips to 200) at a per-resource delay after the
+	// site epoch. Default 0; negative is 0. Zero draws no extra rng values,
+	// so existing corpora are byte-identical.
+	BrokenFrac float64
 }
 
 // profileShape holds the per-profile count ranges and size multiplier.
@@ -111,6 +118,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.FingerprintFrac < 0 {
 		p.FingerprintFrac = 0
+	}
+	if p.BrokenFrac < 0 {
+		p.BrokenFrac = 0
 	}
 	return p
 }
@@ -149,6 +159,12 @@ func GenerateOne(p Params, index int, clock vclock.Clock) *Site {
 func generateOne(p Params, index int, clock vclock.Clock) *Site {
 	rng := rand.New(rand.NewSource(p.Seed + int64(index)*7919))
 	return generateSite(index, p, rng, clock, clock.Now())
+}
+
+// appearDelays are the possible deploy lags for BrokenFrac resources:
+// how long after the site epoch a broken reference flips to 200.
+var appearDelays = []time.Duration{
+	30 * time.Minute, 2 * time.Hour, 12 * time.Hour, 48 * time.Hour,
 }
 
 // scaled draws lo + rng.Intn(hi-lo+1), scaled.
@@ -268,6 +284,11 @@ func generateSite(index int, p Params, rng *rand.Rand, clock vclock.Clock, epoch
 		case i < nImg*60/100:
 			if rng.Float64() < p.CrossOriginFrac {
 				img.crossOrigin = true
+			}
+			// Guarded so a zero BrokenFrac draws nothing: existing seeds
+			// must keep producing byte-identical corpora.
+			if p.BrokenFrac > 0 && rng.Float64() < p.BrokenFrac {
+				img.appearsAfter = appearDelays[rng.Intn(len(appearDelays))]
 			}
 			htmlImgs = append(htmlImgs, img)
 		case i < nImg*75/100:
