@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz chaos bench benchdiff cover cachesim schemes
+.PHONY: verify build test race vet fuzz chaos bench benchdiff cover cachesim schemes loadgen
 
 verify: vet build race
 
@@ -55,7 +55,7 @@ cachesim:
 BENCH_FILE ?= BENCH_$(shell date +%F).json
 bench:
 	$(GO) test -json -run '^$$' -bench . -benchtime 1s -count 6 \
-		./catalyst/ ./internal/cachestore/ > $(BENCH_FILE)
+		./catalyst/ ./internal/cachestore/ ./internal/server/ > $(BENCH_FILE)
 	@echo "wrote $(BENCH_FILE)"
 
 # Run the benchmark sweep and compare it against the newest committed
@@ -73,6 +73,15 @@ benchdiff:
 	echo "baseline: $$base"; \
 	$(MAKE) bench BENCH_FILE=BENCH_head.json && \
 	$(GO) run ./cmd/benchdiff -tolerance $(BENCH_TOLERANCE) "$$base" BENCH_head.json
+
+# Socket-level load smoke: drive the in-process demo site closed-loop over
+# real loopback sockets for a couple of seconds and emit both the JSON
+# artifact and a benchdiff-compatible bench stream. loadgen exits non-zero
+# when no request succeeds, so this doubles as an end-to-end serving-path
+# check. See EXPERIMENTS.md, "Socket-level load generation".
+loadgen:
+	$(GO) run ./cmd/loadgen -self -c 8 -duration 2s \
+		-json loadgen.json -bench loadgen.bench.json
 
 # Coverage with a floor so the suite cannot silently shed coverage. The
 # floor trails the measured total (80.9% when set) by a safety margin;

@@ -172,6 +172,28 @@ func BenchmarkMiddlewareHTML50(b *testing.B) {
 	b.Run("Gated", func(b *testing.B) { bench(b, MiddlewareOptions{MaxInflight: 256}) })
 }
 
+// BenchmarkMiddlewareWarmHit isolates the middleware's own warm-hit cost:
+// request and writer are reused across iterations, so — unlike HTML50,
+// whose figures include ~2.4µs of httptest request construction per op —
+// what remains is the serve itself. The tentpole bar is ≤1 alloc/op here:
+// a fully-warm unchanged page runs the hot-index memcmp, reuses the cached
+// encoding, writes precomputed headers, and acquires no mutex (see
+// TestWarmGetTakesNoMutex in internal/cachestore for the store-level proof).
+func BenchmarkMiddlewareWarmHit(b *testing.B) {
+	h := Middleware(site50(0), MiddlewareOptions{ProbeTTL: time.Hour})
+	// Warm: first request fills probe + render caches, second pins the
+	// encoding against the stable probe generation.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	req := httptest.NewRequest("GET", "/", nil)
+	w := &discardWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
 // BenchmarkMiddlewareHTMLCold measures the first render of a ~50-subresource
 // page when every probe must actually run against an inner handler that
 // costs ~100µs per request — the cold-page latency the resolve fan-out
@@ -182,6 +204,7 @@ func BenchmarkMiddlewareHTMLCold(b *testing.B) {
 	const probeCost = 100 * time.Microsecond
 	bench := func(b *testing.B, concurrency int) {
 		inner := site50(probeCost)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			h := Middleware(inner, MiddlewareOptions{ProbeTTL: time.Hour, ProbeConcurrency: concurrency})

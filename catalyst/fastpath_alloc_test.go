@@ -1,0 +1,34 @@
+//go:build !race
+
+// The warm-path allocation pin lives behind !race: the race detector's
+// instrumentation allocates on its own, which would fail the ≤1 budget for
+// reasons unrelated to the serve path.
+
+package catalyst
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestWarmHitAllocations pins the warm fast lane's allocation budget: once
+// a page's render, hot pin, and map encoding are cached, a serve allocates
+// at most once — and that one is the inner handler's own Content-Type Set,
+// not the middleware's. Regressions here are exactly the per-request
+// garbage the fast-lane refactor removed (sniff buffers, header encodes,
+// span closures, request clones).
+func TestWarmHitAllocations(t *testing.T) {
+	h := Middleware(site50(0), MiddlewareOptions{ProbeTTL: time.Hour})
+	// First request warms probes + render + hot pin; second caches the
+	// encoding against the now-stable probe generation.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	req := httptest.NewRequest("GET", "/", nil)
+	w := &discardWriter{h: make(http.Header)}
+	h.ServeHTTP(w, req) // settle the writer pool and response header buckets
+	if n := testing.AllocsPerRun(200, func() { h.ServeHTTP(w, req) }); n > 1 {
+		t.Fatalf("warm hit allocates %.1f/op, want at most 1", n)
+	}
+}

@@ -244,6 +244,17 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 			Telemetry: opts.Telemetry,
 			Name:      "middleware.renders",
 		})
+		// The hot index rides in front of the render cache (hotRender), so
+		// it exists exactly when the render cache does and shares its
+		// budget scale: pinned raw bodies are a strict subset of what the
+		// render cache is willing to spend on injected ones.
+		m.hot = cachestore.New[*hotPage](cachestore.Options[*hotPage]{
+			MaxBytes:  opts.MaxRenderBytes,
+			SizeOf:    hotPageSize,
+			Policy:    opts.CachePolicy,
+			Telemetry: opts.Telemetry,
+			Name:      "middleware.hot",
+		})
 	}
 	if opts.StaleFor >= 0 {
 		maxStale := opts.MaxStaleBytes
@@ -303,7 +314,11 @@ type middleware struct {
 	opts    MiddlewareOptions
 	probes  *cachestore.Store[probe]
 	renders *cachestore.Store[*renderEntry] // nil when disabled
-	stales  *cachestore.Store[*staleEntry]  // last-known-good serves; nil when disabled
+	// hot maps page URL → most recent (raw body, render) pair: the warm
+	// fast lane's memcmp shortcut over renderKey's SHA-256 (see hotRender).
+	// nil exactly when renders is.
+	hot    *cachestore.Store[*hotPage]
+	stales *cachestore.Store[*staleEntry] // last-known-good serves; nil when disabled
 	// deltaBases retains recently served page bodies keyed by
 	// pageURL + "\x00" + validator, the diff bases for Options.Delta;
 	// nil when the feature is off.
@@ -330,8 +345,17 @@ type probe struct {
 	fails int
 }
 
-// workerScriptTag is the worker script's validator, hashed once at startup.
-var workerScriptTag = etag.ForBytes([]byte(core.ServiceWorkerScript))
+// workerScriptTag is the worker script's validator, hashed once at startup;
+// the wire forms next to it are precomputed for the same reason the render
+// entries precompute theirs — the worker script is requested by every
+// first-visit client, and re-rendering constants per request is pure waste.
+var (
+	workerScriptTag   = etag.ForBytes([]byte(core.ServiceWorkerScript))
+	workerScriptBytes = []byte(core.ServiceWorkerScript)
+	workerEtagHeader  = []string{workerScriptTag.String()}
+	workerCTypeHeader = []string{"text/javascript; charset=utf-8"}
+	workerNoCacheHdr  = []string{"no-cache"}
+)
 
 // serveInner runs the inner handler, converting a panic into a recovered
 // flag so one bad request handler can never take the whole server down.
@@ -349,15 +373,15 @@ func (m *middleware) serveInner(w http.ResponseWriter, r *http.Request) (panicke
 func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == WorkerPath && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
 		h := w.Header()
-		h.Set("Content-Type", "text/javascript; charset=utf-8")
-		h.Set("Cache-Control", "no-cache")
-		h.Set("Etag", workerScriptTag.String())
+		h["Content-Type"] = workerCTypeHeader
+		h["Cache-Control"] = workerNoCacheHdr
+		h["Etag"] = workerEtagHeader
 		if !etag.NoneMatch(r.Header.Get("If-None-Match"), workerScriptTag) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 		if r.Method != http.MethodHead {
-			_, _ = w.Write([]byte(WorkerScript))
+			_, _ = w.Write(workerScriptBytes)
 		}
 		return
 	}
@@ -407,12 +431,21 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// entity (the writer and the HTML path below re-apply them), and the
 	// writer streams everything that is not a 200 HTML page. A 5xx is
 	// held back when a stale substitute exists, so clients see the last
-	// good copy instead of the error.
+	// good copy instead of the error. The writer is pooled; nothing it
+	// owns survives past the end of this function (see sniffPool).
 	sw := newSniffWriter(w, r)
+	defer sw.release()
 	if m.stales != nil {
 		sw.staleOwner, sw.stalePage = m, pageURL
 	}
-	panicked := m.serveInner(sw, cloneWithoutConditionals(r))
+	// Cloning the request exists only to strip conditionals; the common
+	// unconditional request is served as-is (handlers must not mutate
+	// their request, so sharing is safe).
+	inner := r
+	if r.Header["If-None-Match"] != nil || r.Header["If-Modified-Since"] != nil {
+		inner = cloneWithoutConditionals(r)
+	}
+	panicked := m.serveInner(sw, inner)
 	if m.breaker != nil {
 		m.breaker.Record(!panicked && sw.status < http.StatusInternalServerError)
 	}
@@ -462,14 +495,28 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// The rendered-page cache keys on (page URL, raw body hash), so the
 	// parse → extract → inject → hash pipeline runs once per distinct
 	// content; probes stay per-request, so freshness is identical to
-	// rebuilding from scratch.
-	if m.htmlNS != nil {
-		htmlStart := time.Now()
-		defer func() { m.htmlNS.Observe(time.Since(htmlStart).Nanoseconds()) }()
+	// rebuilding from scratch. The histogram wraps the call rather than
+	// deferring a closure — a closure per request is exactly the kind of
+	// allocation this path exists to avoid.
+	if m.htmlNS == nil {
+		m.serveHTML(w, r, sw, pageURL)
+		return
 	}
-	ctx, endSpan := telemetry.StartSpan(r.Context(), "middleware")
-	defer endSpan()
-	ent := m.render(pageURL, sw.body())
+	htmlStart := time.Now()
+	m.serveHTML(w, r, sw, pageURL)
+	m.htmlNS.Observe(time.Since(htmlStart).Nanoseconds())
+}
+
+// serveHTML decorates and delivers a buffered 200 HTML entity: render (via
+// the warm fast lane), early hints, delta bases, map assembly or encoding
+// reuse, conditional answer, body. On a fully-warm unchanged page — hot
+// index hit, cached encoding still valid, no conditionals, no delta —
+// this function acquires no mutex and allocates nothing: every header
+// value it writes was precomputed when the render or encoding was cached.
+func (m *middleware) serveHTML(w http.ResponseWriter, r *http.Request, sw *sniffWriter, pageURL string) {
+	ctx, span := telemetry.BeginSpan(r.Context(), "middleware")
+	defer span.End()
+	ent := m.hotRender(pageURL, sw.body())
 
 	// Early hints go out the moment the reference list exists: the probe
 	// fan-out below is the serve's slow stage, and the 103 lets the client
@@ -480,16 +527,28 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Delta bases: every decorated serve retains its body under its
-	// validator; a request naming a retained base gets a patch below.
+	// validator (the lock-free Get doubles as the LRU promotion that
+	// keeps a hot base resident); a request naming a retained base gets
+	// a patch below.
 	var deltaBase []byte
 	deltaFrom := ""
 	if m.deltaBases != nil {
-		m.deltaBases.Put(pageURL+"\x00"+ent.tag.String(), []byte(ent.injected))
-		if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != ent.tag.String() {
+		if _, ok := m.deltaBases.Get(ent.deltaKey); !ok {
+			m.deltaBases.Put(ent.deltaKey, ent.injectedBytes)
+		}
+		if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != ent.tagStr {
 			if base, okBase := m.deltaBases.Get(pageURL + "\x00" + baseTag); okBase {
 				deltaBase, deltaFrom = base, baseTag
 			}
 		}
+	}
+
+	h := w.Header()
+	for k, vs := range sw.header {
+		if k == "Content-Length" || k == "Etag" {
+			continue
+		}
+		h[k] = vs
 	}
 
 	// Load the generation before resolving: probes that change state
@@ -503,6 +562,7 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// changed since it was built, so resolving again would only
 		// re-read the probe cache and re-serialize the identical map.
 		encoded = e.enc
+		h[HeaderName] = e.hdr
 		m.opts.Metrics.EncodeReuses.Add(1)
 	} else {
 		res := &probeResolver{m: m, req: r, ctx: ctx}
@@ -511,6 +571,7 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			Concurrency: m.opts.probeConcurrency(),
 		})
 		encoded = m.capMapBytes(etags).Encode()
+		h.Set(HeaderName, encoded)
 		// Never cache an encoding assembled under a cancelled request: a
 		// client that disconnected mid-render stopped the probe fan-out,
 		// so the map may be a prefix of the real one.
@@ -521,19 +582,11 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				// the empty map is still only trusted for one TTL.
 				exp = now.Add(m.opts.ProbeTTL).UnixNano()
 			}
-			ent.enc.Store(&encodedMap{gen: gen, expires: exp, enc: encoded})
+			ent.enc.Store(&encodedMap{gen: gen, expires: exp, enc: encoded, hdr: []string{encoded}})
 		}
 	}
 
-	h := w.Header()
-	for k, vs := range sw.header {
-		if k == "Content-Length" || k == "Etag" {
-			continue
-		}
-		h[k] = vs
-	}
-	h.Set(HeaderName, encoded)
-	h.Set("Etag", ent.tag.String())
+	h["Etag"] = ent.etagHeader
 	m.recordStale(pageURL, ent, encoded, sw.header, now)
 	telemetry.Event(ctx, "map-built", pageURL)
 	if m.opts.ServerTiming {
@@ -548,7 +601,8 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	body := []byte(ent.injected)
+	body := ent.injectedBytes
+	clen := ent.clenHeader
 	if deltaBase != nil {
 		// A validator match above wins over a patch (the 304 transfers
 		// nothing at all); here the entity changed, so diff lazily and
@@ -562,9 +616,14 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				telemetry.AppendServerTiming(h, "delta")
 			}
 			body = patch
+			clen = nil
 		}
 	}
-	h.Set("Content-Length", strconv.Itoa(len(body)))
+	if clen != nil {
+		h["Content-Length"] = clen
+	} else {
+		h.Set("Content-Length", strconv.Itoa(len(body)))
+	}
 	w.WriteHeader(http.StatusOK)
 	if r.Method != http.MethodHead {
 		_, _ = w.Write(body)

@@ -1,7 +1,9 @@
 package catalyst
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"strconv"
 	"sync/atomic"
 
 	"cachecatalyst/internal/core"
@@ -17,15 +19,54 @@ import (
 // snippet injection, and the whole-body validator hash on every request
 // after the first.
 //
-// refs, injected and tag are immutable after construction and safe to share
-// across requests. enc is the one mutable slot: the most recent canonical
-// X-Etag-Config encoding, swapped atomically and valid only while the probe
-// generation it was built under still stands (see middleware.probeGen).
+// Everything but enc is immutable after construction and safe to share
+// across requests — including the precomputed header value slices, which
+// the serve path assigns into a response header map directly (one map
+// store; no per-request string rendering, no Set re-allocation). Sharing
+// one []string across concurrent responses is safe because nothing in
+// net/http or this package mutates a stored value slice in place; Set
+// always installs a fresh one. enc is the one mutable slot: the most
+// recent canonical X-Etag-Config encoding, swapped atomically and valid
+// only while the probe generation it was built under still stands (see
+// middleware.probeGen).
 type renderEntry struct {
 	refs     []core.Ref
 	injected string
 	tag      etag.Tag
+	// injectedBytes aliases injected's contents ready for Write — computed
+	// once here so serving doesn't convert (and copy) per request. Never
+	// written to.
+	injectedBytes []byte
+	// tagStr, etagHeader and clenHeader are the precomputed wire forms:
+	// tag.String() once, plus single-element header value slices for
+	// "Etag" and "Content-Length".
+	tagStr     string
+	etagHeader []string
+	clenHeader []string
+	// deltaKey is the retained-base cache key this entry's body lives
+	// under when MiddlewareOptions.Delta is on (pageURL + NUL + validator).
+	deltaKey string
 	enc      atomic.Pointer[encodedMap]
+}
+
+// newRenderEntry builds the immutable render product for one (pageURL, raw
+// body) pair, precomputing every per-request byte the serve path would
+// otherwise re-render.
+func newRenderEntry(pageURL, body string) *renderEntry {
+	injected := core.InjectRegistration(body)
+	injectedBytes := []byte(injected)
+	tag := etag.ForBytes(injectedBytes)
+	tagStr := tag.String()
+	return &renderEntry{
+		refs:          core.ExtractPageRefs(pageURL, body),
+		injected:      injected,
+		tag:           tag,
+		injectedBytes: injectedBytes,
+		tagStr:        tagStr,
+		etagHeader:    []string{tagStr},
+		clenHeader:    []string{strconv.Itoa(len(injected))},
+		deltaKey:      pageURL + "\x00" + tagStr,
+	}
 }
 
 // encodedMap is one canonical ETagMap.Encode result, stamped with the probe
@@ -34,11 +75,14 @@ type renderEntry struct {
 // probe has expired, re-resolving would only re-read unchanged cache
 // entries and re-serialize the identical map — so the whole resolve phase
 // is skipped and the string reused as-is. The first request past either
-// bound rebuilds (and re-probes whatever expired).
+// bound rebuilds (and re-probes whatever expired). hdr is the encoding as
+// a ready-to-assign header value slice, shared across responses like the
+// renderEntry header slices.
 type encodedMap struct {
 	gen     uint64
 	expires int64 // unix nanoseconds
 	enc     string
+	hdr     []string
 }
 
 // renderKey commits a cache entry to the page's URL (path and query) and
@@ -50,17 +94,34 @@ func renderKey(pageURL string, body []byte) string {
 }
 
 // renderEntrySize charges an entry for the memory that actually scales:
-// the key, the injected body, and the extracted reference strings, plus a
-// fixed allowance for the struct and per-ref bookkeeping. The cached
-// encoding is deliberately not charged — it is bounded by MaxMapBytes (or
-// by the map the refs imply) and mutates after insertion, which byte
-// accounting must not chase.
+// the key, the injected body (the string and its []byte alias are two
+// copies), and the extracted reference strings, plus a fixed allowance for
+// the struct and per-ref bookkeeping. The cached encoding is deliberately
+// not charged — it is bounded by MaxMapBytes (or by the map the refs
+// imply) and mutates after insertion, which byte accounting must not chase.
 func renderEntrySize(key string, e *renderEntry) int64 {
-	n := int64(len(key) + len(e.injected) + 128)
+	n := int64(len(key) + 2*len(e.injected) + 192)
 	for _, r := range e.refs {
 		n += int64(len(r.Key)) + 32
 	}
 	return n
+}
+
+// hotPage pins the most recent render of one page URL together with the
+// raw inner-handler body it was computed from. The warm fast lane compares
+// the current raw body against hot.raw with one memcmp — two orders of
+// magnitude cheaper than the SHA-256 the render-cache key costs — and on a
+// match reuses the entry with zero hashing, zero locking and zero
+// allocation. A changed body misses (memcmp is exact, not a heuristic) and
+// falls through to the keyed render cache, so correctness never rests on
+// this index: it is a pure shortcut over renderKey.
+type hotPage struct {
+	raw []byte
+	ent *renderEntry
+}
+
+func hotPageSize(key string, p *hotPage) int64 {
+	return int64(len(key) + len(p.raw) + 48)
 }
 
 // render returns the memoized render for (pageURL, raw), computing and
@@ -69,19 +130,27 @@ func renderEntrySize(key string, e *renderEntry) int64 {
 // cache disabled (MaxRenderBytes < 0) every request pays the full pipeline,
 // which is exactly the pre-cache behaviour.
 func (m *middleware) render(pageURL string, raw []byte) *renderEntry {
-	build := func() (*renderEntry, error) {
-		body := string(raw)
-		injected := core.InjectRegistration(body)
-		return &renderEntry{
-			refs:     core.ExtractPageRefs(pageURL, body),
-			injected: injected,
-			tag:      etag.ForBytes([]byte(injected)),
-		}, nil
-	}
 	if m.renders == nil {
-		e, _ := build()
-		return e
+		return newRenderEntry(pageURL, string(raw))
 	}
-	e, _ := m.renders.GetOrLoad(renderKey(pageURL, raw), build)
+	e, _ := m.renders.GetOrLoad(renderKey(pageURL, raw), func() (*renderEntry, error) {
+		return newRenderEntry(pageURL, string(raw)), nil
+	})
 	return e
+}
+
+// hotRender is render() with the warm fast lane in front: a hit in the
+// per-URL hot index whose pinned raw body memcmp-matches skips hashing and
+// cache machinery entirely; anything else takes the keyed path and then
+// repins the hot index (copying raw, which may live in a pooled buffer).
+func (m *middleware) hotRender(pageURL string, raw []byte) *renderEntry {
+	if m.hot == nil {
+		return m.render(pageURL, raw)
+	}
+	if hp, ok := m.hot.Get(pageURL); ok && bytes.Equal(hp.raw, raw) {
+		return hp.ent
+	}
+	ent := m.render(pageURL, raw)
+	m.hot.Put(pageURL, &hotPage{raw: append([]byte(nil), raw...), ent: ent})
+	return ent
 }

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/headers"
@@ -52,8 +54,40 @@ type sniffWriter struct {
 	buf bytes.Buffer
 }
 
+// sniffPool recycles sniffWriters — one per instrumented request, making
+// the writer (header map buckets and body buffer included) a steady-state
+// zero-allocation cost. Nothing a writer hands out survives the request:
+// header value slices are allocated fresh by each handler's Set/Add calls
+// (only the map's buckets are reused), and every consumer of the buffered
+// body copies it (render interns it as a string, the hot index clones it,
+// passthrough writes flush into net/http's own buffers) before release.
+var sniffPool = sync.Pool{
+	New: func() any { return &sniffWriter{header: make(http.Header)} },
+}
+
 func newSniffWriter(dst http.ResponseWriter, req *http.Request) *sniffWriter {
-	return &sniffWriter{dst: dst, req: req, header: make(http.Header)}
+	w := sniffPool.Get().(*sniffWriter)
+	w.dst, w.req = dst, req
+	return w
+}
+
+// release resets the writer and returns it to the pool. Callers must not
+// touch the writer afterwards; the middleware releases only after the
+// response is fully written and nothing references the buffer.
+func (w *sniffWriter) release() {
+	w.dst, w.req = nil, nil
+	w.staleOwner, w.stalePage = nil, ""
+	clear(w.header)
+	w.status = 0
+	w.committed, w.buffering, w.discard = false, false, false
+	w.sentToDst, w.hijacked, w.held = false, false, false
+	// One huge page must not pin its buffer in the pool forever; past a
+	// megabyte the writer is dropped and the next request allocates fresh.
+	if w.buf.Cap() > 1<<20 {
+		return
+	}
+	w.buf.Reset()
+	sniffPool.Put(w)
 }
 
 func (w *sniffWriter) Header() http.Header { return w.header }
@@ -90,12 +124,16 @@ func (w *sniffWriter) WriteHeader(code int) {
 		// small chunks costs one allocation, not a regrow cascade. The
 		// declaration is advisory (and possibly hostile), so it is capped
 		// and the buffer still grows past it if the handler lied.
-		if n, err := strconv.Atoi(w.header.Get("Content-Length")); err == nil && n > 0 {
-			const maxPrealloc = 1 << 20
-			if n > maxPrealloc {
-				n = maxPrealloc
+		// The empty-string check matters: strconv.Atoi("") allocates its
+		// error, and most handlers don't declare a length.
+		if cl := w.header.Get("Content-Length"); cl != "" {
+			if n, err := strconv.Atoi(cl); err == nil && n > 0 {
+				const maxPrealloc = 1 << 20
+				if n > maxPrealloc {
+					n = maxPrealloc
+				}
+				w.buf.Grow(n)
 			}
-			w.buf.Grow(n)
 		}
 		return
 	}
@@ -157,6 +195,32 @@ func (w *sniffWriter) Write(b []byte) (int, error) {
 		return w.buf.Write(b)
 	}
 	return w.dst.Write(b)
+}
+
+// WriteString lets io.WriteString (and fmt) hand the writer a string
+// without first copying it to a fresh []byte — on the buffering path the
+// bytes land straight in the buffer. Semantics mirror Write exactly.
+func (w *sniffWriter) WriteString(s string) (int, error) {
+	if w.hijacked {
+		return 0, http.ErrHijacked
+	}
+	if !w.committed {
+		if w.header.Get("Content-Type") == "" {
+			n := len(s)
+			if n > 512 {
+				n = 512 // DetectContentType reads at most 512 bytes
+			}
+			w.header.Set("Content-Type", http.DetectContentType([]byte(s[:n])))
+		}
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.discard {
+		return len(s), nil
+	}
+	if w.buffering {
+		return w.buf.WriteString(s)
+	}
+	return io.WriteString(w.dst, s)
 }
 
 // Flush commits headers (like net/http) and forwards the flush on the

@@ -1,23 +1,27 @@
 // Command benchdiff compares two benchmark runs captured as `go test -json`
 // streams (the files `make bench` writes) and prints a per-benchmark
-// comparison of ns/op — a dependency-free stand-in for benchstat, so the
-// repository's `make benchdiff` gate needs nothing outside the toolchain.
+// comparison of ns/op, B/op and allocs/op — a dependency-free stand-in for
+// benchstat, so the repository's `make benchdiff` gate needs nothing
+// outside the toolchain.
 //
 // Usage:
 //
 //	benchdiff [-tolerance PCT] OLD.json NEW.json
 //
-// Each benchmark's samples (the -count repetitions) are reduced to their
-// median, which is robust against the stray slow iteration a shared CI
-// machine produces. Benchmarks present in only one file are listed but not
-// compared.
+// Each benchmark's samples (the -count repetitions) are reduced per metric
+// to their median, which is robust against the stray slow iteration a
+// shared CI machine produces. Benchmarks present in only one file are
+// listed but not compared.
 //
-// With -tolerance set, benchdiff becomes a gate: any benchmark whose median
-// ns/op regressed by more than the given percentage fails the run. Exit
-// status: 0 when the comparison succeeds within tolerance, 1 when at least
-// one benchmark regressed beyond it, 2 on usage or parse errors — including
-// a missing baseline, which is reported loudly rather than silently
-// compared against nothing.
+// With -tolerance set, benchdiff becomes a gate: any benchmark metric whose
+// median regressed by more than the given percentage fails the run. Memory
+// metrics gate alongside time — an optimization that holds ns/op but starts
+// allocating on a previously allocation-free path (B/op or allocs/op rising
+// from a zero baseline) is a regression no percentage can express, so any
+// increase from zero fails outright. Exit status: 0 when the comparison
+// succeeds within tolerance, 1 when at least one metric regressed beyond
+// it, 2 on usage or parse errors — including a missing baseline, which is
+// reported loudly rather than silently compared against nothing.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -37,16 +42,24 @@ type event struct {
 	Output string `json:"Output"`
 }
 
-// parseFile extracts ns/op samples per benchmark name from a `go test -json`
-// stream.
-func parseFile(path string) (map[string][]float64, error) {
+// metrics are the testing-package result units benchdiff tracks, in
+// display order. ns/op is always present; the memory metrics appear when
+// the benchmark ran with -benchmem or b.ReportAllocs().
+var metrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// samples holds one benchmark's values per metric.
+type samples map[string][]float64
+
+// parseFile extracts per-metric samples per benchmark name from a
+// `go test -json` stream.
+func parseFile(path string) (map[string]samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 
-	samples := make(map[string][]float64)
+	out := make(map[string]samples)
 	// test2json flushes a benchmark's name and its result numbers as
 	// separate output events when the run takes long enough, so a bare
 	// "BenchmarkFoo" line names the samples that follow until the next
@@ -67,27 +80,36 @@ func parseFile(path string) (map[string][]float64, error) {
 			pending = benchName(line)
 			continue
 		}
-		name, ns, ok := parseBenchLine(line, pending)
-		if ok {
-			samples[name] = append(samples[name], ns)
+		name, vals, ok := parseBenchLine(line, pending)
+		if !ok {
+			continue
+		}
+		s := out[name]
+		if s == nil {
+			s = make(samples)
+			out[name] = s
+		}
+		for unit, v := range vals {
+			s[unit] = append(s[unit], v)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(samples) == 0 {
+	if len(out) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)
 	}
-	return samples, nil
+	return out, nil
 }
 
 // parseBenchLine parses one testing result line — either the full form
 //
-//	BenchmarkName-8   	    9624	     36337 ns/op	...
+//	BenchmarkName-8   	    9624	     36337 ns/op	      16 B/op	       1 allocs/op
 //
 // or a bare sample ("9624	36337 ns/op	...") belonging to pending —
-// returning the benchmark name and the ns/op value.
-func parseBenchLine(line, pending string) (string, float64, bool) {
+// returning the benchmark name and the value of every recognized metric on
+// the line. A line with no ns/op value is not a result line.
+func parseBenchLine(line, pending string) (string, map[string]float64, bool) {
 	fields := strings.Fields(line)
 	name := pending
 	if strings.HasPrefix(line, "Benchmark") {
@@ -95,18 +117,22 @@ func parseBenchLine(line, pending string) (string, float64, bool) {
 		fields = fields[1:]
 	}
 	if name == "" || len(fields) < 3 {
-		return "", 0, false
+		return "", nil, false
 	}
+	vals := make(map[string]float64)
 	for i := 1; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			ns, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return "", 0, false
+		for _, unit := range metrics {
+			if fields[i+1] == unit {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					vals[unit] = v
+				}
 			}
-			return name, ns, true
 		}
 	}
-	return "", 0, false
+	if _, ok := vals["ns/op"]; !ok {
+		return "", nil, false
+	}
+	return name, vals, true
 }
 
 // benchName strips the -GOMAXPROCS suffix testing appends when running
@@ -137,6 +163,27 @@ const (
 	exitUsage      = 2
 )
 
+// deltaPct returns the regression percentage from old to new medians. A
+// rise from a zero baseline is +Inf: any allocation appearing on a
+// previously allocation-free path regresses regardless of tolerance.
+func deltaPct(old, new float64) float64 {
+	switch {
+	case old == 0 && new == 0:
+		return 0
+	case old == 0:
+		return math.Inf(1)
+	default:
+		return (new - old) / old * 100
+	}
+}
+
+func formatDelta(d float64) string {
+	if math.IsInf(d, 1) {
+		return "+∞"
+	}
+	return fmt.Sprintf("%+.1f%%", d)
+}
+
 // run is the testable entry point: it parses args (without the program
 // name), writes the comparison to stdout and diagnostics to stderr, and
 // returns the process exit code.
@@ -144,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	tolerance := fs.Float64("tolerance", 0,
-		"fail (exit 1) if any benchmark's median ns/op regressed by more than this percentage; 0 disables the gate")
+		"fail (exit 1) if any benchmark's median ns/op, B/op or allocs/op regressed by more than this percentage; 0 disables the gate")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: benchdiff [-tolerance PCT] OLD.json NEW.json")
 		fs.PrintDefaults()
@@ -186,26 +233,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sort.Strings(names)
 
 	var regressed []string
-	fmt.Fprintf(stdout, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(stdout, "%-55s %-9s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	for _, n := range names {
 		o, hasOld := old[n]
 		c, hasNew := cur[n]
 		switch {
 		case !hasOld:
-			fmt.Fprintf(stdout, "%-55s %14s %14.0f %9s\n", n, "-", median(c), "new")
+			fmt.Fprintf(stdout, "%-55s %-9s %14s %14.0f %9s\n", n, "ns/op", "-", median(c["ns/op"]), "new")
 		case !hasNew:
-			fmt.Fprintf(stdout, "%-55s %14.0f %14s %9s\n", n, median(o), "-", "gone")
+			fmt.Fprintf(stdout, "%-55s %-9s %14.0f %14s %9s\n", n, "ns/op", median(o["ns/op"]), "-", "gone")
 		default:
-			om, cm := median(o), median(c)
-			delta := (cm - om) / om * 100
-			fmt.Fprintf(stdout, "%-55s %14.0f %14.0f %+8.1f%%\n", n, om, cm, delta)
-			if *tolerance > 0 && delta > *tolerance {
-				regressed = append(regressed, fmt.Sprintf("%s (%+.1f%% > %+.1f%%)", n, delta, *tolerance))
+			for _, unit := range metrics {
+				os, hasO := o[unit]
+				cs, hasC := c[unit]
+				if !hasO || !hasC {
+					continue
+				}
+				om, cm := median(os), median(cs)
+				delta := deltaPct(om, cm)
+				fmt.Fprintf(stdout, "%-55s %-9s %14.0f %14.0f %9s\n", n, unit, om, cm, formatDelta(delta))
+				if *tolerance > 0 && delta > *tolerance {
+					regressed = append(regressed,
+						fmt.Sprintf("%s %s (%s > %+.1f%%)", n, unit, formatDelta(delta), *tolerance))
+				}
 			}
 		}
 	}
 	if len(regressed) > 0 {
-		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond tolerance:\n", len(regressed))
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark metric(s) regressed beyond tolerance:\n", len(regressed))
 		for _, r := range regressed {
 			fmt.Fprintf(stderr, "  %s\n", r)
 		}

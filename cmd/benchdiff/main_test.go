@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,7 +31,7 @@ func writeStream(t *testing.T, name string, lines []string) string {
 func TestParseFileFusedAndSplitLines(t *testing.T) {
 	path := writeStream(t, "a.json", []string{
 		"goos: linux",
-		"BenchmarkFast-8   \t 1000 \t 100 ns/op \t 0 B/op",
+		"BenchmarkFast-8   \t 1000 \t 100 ns/op \t 16 B/op \t 2 allocs/op",
 		// test2json split form: bare name, then samples.
 		"BenchmarkSlow",
 		"  500 \t 200 ns/op",
@@ -41,11 +42,22 @@ func TestParseFileFusedAndSplitLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got["BenchmarkFast"]) != 1 || got["BenchmarkFast"][0] != 100 {
-		t.Errorf("BenchmarkFast samples = %v, want [100]", got["BenchmarkFast"])
+	fast := got["BenchmarkFast"]
+	if len(fast["ns/op"]) != 1 || fast["ns/op"][0] != 100 {
+		t.Errorf("BenchmarkFast ns/op samples = %v, want [100]", fast["ns/op"])
 	}
-	if len(got["BenchmarkSlow"]) != 2 {
-		t.Errorf("BenchmarkSlow samples = %v, want two", got["BenchmarkSlow"])
+	if len(fast["B/op"]) != 1 || fast["B/op"][0] != 16 {
+		t.Errorf("BenchmarkFast B/op samples = %v, want [16]", fast["B/op"])
+	}
+	if len(fast["allocs/op"]) != 1 || fast["allocs/op"][0] != 2 {
+		t.Errorf("BenchmarkFast allocs/op samples = %v, want [2]", fast["allocs/op"])
+	}
+	slow := got["BenchmarkSlow"]
+	if len(slow["ns/op"]) != 2 {
+		t.Errorf("BenchmarkSlow ns/op samples = %v, want two", slow["ns/op"])
+	}
+	if len(slow["B/op"]) != 0 {
+		t.Errorf("BenchmarkSlow without -benchmem has B/op samples %v", slow["B/op"])
 	}
 }
 
@@ -60,19 +72,38 @@ func TestParseBenchLine(t *testing.T) {
 	cases := []struct {
 		line, pending string
 		wantName      string
-		wantNS        float64
+		wantVals      map[string]float64
 		wantOK        bool
 	}{
-		{"BenchmarkX-16 \t 10 \t 42 ns/op", "", "BenchmarkX", 42, true},
-		{"123 \t 7.5 ns/op", "BenchmarkY", "BenchmarkY", 7.5, true},
-		{"123 \t 7.5 ns/op", "", "", 0, false},
-		{"PASS", "BenchmarkY", "", 0, false},
+		{"BenchmarkX-16 \t 10 \t 42 ns/op", "", "BenchmarkX",
+			map[string]float64{"ns/op": 42}, true},
+		{"BenchmarkX-16 \t 10 \t 42 ns/op \t 128 B/op \t 3 allocs/op", "", "BenchmarkX",
+			map[string]float64{"ns/op": 42, "B/op": 128, "allocs/op": 3}, true},
+		{"123 \t 7.5 ns/op \t 0 B/op \t 0 allocs/op", "BenchmarkY", "BenchmarkY",
+			map[string]float64{"ns/op": 7.5, "B/op": 0, "allocs/op": 0}, true},
+		{"123 \t 7.5 ns/op", "", "", nil, false},
+		{"PASS", "BenchmarkY", "", nil, false},
+		// A custom-metric-only line without ns/op is not a result line.
+		{"BenchmarkZ-8 \t 10 \t 99 widgets/op", "", "", nil, false},
 	}
 	for _, c := range cases {
-		name, ns, ok := parseBenchLine(c.line, c.pending)
-		if name != c.wantName || ns != c.wantNS || ok != c.wantOK {
+		name, vals, ok := parseBenchLine(c.line, c.pending)
+		if name != c.wantName || ok != c.wantOK {
 			t.Errorf("parseBenchLine(%q, %q) = (%q, %v, %v), want (%q, %v, %v)",
-				c.line, c.pending, name, ns, ok, c.wantName, c.wantNS, c.wantOK)
+				c.line, c.pending, name, vals, ok, c.wantName, c.wantVals, c.wantOK)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(vals) != len(c.wantVals) {
+			t.Errorf("parseBenchLine(%q) vals = %v, want %v", c.line, vals, c.wantVals)
+			continue
+		}
+		for unit, want := range c.wantVals {
+			if vals[unit] != want {
+				t.Errorf("parseBenchLine(%q) %s = %v, want %v", c.line, unit, vals[unit], want)
+			}
 		}
 	}
 }
@@ -95,8 +126,24 @@ func TestMedian(t *testing.T) {
 	}
 }
 
+func TestDeltaPct(t *testing.T) {
+	if got := deltaPct(100, 150); got != 50 {
+		t.Errorf("deltaPct(100, 150) = %v, want 50", got)
+	}
+	if got := deltaPct(0, 0); got != 0 {
+		t.Errorf("deltaPct(0, 0) = %v, want 0", got)
+	}
+	if got := deltaPct(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("deltaPct(0, 1) = %v, want +Inf", got)
+	}
+}
+
 func bench(name string, ns float64) string {
 	return fmt.Sprintf("%s-8 \t 100 \t %g ns/op", name, ns)
+}
+
+func benchMem(name string, ns, bytes, allocs float64) string {
+	return fmt.Sprintf("%s-8 \t 100 \t %g ns/op \t %g B/op \t %g allocs/op", name, ns, bytes, allocs)
 }
 
 func TestRunExitCodes(t *testing.T) {
@@ -121,6 +168,50 @@ func TestRunExitCodes(t *testing.T) {
 		if got := run(c.args, &out, &errb); got != c.want {
 			t.Errorf("%s: run(%v) = %d, want %d (stderr: %s)", c.name, c.args, got, c.want, errb.String())
 		}
+	}
+}
+
+func TestRunGatesMemoryMetrics(t *testing.T) {
+	// Time holds steady but allocations rise: the memory gate must fire.
+	old := writeStream(t, "old.json", []string{benchMem("BenchmarkA", 100, 64, 2)})
+	leaky := writeStream(t, "leaky.json", []string{benchMem("BenchmarkA", 100, 64, 4)})
+	var out, errb bytes.Buffer
+	if got := run([]string{"-tolerance", "10", old, leaky}, &out, &errb); got != exitRegression {
+		t.Fatalf("allocs/op regression: run = %d, want %d (stderr: %s)", got, exitRegression, errb.String())
+	}
+	if !strings.Contains(errb.String(), "allocs/op") {
+		t.Errorf("stderr does not name the regressed metric: %s", errb.String())
+	}
+
+	// Any rise from a zero baseline regresses, however small the tolerance
+	// would otherwise allow (0 → 1 alloc has no finite percentage).
+	zero := writeStream(t, "zero.json", []string{benchMem("BenchmarkA", 100, 0, 0)})
+	one := writeStream(t, "one.json", []string{benchMem("BenchmarkA", 100, 16, 1)})
+	out.Reset()
+	errb.Reset()
+	if got := run([]string{"-tolerance", "50", zero, one}, &out, &errb); got != exitRegression {
+		t.Fatalf("zero-baseline regression: run = %d, want %d (stderr: %s)", got, exitRegression, errb.String())
+	}
+	if !strings.Contains(out.String(), "+∞") {
+		t.Errorf("stdout missing infinite delta: %s", out.String())
+	}
+
+	// Unchanged memory metrics pass the gate.
+	same := writeStream(t, "same.json", []string{benchMem("BenchmarkA", 101, 64, 2)})
+	out.Reset()
+	errb.Reset()
+	if got := run([]string{"-tolerance", "10", old, same}, &out, &errb); got != exitOK {
+		t.Fatalf("steady run = %d, want %d (stderr: %s)", got, exitOK, errb.String())
+	}
+
+	// A baseline without memory metrics gates ns/op only: a new run that
+	// adds -benchmem must not fail for lacking something to compare.
+	plain := writeStream(t, "plain.json", []string{bench("BenchmarkA", 100)})
+	withMem := writeStream(t, "withmem.json", []string{benchMem("BenchmarkA", 100, 512, 9)})
+	out.Reset()
+	errb.Reset()
+	if got := run([]string{"-tolerance", "10", plain, withMem}, &out, &errb); got != exitOK {
+		t.Fatalf("mixed-metric run = %d, want %d (stderr: %s)", got, exitOK, errb.String())
 	}
 }
 

@@ -1,0 +1,464 @@
+// Command loadgen is a wrk-style HTTP load generator for driving catalystd
+// (or any HTTP origin) over real sockets, with optional netem link shaping
+// and coordinated-omission-safe latency accounting.
+//
+//	loadgen -url http://localhost:8080 -c 32 -duration 30s -rate 2000
+//	loadgen -self -netem 5g -c 16 -duration 10s -json out.json
+//
+// # Arrival models
+//
+// With -rate R the generator runs open loop: request i is *scheduled* at
+// start + i/R across the whole fleet, and each request's latency is
+// measured from its scheduled arrival — not from when a worker finally got
+// around to sending it. A server that stalls therefore accrues the backlog
+// wait into the recorded latencies instead of silently suppressing the
+// samples a blocked closed-loop client would never have sent (coordinated
+// omission). With -rate 0 the generator runs closed loop: each of the -c
+// workers issues its next request as soon as the previous one completes,
+// which measures peak sustainable throughput rather than latency under a
+// fixed offered load.
+//
+// # Link shaping
+//
+// -netem wraps every client connection in internal/netem shaping, adding
+// propagation delay and bandwidth limits to response reads: the same
+// Shaper the integration tests use, so socket-level results line up with
+// the discrete-event simulator's conditions. In -self mode the in-process
+// listener's reads are shaped with the other half of the RTT, making the
+// path symmetric.
+//
+// # Output
+//
+// A human summary goes to stdout. -json writes a machine-readable artifact
+// (config, throughput, latency percentiles). -bench writes the same
+// results as a `go test -json` stream of benchmark lines — p50/p99/p999
+// and time-per-request in ns/op — which cmd/benchdiff accepts directly, so
+// CI can gate socket-level regressions exactly like microbenchmarks.
+//
+// Exit status: 0 on success, 1 when the run completed no successful
+// requests (a smoke-test failure), 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachecatalyst/internal/netem"
+	"cachecatalyst/internal/server"
+)
+
+// linkProfile is one named netem condition, matching the EXPERIMENTS.md
+// sweep grid (RTT is the full round trip; the shapers split it).
+type linkProfile struct {
+	rtt     time.Duration
+	bitsSec float64 // downlink; 0 = unlimited
+}
+
+var linkProfiles = map[string]linkProfile{
+	"none": {},
+	"5g":   {rtt: 40 * time.Millisecond, bitsSec: 60e6}, // the paper's 5G-median cell
+	"4g":   {rtt: 40 * time.Millisecond, bitsSec: 20e6},
+	"3g":   {rtt: 80 * time.Millisecond, bitsSec: 8e6},
+}
+
+func profileNames() string {
+	names := make([]string, 0, len(linkProfiles))
+	for n := range linkProfiles {
+		names = append(names, n)
+	}
+	// Stable order for help text.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, " | ")
+}
+
+// hist is a log-bucketed latency histogram: 64 linear buckets per octave
+// (~1.6 % value resolution), fixed size, lock-free to merge. Workers each
+// own one, so recording is contention-free.
+type hist struct {
+	counts [64 + 58*64]uint64
+	total  uint64
+	sum    int64
+	max    int64
+}
+
+func (h *hist) add(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	var idx int
+	if v < 64 {
+		idx = int(v)
+	} else {
+		k := bits.Len64(v) - 7 // v ∈ [2^(k+6), 2^(k+7)), k ≥ 0
+		idx = 64 + k*64 + int((v>>uint(k))&63)
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// value returns the representative latency of bucket idx (its midpoint).
+func bucketValue(idx int) int64 {
+	if idx < 64 {
+		return int64(idx)
+	}
+	k := (idx - 64) / 64
+	sub := (idx - 64) % 64
+	lo := (uint64(64+sub) << uint(k))
+	return int64(lo + (uint64(1)<<uint(k))/2)
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// percentile returns the latency at quantile q ∈ (0,1].
+func (h *hist) percentile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+func (h *hist) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// worker accumulates one goroutine's results.
+type worker struct {
+	lat     hist
+	ok      int64 // 2xx and 304 responses
+	badCode int64 // other statuses
+	errs    int64 // transport failures
+}
+
+// artifact is the -json output shape.
+type artifact struct {
+	Config struct {
+		URL         string  `json:"url"`
+		Paths       string  `json:"paths"`
+		Concurrency int     `json:"concurrency"`
+		RateHz      float64 `json:"rateHz"` // 0 = closed loop
+		Mode        string  `json:"mode"`   // "open" | "closed"
+		Netem       string  `json:"netem"`
+		DurationSec float64 `json:"durationSec"`
+		Self        bool    `json:"self"`
+	} `json:"config"`
+	Requests   int64   `json:"requests"`
+	BadStatus  int64   `json:"badStatus"`
+	Errors     int64   `json:"errors"`
+	ElapsedSec float64 `json:"elapsedSec"`
+	ReqPerSec  float64 `json:"reqPerSec"`
+	LatencyMS  struct {
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	} `json:"latencyMs"`
+}
+
+// selfSite builds the in-process origin -self serves: one catalyst-decorated
+// HTML page referencing a stylesheet chain and a spread of assets — the
+// steady-state warm-page workload the middleware's fast lane exists for.
+func selfSite(plain bool) *server.Server {
+	c := server.NewMemContent()
+	var page strings.Builder
+	page.WriteString("<html><head>")
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&page, `<link rel="stylesheet" href="/s%d.css">`, i)
+	}
+	page.WriteString("</head><body>")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&page, `<img src="/img/i%02d.png">`, i)
+	}
+	page.WriteString("</body></html>")
+	c.SetBody("/", page.String(), server.CachePolicy{NoCache: true})
+	hour := server.CachePolicy{HasMaxAge: true, MaxAge: time.Hour}
+	for i := 0; i < 5; i++ {
+		c.SetBody(fmt.Sprintf("/s%d.css", i), fmt.Sprintf(".x%d { background: url(/bg%d.png) }", i, i), hour)
+		c.SetBody(fmt.Sprintf("/bg%d.png", i), strings.Repeat("b", 512), hour)
+	}
+	for i := 0; i < 30; i++ {
+		c.SetBody(fmt.Sprintf("/img/i%02d.png", i), strings.Repeat("i", 1024), hour)
+	}
+	return server.New(c, server.Options{Catalyst: !plain})
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseURL   = fs.String("url", "", "target base URL (http://host:port); empty requires -self")
+		self      = fs.Bool("self", false, "serve the built-in site in-process on a loopback socket and load-test that")
+		plain     = fs.Bool("plain", false, "with -self, serve conventional cache headers instead of CacheCatalyst")
+		paths     = fs.String("paths", "/", "comma-separated request paths, cycled per request")
+		conc      = fs.Int("c", 16, "concurrent workers (connections)")
+		duration  = fs.Duration("duration", 10*time.Second, "measurement duration")
+		rate      = fs.Float64("rate", 0, "open-loop offered load in req/s across all workers; 0 = closed loop")
+		netemName = fs.String("netem", "none", "link shaping profile: "+profileNames())
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+		jsonPath  = fs.String("json", "", "write the JSON summary artifact to this file")
+		benchPath = fs.String("bench", "", "write a go-test-JSON bench stream (benchdiff-compatible) to this file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: loadgen [-url URL | -self] [-c N] [-duration D] [-rate R] [-netem PROFILE] [-json FILE] [-bench FILE]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	profile, ok := linkProfiles[*netemName]
+	if !ok {
+		fmt.Fprintf(stderr, "loadgen: unknown -netem profile %q (want %s)\n", *netemName, profileNames())
+		return 2
+	}
+	if (*baseURL == "") == !*self {
+		fmt.Fprintln(stderr, "loadgen: need exactly one of -url or -self")
+		return 2
+	}
+	if *conc < 1 || *duration <= 0 || *rate < 0 {
+		fmt.Fprintln(stderr, "loadgen: -c must be ≥1, -duration positive, -rate non-negative")
+		return 2
+	}
+	pathList := strings.Split(*paths, ",")
+	for i := range pathList {
+		pathList[i] = strings.TrimSpace(pathList[i])
+	}
+
+	target := *baseURL
+	var shutdown func()
+	if *self {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 2
+		}
+		if profile.rtt > 0 {
+			// The server reads requests through the uplink half of the RTT;
+			// the client's shaper below adds the downlink half, so one
+			// request-response pays one full round trip.
+			ln = netem.Shaper{Delay: profile.rtt / 2}.Listener(ln)
+		}
+		hs := &http.Server{Handler: selfSite(*plain)}
+		go func() { _ = hs.Serve(ln) }()
+		target = "http://" + ln.Addr().String()
+		shutdown = func() { _ = hs.Close() }
+		defer shutdown()
+	}
+
+	clientShaper := netem.Shaper{Delay: profile.rtt, BitsPerSec: profile.bitsSec}
+	if *self {
+		clientShaper.Delay = profile.rtt / 2 // the listener shaper has the other half
+	}
+	dialer := &net.Dialer{}
+	transport := &http.Transport{
+		MaxIdleConns:        *conc * 2,
+		MaxIdleConnsPerHost: *conc * 2,
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := dialer.DialContext(ctx, network, addr)
+			if err != nil || (clientShaper.Delay == 0 && clientShaper.BitsPerSec == 0) {
+				return c, err
+			}
+			return clientShaper.Conn(c), nil
+		},
+	}
+	client := &http.Client{Transport: transport, Timeout: *timeout}
+
+	// Warm the origin (render caches, probe caches, connection pool) so the
+	// measurement window sees the steady state.
+	for _, p := range pathList {
+		for i := 0; i < 2; i++ {
+			if resp, err := client.Get(target + p); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+
+	workers := make([]*worker, *conc)
+	for i := range workers {
+		workers[i] = &worker{}
+	}
+	doRequest := func(w *worker, path string) {
+		resp, err := client.Get(target + path)
+		if err != nil {
+			w.errs++
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if (resp.StatusCode >= 200 && resp.StatusCode < 300) || resp.StatusCode == http.StatusNotModified {
+			w.ok++
+		} else {
+			w.badCode++
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	var tickets atomic.Int64
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if *rate > 0 {
+				// Open loop: latency runs from the scheduled arrival, so
+				// backlog wait counts against the server (no coordinated
+				// omission).
+				interval := float64(time.Second) / *rate
+				for {
+					i := tickets.Add(1) - 1
+					sched := start.Add(time.Duration(float64(i) * interval))
+					if sched.After(deadline) {
+						return
+					}
+					if wait := time.Until(sched); wait > 0 {
+						time.Sleep(wait)
+					}
+					doRequest(w, pathList[int(i)%len(pathList)])
+					w.lat.add(time.Since(sched).Nanoseconds())
+				}
+			}
+			// Closed loop: back-to-back requests measure peak throughput;
+			// latency is per-request service time.
+			for i := 0; ; i++ {
+				sent := time.Now()
+				if sent.After(deadline) {
+					return
+				}
+				doRequest(w, pathList[i%len(pathList)])
+				w.lat.add(time.Since(sent).Nanoseconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all hist
+	var a artifact
+	for _, w := range workers {
+		all.merge(&w.lat)
+		a.Requests += w.ok
+		a.BadStatus += w.badCode
+		a.Errors += w.errs
+	}
+	a.Config.URL = target
+	a.Config.Paths = *paths
+	a.Config.Concurrency = *conc
+	a.Config.RateHz = *rate
+	a.Config.Mode = map[bool]string{true: "open", false: "closed"}[*rate > 0]
+	a.Config.Netem = *netemName
+	a.Config.DurationSec = duration.Seconds()
+	a.Config.Self = *self
+	a.ElapsedSec = elapsed.Seconds()
+	a.ReqPerSec = float64(a.Requests) / elapsed.Seconds()
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	a.LatencyMS.P50 = ms(all.percentile(0.50))
+	a.LatencyMS.P90 = ms(all.percentile(0.90))
+	a.LatencyMS.P99 = ms(all.percentile(0.99))
+	a.LatencyMS.P999 = ms(all.percentile(0.999))
+	a.LatencyMS.Max = ms(all.max)
+	a.LatencyMS.Mean = ms(int64(all.mean()))
+
+	fmt.Fprintf(stdout, "loadgen: %s %s, %d workers, netem=%s\n", a.Config.Mode, target, *conc, *netemName)
+	fmt.Fprintf(stdout, "  %d requests in %.2fs → %.1f req/s (%d bad status, %d errors)\n",
+		a.Requests, a.ElapsedSec, a.ReqPerSec, a.BadStatus, a.Errors)
+	fmt.Fprintf(stdout, "  latency ms: p50=%.2f p90=%.2f p99=%.2f p999=%.2f max=%.2f mean=%.2f\n",
+		a.LatencyMS.P50, a.LatencyMS.P90, a.LatencyMS.P99, a.LatencyMS.P999, a.LatencyMS.Max, a.LatencyMS.Mean)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&a, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: writing -json: %v\n", err)
+			return 2
+		}
+	}
+	if *benchPath != "" {
+		if err := writeBenchStream(*benchPath, &a, &all); err != nil {
+			fmt.Fprintf(stderr, "loadgen: writing -bench: %v\n", err)
+			return 2
+		}
+	}
+	if a.Requests == 0 {
+		fmt.Fprintln(stderr, "loadgen: no successful requests")
+		return 1
+	}
+	return 0
+}
+
+// writeBenchStream renders the run as a `go test -json` event stream of
+// benchmark result lines, the format cmd/benchdiff consumes. Latencies are
+// reported in ns/op; throughput is inverted to time-per-request so that for
+// every metric larger means worse, matching benchdiff's regression gate.
+func writeBenchStream(path string, a *artifact, all *hist) error {
+	var b strings.Builder
+	emit := func(name string, ns float64) {
+		line := fmt.Sprintf("BenchmarkLoadgen/%s 1 %.0f ns/op\n", name, ns)
+		ev, _ := json.Marshal(map[string]string{"Action": "output", "Output": line})
+		b.Write(ev)
+		b.WriteByte('\n')
+	}
+	if a.ReqPerSec > 0 {
+		emit("time_per_req", 1e9/a.ReqPerSec)
+	}
+	emit("p50", float64(all.percentile(0.50)))
+	emit("p99", float64(all.percentile(0.99)))
+	emit("p999", float64(all.percentile(0.999)))
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfSmokeClosedLoop drives the in-process site closed-loop for a
+// short burst and checks the whole reporting pipeline: exit code, stdout
+// summary, JSON artifact, and benchdiff-compatible bench stream.
+func TestSelfSmokeClosedLoop(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	benchPath := filepath.Join(dir, "out.bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-self", "-c", "4", "-duration", "300ms",
+		"-json", jsonPath, "-bench", benchPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "req/s") {
+		t.Fatalf("summary missing throughput: %q", stdout.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if a.Requests == 0 || a.ReqPerSec <= 0 {
+		t.Fatalf("no throughput recorded: %+v", a)
+	}
+	if a.Errors != 0 || a.BadStatus != 0 {
+		t.Fatalf("loopback run saw failures: %+v", a)
+	}
+	if a.LatencyMS.P50 <= 0 || a.LatencyMS.P99 < a.LatencyMS.P50 {
+		t.Fatalf("implausible percentiles: %+v", a.LatencyMS)
+	}
+
+	// The bench stream must be a go-test-JSON event-per-line file whose
+	// output lines carry ns/op samples (what cmd/benchdiff parses).
+	bf, err := os.Open(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	lines := 0
+	sc := bufio.NewScanner(bf)
+	for sc.Scan() {
+		var ev struct{ Action, Output string }
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bench line %d not JSON: %v", lines, err)
+		}
+		if ev.Action != "output" || !strings.Contains(ev.Output, "ns/op") ||
+			!strings.HasPrefix(ev.Output, "BenchmarkLoadgen/") {
+			t.Fatalf("bench line %d malformed: %+v", lines, ev)
+		}
+		lines++
+	}
+	if lines < 4 {
+		t.Fatalf("bench stream has %d lines, want ≥4", lines)
+	}
+}
+
+// TestSelfSmokeOpenLoop checks the open-loop scheduler issues roughly
+// rate×duration requests regardless of worker count.
+func TestSelfSmokeOpenLoop(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-self", "-c", "8", "-rate", "200", "-duration", "500ms", "-json", jsonPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, _ := os.ReadFile(jsonPath)
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	// 200 req/s × 0.5 s = 100 scheduled arrivals (±1 for the boundary).
+	if a.Requests < 80 || a.Requests > 120 {
+		t.Fatalf("open loop completed %d requests, want ≈100", a.Requests)
+	}
+	if a.Config.Mode != "open" {
+		t.Fatalf("mode = %q, want open", a.Config.Mode)
+	}
+}
+
+// TestUsageErrors pins the exit-2 contract for malformed invocations.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                            // neither -url nor -self
+		{"-self", "-url", "http://x"}, // both
+		{"-self", "-netem", "warp"},   // unknown profile
+		{"-self", "-c", "0"},          // bad concurrency
+		{"-self", "-duration", "-1s"}, // bad duration
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestHistPercentiles pins the log-bucketed histogram against exactly
+// known distributions: resolution is ~1.6 %, so recovered percentiles must
+// sit within 2 % of the true values.
+func TestHistPercentiles(t *testing.T) {
+	var h hist
+	for i := int64(1); i <= 100000; i++ {
+		h.add(i)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 50000}, {0.90, 90000}, {0.99, 99000}, {0.999, 99900}} {
+		got := float64(h.percentile(tc.q))
+		if math.Abs(got-tc.want)/tc.want > 0.02 {
+			t.Errorf("p%g = %.0f, want %.0f ±2%%", tc.q*100, got, tc.want)
+		}
+	}
+	if h.max != 100000 {
+		t.Errorf("max = %d, want 100000", h.max)
+	}
+	if got := h.mean(); math.Abs(got-50000.5) > 1 {
+		t.Errorf("mean = %f, want 50000.5", got)
+	}
+
+	// Small values are exact (linear buckets below 64).
+	var s hist
+	for _, v := range []int64{1, 2, 3, 60} {
+		s.add(v)
+	}
+	if got := s.percentile(1.0); got != 60 {
+		t.Errorf("small-value p100 = %d, want 60", got)
+	}
+
+	// Merge must be additive.
+	var m hist
+	m.merge(&h)
+	m.merge(&s)
+	if m.total != h.total+s.total || m.max != h.max {
+		t.Errorf("merge lost samples: total=%d max=%d", m.total, m.max)
+	}
+}

@@ -1,6 +1,6 @@
 // Package cachestore is the one cache core every cache in this repository
-// builds on: a sharded, mutex-per-shard, byte-budgeted LRU key-value store,
-// generic over the value type, with singleflight loading and atomic
+// builds on: a sharded, byte-budgeted LRU key-value store, generic over the
+// value type, with a lock-free read path, singleflight loading and atomic
 // hit/miss/eviction counters.
 //
 // The paper's server-side argument is that redundant work — like redundant
@@ -9,6 +9,31 @@
 // RFC 9111 browser cache, the Service-Worker cache storage, and the
 // middleware's probe cache), each with its own eviction bugs and none safe
 // to share between goroutines. They now all store through a Store.
+//
+// # Warm-path fast lane
+//
+// A fully-warm Get touches no mutex. Each shard keeps its key→entry index
+// in a read-mostly concurrent map (sync.Map) that readers load from
+// lock-free; an entry's value, key and size are immutable after
+// publication, so a reader can never observe a torn entry — replacing a
+// key's value publishes a whole new entry, and an entry removed while a
+// reader holds it simply stays readable until the reader drops it (the
+// garbage collector is the epoch reclamation: memory is reused only after
+// the last reader lets go).
+//
+// Recency is recorded lock-free too: a Get bumps the entry's eviction rank
+// with a single atomic store and touches nothing else. The per-shard
+// ordering structures (recency list, rank heap) are maintained only by
+// writers — under the shard mutex — and are allowed to go stale while a
+// shard takes only reads. Victim selection revalidates lazily: a candidate
+// whose live rank no longer matches its linked position is re-linked (paying
+// off the deferred promotions) and the scan repeats, so the entry finally
+// chosen is exactly the globally smallest live rank. Ranks only grow —
+// LRU stamps come off a monotone counter, GDSF priorities only inflate —
+// which is what makes "candidate's rank unchanged since linking" prove
+// global minimality. Single-threaded eviction order is therefore exactly
+// what the pre-lock-free store produced; concurrent races can at worst pick
+// a near-minimal victim, the same tolerance the sharded scan always had.
 //
 // Eviction and admission are pluggable (Options.Policy; see policy.go).
 // The default is globally exact LRU regardless of the shard count: every
@@ -33,8 +58,9 @@ import (
 type Options[V any] struct {
 	// Shards is the number of independent mutex-protected segments keys
 	// hash across. Zero selects 16; values are rounded up to a power of
-	// two (capped at 256). More shards mean less lock contention under
-	// concurrent load; eviction order is unaffected.
+	// two (capped at 256). More shards mean less write-lock contention
+	// under concurrent load; eviction order is unaffected. Reads never
+	// take a shard lock regardless.
 	Shards int
 	// MaxBytes bounds the sum of entry sizes as reported by SizeOf;
 	// 0 means unbounded. The least-recently-used entry (across all
@@ -80,18 +106,30 @@ type Counters struct {
 	AdmissionRejects, VictimScans int64
 }
 
+// node is one resident entry. key, val and size are immutable after the
+// entry is published in its shard's index, which is what makes lock-free
+// reads safe: replacing a key's value installs a fresh node. stamp is the
+// entry's live eviction rank, updated by lock-free readers; linked is the
+// rank the entry's list/heap position reflects, touched only under the
+// shard mutex. stamp only ever grows, and stamp == linked means the
+// position is current.
 type node[V any] struct {
 	key  string
 	val  V
 	size int64
-	// stamp is the entry's eviction rank — the smallest rank in the
+	// stamp is the entry's live eviction rank — the smallest rank in the
 	// store is evicted first. Under the default LRU policy it is the
 	// store-wide touch counter value at the last Get/Put (smaller means
 	// less recently used); under a rank policy it is whatever the
-	// ranker computed at the last access.
-	stamp uint64
-	// freq counts this entry's accesses while resident (saturating).
-	freq uint32
+	// ranker computed at the last access. Written lock-free by Get.
+	stamp atomic.Uint64
+	// linked is the rank at which the entry was last positioned in its
+	// shard's recency list or rank heap. Guarded by the shard mutex.
+	linked uint64
+	// freq counts this entry's accesses while resident (saturating;
+	// racing increments may be lost, which only rankers consume and the
+	// rank policies tolerate by construction).
+	freq atomic.Uint32
 	// hidx is the entry's index in its shard's rank heap; -1 when the
 	// store runs the LRU list path instead.
 	hidx       int32
@@ -99,11 +137,14 @@ type node[V any] struct {
 }
 
 type shard[V any] struct {
-	mu    sync.Mutex
-	items map[string]*node[V]
-	head  *node[V]   // most recently used (LRU policy only)
-	tail  *node[V]   // least recently used (LRU policy only)
-	heap  []*node[V] // min-heap on stamp (rank policies only)
+	mu sync.Mutex
+	// index maps key → *node[V]. Readers Load lock-free; all mutation
+	// happens under mu, so writers see a consistent membership.
+	index sync.Map
+	count atomic.Int64 // resident entries; mutated under mu
+	head  *node[V]     // most recently linked (LRU policy only)
+	tail  *node[V]     // least recently linked (LRU policy only)
+	heap  []*node[V]   // min-heap on linked rank (rank policies only)
 }
 
 // The shard list operations require the shard mutex.
@@ -133,15 +174,35 @@ func (s *shard[V]) unlink(n *node[V]) {
 	n.prev, n.next = nil, nil
 }
 
-func (s *shard[V]) moveFront(n *node[V]) {
-	if s.head != n {
-		s.unlink(n)
+// relink pays off a deferred lock-free promotion: the node's live stamp ran
+// ahead of its list position, so unhook it and re-insert it in descending
+// linked-stamp order. Promotions carry recent stamps, so the insertion point
+// is almost always the head — O(1) amortized. Requires the shard mutex.
+func (s *shard[V]) relink(n *node[V], stamp uint64) {
+	n.linked = stamp
+	s.unlink(n)
+	at := s.head
+	for at != nil && at.linked > stamp {
+		at = at.next
+	}
+	switch {
+	case at == nil: // empty list or smallest stamp: new tail
+		if s.tail != nil {
+			n.prev, s.tail.next = s.tail, n
+			s.tail = n
+		} else {
+			s.head, s.tail = n, n
+		}
+	case at == s.head:
 		s.pushFront(n)
+	default: // insert before at
+		n.prev, n.next = at.prev, at
+		at.prev.next, at.prev = n, n
 	}
 }
 
-// Store is a sharded LRU store. The zero value is not usable; construct
-// with New. A Store is safe for concurrent use.
+// Store is a sharded LRU store with lock-free reads. The zero value is not
+// usable; construct with New. A Store is safe for concurrent use.
 type Store[V any] struct {
 	shards  []shard[V]
 	mask    uint64
@@ -187,9 +248,6 @@ func New[V any](opts Options[V]) *Store[V] {
 	if s.sizeOf == nil {
 		s.sizeOf = func(string, V) int64 { return 1 }
 	}
-	for i := range s.shards {
-		s.shards[i].items = make(map[string]*node[V])
-	}
 	s.flight.calls = make(map[string]*flightCall[V])
 	if opts.Telemetry != nil && opts.Name != "" {
 		opts.Telemetry.RegisterCounter(opts.Name+".hits", &s.hits)
@@ -221,57 +279,86 @@ func (s *Store[V]) shard(key string) (*shard[V], uint64) {
 }
 
 // Get returns the value for key, promoting it under the active eviction
-// policy and counting the hit or miss.
+// policy and counting the hit or miss. A warm hit acquires no mutex: the
+// lookup reads the shard's concurrent index and the promotion is one atomic
+// rank store, deferred into the shard's ordering structures until the next
+// write needs them (see the package comment's warm-path fast lane).
 func (s *Store[V]) Get(key string) (V, bool) {
 	sh, h := s.shard(key)
 	if s.admit != nil {
 		s.admit.record(h)
 	}
-	sh.mu.Lock()
-	n, ok := sh.items[key]
+	e, ok := sh.index.Load(key)
 	if !ok {
-		sh.mu.Unlock()
 		s.misses.Add(1)
 		var zero V
 		return zero, false
 	}
-	s.promote(sh, n)
-	v := n.val
-	sh.mu.Unlock()
+	n := e.(*node[V])
+	s.promote(n)
 	s.hits.Add(1)
-	return v, true
+	return n.val, true
 }
 
-// promote records an access on a resident entry: LRU moves it to the
-// shard's list front with a fresh touch stamp; rank policies recompute its
-// rank and restore the heap. Requires the shard lock.
-func (s *Store[V]) promote(sh *shard[V], n *node[V]) {
+// GetBytes is Get for callers that assembled the key in a scratch buffer:
+// the lookup indexes with string(key) directly, which the compiler performs
+// without copying, so a warm hit allocates nothing. The promotion and
+// counter semantics are identical to Get.
+func (s *Store[V]) GetBytes(key []byte) (V, bool) {
+	sh := &s.shards[hashKeyBytes(key)&s.mask]
+	if s.admit != nil {
+		s.admit.record(hashKeyBytes(key))
+	}
+	e, ok := sh.index.Load(string(key))
+	if !ok {
+		s.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	n := e.(*node[V])
+	s.promote(n)
+	s.hits.Add(1)
+	return n.val, true
+}
+
+// hashKeyBytes is hashKey over a byte slice.
+func hashKeyBytes(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// promote records an access on a resident entry with atomics only: LRU
+// stores a fresh touch stamp; rank policies bump the (saturating, lossy
+// under races) frequency and store the recomputed rank. The entry's
+// list/heap position is intentionally left stale — victim selection
+// revalidates it before trusting it.
+func (s *Store[V]) promote(n *node[V]) {
 	if s.ranker == nil {
-		// The exact pre-policy LRU path; only rankers consume freq, so
-		// the hit path skips even that write.
-		sh.moveFront(n)
-		n.stamp = s.touch.Add(1)
+		n.stamp.Store(s.touch.Add(1))
 		return
 	}
-	if n.freq != ^uint32(0) {
-		n.freq++
+	f := n.freq.Load()
+	if f != ^uint32(0) {
+		f++
+		n.freq.Store(f)
 	}
-	n.stamp = s.ranker.onAccess(n.freq, n.size)
-	sh.heapFix(n)
+	n.stamp.Store(s.ranker.onAccess(f, n.size))
 }
 
 // Peek returns the value for key without touching eviction order or
-// counters.
+// counters. Lock-free.
 func (s *Store[V]) Peek(key string) (V, bool) {
 	sh, _ := s.shard(key)
-	sh.mu.Lock()
-	n, ok := sh.items[key]
-	var v V
-	if ok {
-		v = n.val
+	e, ok := sh.index.Load(key)
+	if !ok {
+		var zero V
+		return zero, false
 	}
-	sh.mu.Unlock()
-	return v, ok
+	return e.(*node[V]).val, true
 }
 
 // Put stores v under key, replacing any previous entry, then enforces the
@@ -298,27 +385,51 @@ func (s *Store[V]) Put(key string, v V) {
 		}
 	}
 	sh.mu.Lock()
-	if n, ok := sh.items[key]; ok {
-		s.bytes.Add(size - n.size)
-		n.val, n.size = v, size
-		s.promote(sh, n)
-	} else {
-		if askAdmission && !s.admit.admit(h, victimHash) {
-			sh.mu.Unlock()
-			s.admissionRejects.Add(1)
-			return
-		}
-		n := &node[V]{key: key, val: v, size: size, freq: 1, hidx: -1}
-		if s.ranker == nil {
-			n.stamp = s.touch.Add(1)
-			sh.pushFront(n)
-		} else {
-			n.stamp = s.ranker.onAccess(1, size)
-			sh.heapPush(n)
-		}
-		sh.items[key] = n
-		s.bytes.Add(size)
+	var old *node[V]
+	if e, ok := sh.index.Load(key); ok {
+		old = e.(*node[V])
 	}
+	if old == nil && askAdmission && !s.admit.admit(h, victimHash) {
+		sh.mu.Unlock()
+		s.admissionRejects.Add(1)
+		return
+	}
+	// Replacement installs a fresh node so concurrent lock-free readers
+	// never observe a half-updated entry; the rank it starts with is the
+	// same one the locked store would have promoted the old entry to.
+	n := &node[V]{key: key, val: v, size: size, hidx: -1}
+	freq := uint32(1)
+	if old != nil && s.ranker != nil {
+		if f := old.freq.Load(); f == ^uint32(0) {
+			freq = f
+		} else {
+			freq = f + 1
+		}
+	}
+	n.freq.Store(freq)
+	var rank uint64
+	if s.ranker == nil {
+		rank = s.touch.Add(1)
+	} else {
+		rank = s.ranker.onAccess(freq, size)
+	}
+	n.stamp.Store(rank)
+	n.linked = rank
+	if old != nil {
+		s.bytes.Add(size - old.size)
+		s.unhook(sh, old)
+	} else {
+		s.bytes.Add(size)
+		sh.count.Add(1)
+	}
+	if s.ranker == nil {
+		// rank came off the monotone touch counter under the lock, so it
+		// is the largest linked stamp in the shard: the head is exact.
+		sh.pushFront(n)
+	} else {
+		sh.heapPush(n)
+	}
+	sh.index.Store(key, n)
 	sh.mu.Unlock()
 	s.puts.Add(1)
 	s.enforceBudget()
@@ -346,16 +457,41 @@ func (s *Store[V]) enforceBudget() {
 	}
 }
 
-// victim returns the shard's eviction candidate — the list tail under LRU,
-// the heap root under a rank policy — or nil. Requires the shard lock.
+// victim returns the shard's eviction candidate with its live rank paid
+// off: the list tail under LRU, the heap root under a rank policy. A
+// candidate whose live stamp ran ahead of its linked position is re-linked
+// and the peek repeats, so the returned entry's position is current — which
+// (ranks only grow) proves it is the shard's true minimum. The iteration
+// bound only matters under concurrent promotion storms, where a near-
+// minimal victim is acceptable; single-threaded the loop settles exactly.
+// Requires the shard lock.
 func (s *Store[V]) victim(sh *shard[V]) *node[V] {
+	limit := int(sh.count.Load()) + 8
 	if s.ranker == nil {
-		return sh.tail
+		for i := 0; ; i++ {
+			t := sh.tail
+			if t == nil {
+				return nil
+			}
+			live := t.stamp.Load()
+			if live == t.linked || i >= limit {
+				return t
+			}
+			sh.relink(t, live)
+		}
 	}
-	if len(sh.heap) == 0 {
-		return nil
+	for i := 0; ; i++ {
+		if len(sh.heap) == 0 {
+			return nil
+		}
+		r := sh.heap[0]
+		live := r.stamp.Load()
+		if live == r.linked || i >= limit {
+			return r
+		}
+		r.linked = live
+		sh.heapFix(r)
 	}
-	return sh.heap[0]
 }
 
 // findVictimShard scans every shard for the globally smallest rank,
@@ -370,8 +506,8 @@ func (s *Store[V]) findVictimShard() int {
 		sh.mu.Lock()
 		if n := s.victim(sh); n != nil {
 			scanned++
-			if best < 0 || n.stamp < bestStamp {
-				best, bestStamp = i, n.stamp
+			if best < 0 || n.linked < bestStamp {
+				best, bestStamp = i, n.linked
 			}
 		}
 		sh.mu.Unlock()
@@ -418,20 +554,27 @@ func (s *Store[V]) evictOne() (string, V, bool) {
 	s.remove(sh, n)
 	sh.mu.Unlock()
 	if s.ranker != nil {
-		s.ranker.onEvict(n.stamp)
+		s.ranker.onEvict(n.linked)
 	}
 	return n.key, n.val, true
 }
 
-// remove unhooks a resident entry from its shard's bookkeeping. Requires
-// the shard lock.
-func (s *Store[V]) remove(sh *shard[V], n *node[V]) {
+// unhook detaches a node from its shard's ordering structure (not the
+// index). Requires the shard lock.
+func (s *Store[V]) unhook(sh *shard[V], n *node[V]) {
 	if s.ranker == nil {
 		sh.unlink(n)
 	} else {
 		sh.heapRemove(n)
 	}
-	delete(sh.items, n.key)
+}
+
+// remove unhooks a resident entry from its shard's bookkeeping. Requires
+// the shard lock.
+func (s *Store[V]) remove(sh *shard[V], n *node[V]) {
+	s.unhook(sh, n)
+	sh.index.Delete(n.key)
+	sh.count.Add(-1)
 	s.bytes.Add(-n.size)
 }
 
@@ -439,23 +582,27 @@ func (s *Store[V]) remove(sh *shard[V], n *node[V]) {
 func (s *Store[V]) Delete(key string) bool {
 	sh, _ := s.shard(key)
 	sh.mu.Lock()
-	n, ok := sh.items[key]
+	e, ok := sh.index.Load(key)
 	if ok {
-		s.remove(sh, n)
+		s.remove(sh, e.(*node[V]))
 	}
 	sh.mu.Unlock()
 	return ok
 }
 
-// Clear empties the store. Counters are not reset.
+// Clear empties the store. Counters are not reset. Readers that already
+// hold an entry keep reading it consistently — entries are immutable and
+// reclaimed by the garbage collector once the last reader drops them.
 func (s *Store[V]) Clear() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for _, n := range sh.items {
-			s.bytes.Add(-n.size)
-		}
-		sh.items = make(map[string]*node[V])
+		sh.index.Range(func(k, e any) bool {
+			s.bytes.Add(-e.(*node[V]).size)
+			sh.index.Delete(k)
+			return true
+		})
+		sh.count.Store(0)
 		sh.head, sh.tail = nil, nil
 		sh.heap = nil
 		sh.mu.Unlock()
@@ -476,14 +623,11 @@ func (s *Store[V]) MaxBytes() int64 { return s.maxBytes.Load() }
 
 // Len returns the number of stored entries.
 func (s *Store[V]) Len() int {
-	total := 0
+	total := int64(0)
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		total += len(sh.items)
-		sh.mu.Unlock()
+		total += s.shards[i].count.Load()
 	}
-	return total
+	return int(total)
 }
 
 // Bytes returns the total accounting size of stored entries.
@@ -495,9 +639,10 @@ func (s *Store[V]) Keys() []string {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for k := range sh.items {
-			keys = append(keys, k)
-		}
+		sh.index.Range(func(k, _ any) bool {
+			keys = append(keys, k.(string))
+			return true
+		})
 		sh.mu.Unlock()
 	}
 	return keys
@@ -505,11 +650,12 @@ func (s *Store[V]) Keys() []string {
 
 // Audit cross-checks the store's bookkeeping invariants: every shard's
 // eviction structure (recency list under LRU, rank heap under a rank
-// policy) and map must agree entry for entry, the ordering invariant must
-// hold (list order follows the touch stamps; the heap property holds on
-// ranks), and the charged sizes must sum to Bytes(). It returns the first
-// inconsistency found, or nil. Audit is meant for tests — the byte total
-// is only meaningful when no concurrent mutation is in flight.
+// policy) and index must agree entry for entry, the ordering invariant must
+// hold (list order follows the linked stamps; the heap property holds on
+// linked ranks; no live rank lags its linked position), and the charged
+// sizes must sum to Bytes(). It returns the first inconsistency found, or
+// nil. Audit is meant for tests — the byte total is only meaningful when no
+// concurrent mutation is in flight.
 func (s *Store[V]) Audit() error {
 	var total int64
 	for i := range s.shards {
@@ -530,26 +676,40 @@ func (s *Store[V]) auditShard(i int) (int64, error) {
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	indexed := 0
+	sh.index.Range(func(_, _ any) bool { indexed++; return true })
+	if c := int(sh.count.Load()); c != indexed {
+		return 0, fmt.Errorf("cachestore: shard %d counts %d entries, index holds %d", i, c, indexed)
+	}
 	var total int64
+	check := func(n *node[V]) error {
+		if e, ok := sh.index.Load(n.key); !ok || e.(*node[V]) != n {
+			return fmt.Errorf("cachestore: shard %d linked node %q not in index", i, n.key)
+		}
+		if live := n.stamp.Load(); live < n.linked {
+			return fmt.Errorf("cachestore: entry %q live rank %d lags its linked rank %d", n.key, live, n.linked)
+		}
+		size := s.sizeOf(n.key, n.val)
+		if size != n.size {
+			return fmt.Errorf("cachestore: entry %q charged %d bytes, SizeOf says %d", n.key, n.size, size)
+		}
+		total += n.size
+		return nil
+	}
 	if s.ranker != nil {
-		if len(sh.heap) != len(sh.items) {
-			return 0, fmt.Errorf("cachestore: shard %d heap holds %d entries, map holds %d", i, len(sh.heap), len(sh.items))
+		if len(sh.heap) != indexed {
+			return 0, fmt.Errorf("cachestore: shard %d heap holds %d entries, index holds %d", i, len(sh.heap), indexed)
 		}
 		for j, n := range sh.heap {
 			if int(n.hidx) != j {
 				return 0, fmt.Errorf("cachestore: shard %d heap node %q claims index %d, is at %d", i, n.key, n.hidx, j)
 			}
-			if j > 0 && sh.heap[(j-1)/2].stamp > n.stamp {
+			if j > 0 && sh.heap[(j-1)/2].linked > n.linked {
 				return 0, fmt.Errorf("cachestore: shard %d heap property violated at %q", i, n.key)
 			}
-			if sh.items[n.key] != n {
-				return 0, fmt.Errorf("cachestore: shard %d heap node %q not in map", i, n.key)
+			if err := check(n); err != nil {
+				return 0, err
 			}
-			size := s.sizeOf(n.key, n.val)
-			if size != n.size {
-				return 0, fmt.Errorf("cachestore: entry %q charged %d bytes, SizeOf says %d", n.key, n.size, size)
-			}
-			total += n.size
 		}
 		return total, nil
 	}
@@ -558,25 +718,20 @@ func (s *Store[V]) auditShard(i int) (int64, error) {
 	var last *node[V]
 	for n := sh.head; n != nil; n = n.next {
 		listed++
-		if listed > len(sh.items) {
-			return 0, fmt.Errorf("cachestore: shard %d recency list longer than its map (%d entries)", i, len(sh.items))
+		if listed > indexed {
+			return 0, fmt.Errorf("cachestore: shard %d recency list longer than its index (%d entries)", i, indexed)
 		}
-		if n.stamp > prevStamp {
-			return 0, fmt.Errorf("cachestore: shard %d stamps out of order at %q (%d after %d)", i, n.key, n.stamp, prevStamp)
+		if n.linked > prevStamp {
+			return 0, fmt.Errorf("cachestore: shard %d stamps out of order at %q (%d after %d)", i, n.key, n.linked, prevStamp)
 		}
-		prevStamp = n.stamp
-		if sh.items[n.key] != n {
-			return 0, fmt.Errorf("cachestore: shard %d list node %q not in map", i, n.key)
+		prevStamp = n.linked
+		if err := check(n); err != nil {
+			return 0, err
 		}
-		size := s.sizeOf(n.key, n.val)
-		if size != n.size {
-			return 0, fmt.Errorf("cachestore: entry %q charged %d bytes, SizeOf says %d", n.key, n.size, size)
-		}
-		total += n.size
 		last = n
 	}
-	if listed != len(sh.items) {
-		return 0, fmt.Errorf("cachestore: shard %d lists %d entries, map holds %d", i, listed, len(sh.items))
+	if listed != indexed {
+		return 0, fmt.Errorf("cachestore: shard %d lists %d entries, index holds %d", i, listed, indexed)
 	}
 	if sh.tail != last {
 		return 0, fmt.Errorf("cachestore: shard %d tail does not terminate the list", i)

@@ -1,0 +1,263 @@
+package cachestore
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cachecatalyst/internal/leakcheck"
+)
+
+// TestWarmGetTakesNoMutex is the direct proof of the warm-path fast lane:
+// with every shard mutex held by the test, a warm Get (and Peek, and
+// GetBytes) must still return — it would deadlock if the read path touched
+// any shard lock.
+func TestWarmGetTakesNoMutex(t *testing.T) {
+	for _, pol := range []Policy{{}, {Eviction: GDSF()}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			s := New[string](Options[string]{Shards: 4, Policy: pol})
+			for i := 0; i < 32; i++ {
+				s.Put(fmt.Sprintf("/k%d", i), "v")
+			}
+			for i := range s.shards {
+				s.shards[i].mu.Lock()
+			}
+			defer func() {
+				for i := range s.shards {
+					s.shards[i].mu.Unlock()
+				}
+			}()
+			done := make(chan bool, 1)
+			go func() {
+				_, ok1 := s.Get("/k7")
+				_, ok2 := s.Peek("/k8")
+				_, ok3 := s.GetBytes([]byte("/k9"))
+				_, miss := s.Get("/absent")
+				done <- ok1 && ok2 && ok3 && !miss
+			}()
+			select {
+			case ok := <-done:
+				if !ok {
+					t.Fatal("lock-free reads returned wrong results")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Get blocked on a shard mutex — read path is not lock-free")
+			}
+		})
+	}
+}
+
+// TestGetAllocsZero pins the warm read path at zero allocations, for both
+// the string-key and the assembled-byte-key entry points.
+func TestGetAllocsZero(t *testing.T) {
+	s := New[string](Options[string]{Shards: 4})
+	s.Put("/page", "body")
+	key := []byte("/page")
+	if n := testing.AllocsPerRun(200, func() { s.Get("/page") }); n != 0 {
+		t.Fatalf("Get allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { s.GetBytes(key) }); n != 0 {
+		t.Fatalf("GetBytes allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestDeferredPromotionEvictsExactly exercises the lazy-promotion design
+// directly: a burst of lock-free Gets reorders the live ranks without
+// touching the shards' recency structures, and the subsequent evictions
+// (forced one at a time through Resize) must still come out in exact
+// global LRU order — proving victim validation pays off every deferred
+// promotion before trusting a candidate.
+func TestDeferredPromotionEvictsExactly(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var evicted []string
+			s := New[int](Options[int]{
+				Shards:  shards,
+				OnEvict: func(key string, _ int) { evicted = append(evicted, key) },
+			})
+			const n = 40
+			for i := 0; i < n; i++ {
+				s.Put(fmt.Sprintf("/k%02d", i), i)
+			}
+			// Touch every entry in a scrambled order; these promotions all
+			// stay deferred (stamp runs ahead of linked) because no write
+			// intervenes.
+			rng := rand.New(rand.NewSource(9))
+			order := rng.Perm(n)
+			for _, i := range order {
+				if _, ok := s.Get(fmt.Sprintf("/k%02d", i)); !ok {
+					t.Fatalf("key %d vanished", i)
+				}
+			}
+			// Shrink one entry at a time: each Resize must evict exactly
+			// the least recently touched survivor. (Resize(0) would lift
+			// the bound, so stop at one resident entry.)
+			for remaining := n; remaining > 1; remaining-- {
+				s.Resize(int64(remaining - 1))
+			}
+			if len(evicted) != n-1 {
+				t.Fatalf("evicted %d of %d entries", len(evicted), n-1)
+			}
+			for pos, i := range order[:n-1] {
+				if want := fmt.Sprintf("/k%02d", i); evicted[pos] != want {
+					t.Fatalf("eviction %d: got %q, want %q (exact LRU order violated)", pos, evicted[pos], want)
+				}
+			}
+			if err := s.Audit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLockFreeStressAgainstBudget hammers every mutating operation —
+// Get, Put, Delete, Resize, Clear, policy eviction — from many goroutines
+// under every policy, then quiesces and audits. Run under -race this is
+// the memory-safety half of the differential argument (the sequential
+// half is TestDefaultPolicyMatchesReferenceLRU and
+// TestDeferredPromotionEvictsExactly).
+func TestLockFreeStressAgainstBudget(t *testing.T) {
+	t.Parallel()
+	for _, name := range PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			pol, err := ParsePolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New[string](Options[string]{
+				Shards:   8,
+				MaxBytes: 4 << 10,
+				SizeOf:   func(_ string, v string) int64 { return int64(len(v)) },
+				Policy:   pol,
+			})
+			var wg sync.WaitGroup
+			for g := 0; g < 12; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					val := string(make([]byte, 48))
+					for i := 0; i < 800; i++ {
+						key := fmt.Sprintf("/obj-%d", rng.Intn(300))
+						switch rng.Intn(10) {
+						case 0, 1, 2:
+							s.Put(key, val)
+						case 3:
+							s.Delete(key)
+						case 4:
+							if i%200 == 0 {
+								s.Resize(int64(2<<10 + rng.Intn(4<<10)))
+							} else if i%399 == 0 {
+								s.Clear()
+							} else {
+								s.GetBytes([]byte(key))
+							}
+						default:
+							s.Get(key)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			s.Resize(4 << 10)
+			if s.Bytes() > 4<<10 {
+				t.Fatalf("over budget after quiesce: %d", s.Bytes())
+			}
+			if err := s.Audit(); err != nil {
+				t.Fatal(err)
+			}
+			// The store must still be fully functional afterwards.
+			s.Put("/after", "x")
+			if v, ok := s.Get("/after"); !ok || v != "x" {
+				t.Fatalf("store broken after stress: %q %v", v, ok)
+			}
+		})
+	}
+}
+
+// TestEpochReclamationNoTornReads proves the publication protocol: entries
+// are immutable after publication and replacement installs a whole new
+// entry, so a reader that raced a replacement, eviction or Clear must see
+// either the complete old value or the complete new one — never a mix.
+// Values carry a self-check (two halves that must agree, tied to the key),
+// and leakcheck verifies the readers actually wind down.
+func TestEpochReclamationNoTornReads(t *testing.T) {
+	leakcheck.Check(t)
+	type sealed struct {
+		key  string
+		a, b uint64 // always written equal; a torn read would disagree
+	}
+	s := New[*sealed](Options[*sealed]{
+		Shards:   4,
+		MaxBytes: 64, // tight: constant eviction pressure
+	})
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("/page-%d", i)
+	}
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[rng.Intn(len(keys))]
+				if v, ok := s.Get(key); ok {
+					if v.a != v.b || v.key != key {
+						torn.Add(1)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	var seq atomic.Uint64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 4000; i++ {
+				key := keys[rng.Intn(len(keys))]
+				n := seq.Add(1)
+				s.Put(key, &sealed{key: key, a: n, b: n})
+				if i%500 == 0 {
+					s.Clear()
+				}
+				if i%97 == 0 {
+					runtime.GC() // reclaim retired entries while readers hold some
+				}
+			}
+		}(w)
+	}
+	// Writers finish on their own; readers run until told to stop.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress goroutines did not finish")
+	}
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn reads observed — publication protocol violated", n)
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -284,10 +284,13 @@ func ParsePolicy(name string) (Policy, error) {
 }
 
 // Rank-heap bookkeeping for non-LRU eviction policies. Each shard keeps
-// its entries in a binary min-heap on node.stamp (the policy rank), so the
-// shard's cheapest victim is heap[0] and the global victim is the smallest
-// root across shards — the same O(shards) victim scan the LRU lists use,
-// with O(log n) maintenance per touch. All methods require the shard lock.
+// its entries in a binary min-heap on node.linked (the policy rank as of
+// the entry's last write-side positioning — lock-free reads store fresher
+// ranks into node.stamp, and victim selection pays the difference off
+// before trusting the root), so the shard's cheapest validated victim is
+// heap[0] and the global victim is the smallest root across shards — the
+// same O(shards) victim scan the LRU lists use, with O(log n) maintenance
+// per write. All methods require the shard lock.
 
 func (sh *shard[V]) heapPush(n *node[V]) {
 	n.hidx = int32(len(sh.heap))
@@ -320,7 +323,7 @@ func (sh *shard[V]) heapFix(n *node[V]) {
 func (sh *shard[V]) heapUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if sh.heap[parent].stamp <= sh.heap[i].stamp {
+		if sh.heap[parent].linked <= sh.heap[i].linked {
 			break
 		}
 		sh.heapSwap(i, parent)
@@ -337,10 +340,10 @@ func (sh *shard[V]) heapDown(i int) bool {
 			return moved
 		}
 		least := left
-		if right := left + 1; right < len(sh.heap) && sh.heap[right].stamp < sh.heap[left].stamp {
+		if right := left + 1; right < len(sh.heap) && sh.heap[right].linked < sh.heap[left].linked {
 			least = right
 		}
-		if sh.heap[i].stamp <= sh.heap[least].stamp {
+		if sh.heap[i].linked <= sh.heap[least].linked {
 			return moved
 		}
 		sh.heapSwap(i, least)

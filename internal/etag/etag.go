@@ -118,6 +118,22 @@ func NoneMatch(headerValue string, current Tag) bool {
 	if headerValue == "" {
 		return true
 	}
+	// Fast path: a single-tag header — the overwhelmingly common case on
+	// revalidation-heavy workloads — compares without the list machinery
+	// and its slice allocations. Values with commas (lists, or opaque
+	// values containing quoted commas) take the full parse below.
+	if !strings.ContainsRune(headerValue, ',') {
+		v := strings.TrimSpace(headerValue)
+		if v == "*" {
+			return current.IsZero()
+		}
+		if t, ok := Parse(v); ok {
+			return !WeakMatch(t, current)
+		}
+		// Malformed members are skipped, so an unparsable lone tag
+		// matches nothing and the precondition holds.
+		return true
+	}
 	tags, star := ParseList(headerValue)
 	if star {
 		return current.IsZero()

@@ -11,6 +11,8 @@ package netem
 
 import (
 	"net"
+	"os"
+	"sync"
 	"time"
 )
 
@@ -27,7 +29,12 @@ type Shaper struct {
 // delay and bandwidth. Writes pass through unshaped (shape the peer's
 // reads instead).
 func (s Shaper) Conn(c net.Conn) net.Conn {
-	sc := &shapedConn{Conn: c, shaper: s, chunks: make(chan chunk, 64)}
+	sc := &shapedConn{
+		Conn:       c,
+		shaper:     s,
+		chunks:     make(chan chunk, 64),
+		deadlineCh: make(chan struct{}),
+	}
 	go sc.pump()
 	return sc
 }
@@ -61,13 +68,33 @@ type shapedConn struct {
 	shaper Shaper
 	chunks chan chunk
 
-	// pending is the partially consumed head chunk.
+	// pending is the partially consumed head chunk; head is a received
+	// chunk whose delivery time has not arrived yet (kept out of pending
+	// so an aborted Read does not lose it).
 	pending []byte
+	head    chunk
+	hasHead bool
+	// finalErr is the pump's terminal error, replayed by every Read after
+	// delivery (a real conn keeps returning EOF too; without this a
+	// second read would block forever on the dead chunk channel).
+	finalErr error
+
+	// Read deadlines are implemented here, not on the underlying
+	// connection: net/http aborts its between-requests background read by
+	// setting a deadline in the past (abortPendingRead), and if that
+	// deadline reached the underlying conn it would fire inside pump and
+	// kill the connection after its first request. deadlineCh is closed
+	// (and replaced) on every deadline change, waking blocked Reads so
+	// they re-evaluate — the semantics SetReadDeadline demands.
+	mu           sync.Mutex
+	readDeadline time.Time
+	deadlineCh   chan struct{}
 }
 
 // pump reads from the underlying connection and timestamps each chunk with
 // its delivery time: transmission (token bucket at BitsPerSec) plus
-// propagation delay.
+// propagation delay. It never sees read deadlines — those are handled in
+// Read — so it exits only when the connection really ends.
 func (c *shapedConn) pump() {
 	var lastTxEnd time.Time
 	for {
@@ -93,22 +120,86 @@ func (c *shapedConn) pump() {
 	}
 }
 
-// Read implements net.Conn with shaped delivery.
+// readState snapshots the current deadline and its change channel.
+func (c *shapedConn) readState() (time.Time, chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readDeadline, c.deadlineCh
+}
+
+// Read implements net.Conn with shaped delivery and wrapper-level deadline
+// handling. A Read aborted by a deadline leaves undelivered data in place,
+// so the connection remains usable after the deadline is re-armed.
 func (c *shapedConn) Read(p []byte) (int, error) {
-	if len(c.pending) == 0 {
-		ch, ok := <-c.chunks
-		if !ok {
-			return 0, net.ErrClosed
+	for len(c.pending) == 0 {
+		if c.finalErr != nil {
+			return 0, c.finalErr
 		}
-		if wait := time.Until(ch.readyAt); wait > 0 {
-			time.Sleep(wait)
+		deadline, changed := c.readState()
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return 0, os.ErrDeadlineExceeded
 		}
-		if ch.err != nil {
-			return 0, ch.err
+		var expire <-chan time.Time
+		if !deadline.IsZero() {
+			t := time.NewTimer(time.Until(deadline))
+			expire = t.C
+			defer t.Stop()
 		}
-		c.pending = ch.data
+		if !c.hasHead {
+			select {
+			case ch, ok := <-c.chunks:
+				if !ok {
+					return 0, net.ErrClosed
+				}
+				c.head, c.hasHead = ch, true
+			case <-expire:
+				return 0, os.ErrDeadlineExceeded
+			case <-changed:
+				continue
+			}
+		}
+		// Hold the head chunk until its delivery time.
+		if wait := time.Until(c.head.readyAt); wait > 0 {
+			ready := time.NewTimer(wait)
+			select {
+			case <-ready.C:
+			case <-expire:
+				ready.Stop()
+				return 0, os.ErrDeadlineExceeded
+			case <-changed:
+				ready.Stop()
+				continue
+			}
+		}
+		c.hasHead = false
+		if c.head.err != nil {
+			c.finalErr = c.head.err
+			return 0, c.head.err
+		}
+		c.pending = c.head.data
 	}
 	n := copy(p, c.pending)
 	c.pending = c.pending[n:]
 	return n, nil
+}
+
+// SetReadDeadline implements net.Conn. The deadline is enforced by Read
+// itself and deliberately not forwarded to the underlying connection (see
+// the field comment); setting it wakes any blocked Read.
+func (c *shapedConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	close(c.deadlineCh)
+	c.deadlineCh = make(chan struct{})
+	c.mu.Unlock()
+	return nil
+}
+
+// SetDeadline implements net.Conn: reads via the wrapper, writes via the
+// underlying connection (writes pass through unshaped).
+func (c *shapedConn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.Conn.SetWriteDeadline(t)
 }

@@ -155,3 +155,50 @@ func TestListenerShapesAccepted(t *testing.T) {
 		t.Fatal("accepted connection not shaped")
 	}
 }
+
+// TestShapedConnSurvivesReadDeadlineAbort pins the keep-alive contract:
+// net/http aborts its between-requests background read by setting a read
+// deadline in the past (abortPendingRead), and the shaped connection must
+// treat that timeout as a control signal — delivered promptly, connection
+// still usable — not as the end of the stream. Before the fix, the pump
+// goroutine exited on the first deadline poke and every keep-alive
+// connection behind a shaped listener went dead after one request.
+func TestShapedConnSurvivesReadDeadlineAbort(t *testing.T) {
+	client, srv := pipePair(t)
+	defer client.Close()
+	shaped := Shaper{Delay: 5 * time.Millisecond}.Conn(srv)
+	defer shaped.Close()
+
+	// Request 1 arrives shaped.
+	if _, err := client.Write([]byte("one..")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(shaped, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server aborts a pending read with a deadline in the past …
+	if err := shaped.SetReadDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shaped.Read(buf); err == nil {
+		t.Fatal("aborted read returned no error")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("aborted read error = %v, want timeout", err)
+	}
+
+	// … re-arms, and the connection must still deliver request 2.
+	if err := shaped.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte("two..")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(shaped, buf); err != nil {
+		t.Fatalf("connection dead after deadline abort: %v", err)
+	}
+	if string(buf) != "two.." {
+		t.Fatalf("read %q after re-arm, want \"two..\"", buf)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cachecatalyst/internal/etag"
@@ -69,13 +70,22 @@ func itoa(n int64) string {
 	return string(buf[i:])
 }
 
-// Resource is one servable entity at a point in time.
+// Resource is one servable entity at a point in time. Content
+// implementations treat a Resource as immutable once handed to Get — a
+// changed entity is a new *Resource — which is what lets the server cache
+// the wire-format header values derived from it.
 type Resource struct {
 	Body         []byte
 	ContentType  string
 	ETag         etag.Tag
 	Policy       CachePolicy
 	LastModified time.Time
+
+	// hdr memoizes the rendered header values (ETag string, Content-Type
+	// slice, …) the serve path would otherwise re-allocate per request.
+	// Built lazily on first serve; racing builders produce identical
+	// values, so last-store-wins is fine.
+	hdr atomic.Pointer[resourceHeaders]
 }
 
 // Content supplies the site being served. Implementations must reflect the

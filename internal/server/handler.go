@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cachecatalyst/internal/cachestore"
@@ -118,13 +120,38 @@ type Metrics struct {
 type Server struct {
 	content    Content
 	opts       Options
+	resolver   contentResolver // stateless Content→core.Resolver adapter, built once
 	recorder   *Recorder
 	access     *accessLog
 	renders    *cachestore.Store[*pageRender] // nil when disabled
 	deltaBases *cachestore.Store[[]byte]      // previous page bodies; nil unless Options.Delta
 	mapGate    *resilience.Gate               // map-resolution admission; nil when disabled
 	serveNS    *telemetry.Histogram           // nil without telemetry
+	dateHdr    atomic.Pointer[dateHeader]     // per-second Date value cache
 	Metrics    Metrics
+}
+
+// dateHeader caches one second's worth of Date header value: HTTP dates
+// have second granularity, so every request within the same second shares
+// one formatted string (and one header value slice) instead of re-running
+// time.Format per serve.
+type dateHeader struct {
+	unix int64
+	val  []string
+}
+
+// dateHeaderValue returns the Date header value slice for the current
+// clock second, shared across requests. The slice is assigned into header
+// maps directly and must never be mutated in place.
+func (s *Server) dateHeaderValue() []string {
+	now := s.opts.Clock.Now()
+	u := now.Unix()
+	if c := s.dateHdr.Load(); c != nil && c.unix == u {
+		return c.val
+	}
+	c := &dateHeader{unix: u, val: []string{headers.FormatHTTPDate(now)}}
+	s.dateHdr.Store(c)
+	return c.val
 }
 
 // New returns a server over content.
@@ -135,7 +162,7 @@ func New(content Content, opts Options) *Server {
 	if opts.MaxRenderBytes == 0 {
 		opts.MaxRenderBytes = 16 << 20
 	}
-	s := &Server{content: content, opts: opts}
+	s := &Server{content: content, opts: opts, resolver: contentResolver{content: content}}
 	if opts.Record {
 		s.recorder = NewRecorder()
 	}
@@ -207,28 +234,39 @@ func (s *Server) Recorder() *Recorder { return s.recorder }
 // Options.ServerTiming, mirrored into a Server-Timing header so clients can
 // annotate their own traces with the origin's view.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	if s.serveNS != nil {
-		defer func() { s.serveNS.Observe(time.Since(start).Nanoseconds()) }()
+	// The latency observation wraps serve as a plain call rather than a
+	// deferred closure: the closure (and its captured start) would cost an
+	// allocation on every instrumented request.
+	if s.serveNS == nil {
+		s.serve(w, r)
+		return
 	}
+	start := time.Now()
+	s.serve(w, r)
+	s.serveNS.Observe(time.Since(start).Nanoseconds())
+}
+
+// decide records one cache decision everywhere it is observable: the
+// request trace, and — before the status line is committed — the
+// response's Server-Timing header. A method rather than a per-request
+// closure; the closure allocated on every serve.
+func (s *Server) decide(ctx context.Context, h http.Header, name, detail string) {
+	telemetry.Event(ctx, name, detail)
+	if s.opts.ServerTiming {
+		telemetry.AppendServerTiming(h, name)
+	}
+}
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
-	ctx, endSpan := telemetry.StartSpan(ctx, "server")
-	defer endSpan()
+	ctx, span := telemetry.BeginSpan(ctx, "server")
+	defer span.End()
 	if s.opts.RequestBudget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = resilience.WithBudget(ctx, s.opts.RequestBudget)
 		defer cancel()
 	}
 	h := w.Header()
-	// decide records one cache decision everywhere it is observable: the
-	// request trace, and — before the status line is committed — the
-	// response's Server-Timing header.
-	decide := func(name, detail string) {
-		telemetry.Event(ctx, name, detail)
-		if s.opts.ServerTiming {
-			telemetry.AppendServerTiming(h, name)
-		}
-	}
 
 	s.Metrics.Requests.Add(1)
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -237,12 +275,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := r.URL.Path
-	if r.URL.RawQuery != "" {
-		p += "?" + r.URL.RawQuery
+	if q := r.URL.RawQuery; q != "" {
+		p = p + "?" + q
 	}
 
 	if s.opts.Catalyst && p == core.ServiceWorkerPath {
-		decide("sw-script", p)
+		s.decide(ctx, h, "sw-script", p)
 		status, n := s.serveWorkerScript(w, r)
 		s.logAccess(r, status, n, 0)
 		return
@@ -251,23 +289,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	res, ok := s.content.Get(p)
 	if !ok {
 		s.Metrics.NotFound.Add(1)
-		decide("not-found", p)
+		s.decide(ctx, h, "not-found", p)
 		http.NotFound(w, r)
 		s.logAccess(r, http.StatusNotFound, 0, 0)
 		return
 	}
 
-	h.Set("Date", headers.FormatHTTPDate(s.opts.Clock.Now()))
-	h.Set("Content-Type", res.ContentType)
-	if cc := res.Policy.CacheControl(); cc != "" {
-		h.Set("Cache-Control", cc)
+	// Header values are precomputed slices assigned into the map directly
+	// (one bucket write instead of render + canonicalize + slice alloc per
+	// header per request). Nothing downstream mutates a stored value slice
+	// in place, which is what makes sharing them safe.
+	rh := res.headerValues()
+	h["Date"] = s.dateHeaderValue()
+	h["Content-Type"] = rh.ctype
+	if rh.cacheControl != nil {
+		h["Cache-Control"] = rh.cacheControl
 	}
-	if !res.LastModified.IsZero() {
-		h.Set("Last-Modified", headers.FormatHTTPDate(res.LastModified))
+	if rh.lastModified != nil {
+		h["Last-Modified"] = rh.lastModified
 	}
 
 	body := res.Body
 	tag := res.ETag
+	etagHdr := rh.etag
+	clenHdr := rh.clen
 	sessionID := ""
 	mapEntries := 0
 	if s.recorder != nil {
@@ -279,26 +324,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var deltaBase []byte
 	deltaFrom := ""
 
-	if isHTML := IsHTML(res.ContentType); s.opts.EarlyHints && isHTML {
-		var refs []core.Ref
-		if s.opts.Catalyst {
-			refs = s.renderPage(p, res).refs
-		} else {
-			refs = core.ExtractPageRefs(p, string(res.Body))
-		}
+	isHTML := IsHTML(res.ContentType)
+	var pr *pageRender
+	if s.opts.Catalyst && isHTML {
+		pr = s.renderPage(p, res)
+	}
+
+	if s.opts.EarlyHints && isHTML {
+		refs := pr.pageRefs(p, res)
 		if s.emitPreloadHints(h, refs) {
 			s.Metrics.HintsSent.Add(1)
-			decide("hints", p)
+			s.decide(ctx, h, "hints", p)
 		}
 	}
 
-	if s.opts.Catalyst && IsHTML(res.ContentType) {
-		pr := s.renderPage(p, res)
+	if pr != nil {
 		body = pr.body
 		tag = pr.tag
+		etagHdr = pr.etagHdr
+		clenHdr = pr.clenHdr
 		if s.deltaBases != nil {
-			s.deltaBases.Put(p+"\x00"+tag.String(), body)
-			if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != tag.String() {
+			s.deltaBases.Put(pr.deltaKey, body)
+			if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != pr.tagStr {
 				if base, okB := s.deltaBases.Get(p + "\x00" + baseTag); okB {
 					deltaBase, deltaFrom = base, baseTag
 				}
@@ -309,7 +356,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// the map rather than queueing behind a saturated resolver.
 		if err := s.admitMap(ctx); err != nil {
 			s.Metrics.MapSheds.Add(1)
-			decide("map-shed", p)
+			s.decide(ctx, h, "map-shed", p)
 		} else {
 			m := s.resolveMap(ctx, p, pr.refs, sessionID)
 			s.releaseMap()
@@ -317,19 +364,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			h.Set(core.HeaderName, m.Encode())
 			s.Metrics.MapsBuilt.Add(1)
 			s.Metrics.MapBytes.Add(int64(m.WireSize()))
-			decide("map-built", p)
+			s.decide(ctx, h, "map-built", p)
 		}
-	} else if s.recorder != nil && !IsHTML(res.ContentType) {
+	} else if s.recorder != nil && !isHTML {
 		// Recording mode: remember which subresources this session's
 		// page loads actually requested.
 		s.recorder.RecordFetch(sessionID, r.Referer(), p)
 	}
 
-	h.Set("Etag", tag.String())
+	h["Etag"] = etagHdr
 
 	if s.notModified(r, tag, res.LastModified) {
 		s.Metrics.NotModified.Add(1)
-		decide("etag-match", p)
+		s.decide(ctx, h, "etag-match", p)
 		w.WriteHeader(http.StatusNotModified)
 		s.logAccess(r, http.StatusNotModified, 0, mapEntries)
 		return
@@ -342,13 +389,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.Metrics.DeltasServed.Add(1)
 			s.Metrics.DeltaBytesSaved.Add(int64(len(body) - len(patch)))
 			h.Set(delta.FromHeader, deltaFrom)
-			decide("delta", p)
+			s.decide(ctx, h, "delta", p)
 			body = patch
+			clenHdr = nil
 		}
 	}
 
-	decide("network", p)
-	h.Set("Content-Length", strconv.Itoa(len(body)))
+	s.decide(ctx, h, "network", p)
+	if clenHdr != nil {
+		h["Content-Length"] = clenHdr
+	} else {
+		h.Set("Content-Length", strconv.Itoa(len(body)))
+	}
 	w.WriteHeader(http.StatusOK)
 	if r.Method == http.MethodHead {
 		s.logAccess(r, http.StatusOK, 0, mapEntries)
@@ -402,15 +454,73 @@ func (s *Server) notModified(r *http.Request, tag etag.Tag, lastModified time.Ti
 	return !lastModified.Truncate(time.Second).After(t)
 }
 
+// resourceHeaders is the wire-format rendering of a Resource's header
+// fields, built once per Resource (see Resource.hdr) so the serve path
+// assigns shared slices instead of re-formatting per request. The slices
+// are shared across responses and must never be mutated in place.
+type resourceHeaders struct {
+	tagStr       string
+	etag         []string
+	ctype        []string
+	cacheControl []string // nil when the policy emits no Cache-Control
+	lastModified []string // nil when the resource has no Last-Modified
+	clen         []string // Content-Length of the stored body
+}
+
+// headerValues returns the resource's cached header rendering, building it
+// on first use. Safe for concurrent callers: racing builders compute
+// identical values and the last store wins.
+func (r *Resource) headerValues() *resourceHeaders {
+	if h := r.hdr.Load(); h != nil {
+		return h
+	}
+	h := &resourceHeaders{
+		tagStr: r.ETag.String(),
+		ctype:  []string{r.ContentType},
+		clen:   []string{strconv.Itoa(len(r.Body))},
+	}
+	h.etag = []string{h.tagStr}
+	if cc := r.Policy.CacheControl(); cc != "" {
+		h.cacheControl = []string{cc}
+	}
+	if !r.LastModified.IsZero() {
+		h.lastModified = []string{headers.FormatHTTPDate(r.LastModified)}
+	}
+	r.hdr.Store(h)
+	return h
+}
+
 // pageRender memoizes what serving an HTML page computes from its stored
 // content alone: the extracted subresource references, the body with the
-// registration snippet injected, and that body's validator. All fields are
-// immutable after construction and shared across requests.
+// registration snippet injected, that body's validator, and the header
+// values / cache keys derived from them. All fields are immutable after
+// construction and shared across requests.
 type pageRender struct {
 	refs []core.Ref
 	body []byte
 	tag  etag.Tag
+
+	// Derived once at build time so the per-request serve path writes
+	// precomputed values instead of re-rendering them.
+	tagStr   string
+	etagHdr  []string
+	clenHdr  []string
+	deltaKey string // path + "\x00" + tagStr: the delta-base cache key
 }
+
+// pageRefs returns the page's subresource references: the memoized
+// extraction when a render exists (catalyst mode), a fresh extraction from
+// the stored body otherwise (plain early-hints mode has no render cache).
+func (pr *pageRender) pageRefs(p string, res *Resource) []core.Ref {
+	if pr != nil {
+		return pr.refs
+	}
+	return core.ExtractPageRefs(p, string(res.Body))
+}
+
+// renderKeyPool recycles the scratch buffer renderPage builds its lookup
+// key in, so a warm render hit allocates nothing at all.
+var renderKeyPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // renderPage returns the extract-phase result for the page, memoized per
 // (path, content validator). The stored ETag commits to the stored body —
@@ -420,19 +530,38 @@ func (s *Server) renderPage(p string, res *Resource) *pageRender {
 	build := func() (*pageRender, error) {
 		body := string(res.Body)
 		injected := []byte(core.InjectRegistration(body))
-		return &pageRender{
+		pr := &pageRender{
 			refs: core.ExtractPageRefs(p, body),
 			body: injected,
 			// The served entity differs from the stored one, so its
 			// validator must too; derive it from the bytes actually sent.
 			tag: etag.ForBytes(injected),
-		}, nil
+		}
+		pr.tagStr = pr.tag.String()
+		pr.etagHdr = []string{pr.tagStr}
+		pr.clenHdr = []string{strconv.Itoa(len(injected))}
+		pr.deltaKey = p + "\x00" + pr.tagStr
+		return pr, nil
 	}
 	if s.renders == nil {
 		pr, _ := build()
 		return pr
 	}
-	pr, _ := s.renders.GetOrLoad(p+"\x00"+res.ETag.String(), build)
+	// Warm path: probe the cache with a pooled key buffer (the store's
+	// byte-key lookup avoids materializing the key string), falling back
+	// to the allocating GetOrLoad only on a miss.
+	rh := res.headerValues()
+	bufp := renderKeyPool.Get().(*[]byte)
+	key := append((*bufp)[:0], p...)
+	key = append(key, 0)
+	key = append(key, rh.tagStr...)
+	pr, ok := s.renders.GetBytes(key)
+	*bufp = key
+	renderKeyPool.Put(bufp)
+	if ok {
+		return pr
+	}
+	pr, _ = s.renders.GetOrLoad(p+"\x00"+rh.tagStr, build)
 	return pr
 }
 
@@ -457,7 +586,7 @@ func (s *Server) releaseMap() {
 // context flows into the probe fan-out, so an abandoned request stops
 // resolving instead of completing the whole BFS.
 func (s *Server) resolveMap(ctx context.Context, pageURL string, refs []core.Ref, sessionID string) core.ETagMap {
-	res := &contentResolver{content: s.content}
+	res := &s.resolver
 	m := core.ResolveRefsContext(ctx, refs, res, s.opts.MapOptions)
 	if s.recorder != nil && sessionID != "" {
 		for _, extra := range s.recorder.Recorded(sessionID, pageURL) {
@@ -472,8 +601,16 @@ func (s *Server) resolveMap(ctx context.Context, pageURL string, refs []core.Ref
 	return m
 }
 
-// workerScriptTag is the script's validator, hashed once at startup.
-var workerScriptTag = etag.ForBytes([]byte(core.ServiceWorkerScript))
+// The worker script never changes within one build, so everything serving
+// it derives from — bytes, validator, header values — is computed once at
+// startup.
+var (
+	workerScriptTag   = etag.ForBytes([]byte(core.ServiceWorkerScript))
+	workerScriptBytes = []byte(core.ServiceWorkerScript)
+	workerEtagHdr     = []string{workerScriptTag.String()}
+	workerCTypeHdr    = []string{"text/javascript; charset=utf-8"}
+	workerCacheHdr    = []string{"no-cache"}
+)
 
 // serveWorkerScript serves the JavaScript Service Worker. It is marked
 // no-cache so browsers revalidate it, matching how deployments keep SW
@@ -481,10 +618,10 @@ var workerScriptTag = etag.ForBytes([]byte(core.ServiceWorkerScript))
 // script is unchanged, which it always is within one build.
 func (s *Server) serveWorkerScript(w http.ResponseWriter, r *http.Request) (status, n int) {
 	h := w.Header()
-	h.Set("Content-Type", "text/javascript; charset=utf-8")
-	h.Set("Cache-Control", "no-cache")
-	h.Set("Date", headers.FormatHTTPDate(s.opts.Clock.Now()))
-	h.Set("Etag", workerScriptTag.String())
+	h["Content-Type"] = workerCTypeHdr
+	h["Cache-Control"] = workerCacheHdr
+	h["Date"] = s.dateHeaderValue()
+	h["Etag"] = workerEtagHdr
 	if !etag.NoneMatch(r.Header.Get("If-None-Match"), workerScriptTag) {
 		w.WriteHeader(http.StatusNotModified)
 		return http.StatusNotModified, 0
@@ -492,8 +629,8 @@ func (s *Server) serveWorkerScript(w http.ResponseWriter, r *http.Request) (stat
 	if r.Method == http.MethodHead {
 		return http.StatusOK, 0
 	}
-	_, _ = w.Write([]byte(core.ServiceWorkerScript))
-	return http.StatusOK, len(core.ServiceWorkerScript)
+	_, _ = w.Write(workerScriptBytes)
+	return http.StatusOK, len(workerScriptBytes)
 }
 
 // contentResolver adapts Content to core.Resolver.

@@ -149,6 +149,39 @@ func StartTrace(ctx context.Context, id string) (context.Context, *Trace) {
 	return WithTrace(ctx, t), t
 }
 
+// tracePool recycles Trace objects — and, more importantly, their event
+// and span backing arrays — so a server that traces every request settles
+// into steady-state zero allocation for the trace scratch itself.
+var tracePool = sync.Pool{New: func() any { return &Trace{} }}
+
+// AcquireTrace returns a pooled trace, reset and started now (generated ID
+// when id is empty). It is NewTrace for request-rate callers: pair it with
+// Release once the trace has been serialized and no reference survives.
+func AcquireTrace(id string) *Trace {
+	t := tracePool.Get().(*Trace)
+	if id == "" {
+		id = NextRequestID()
+	}
+	t.ID = id
+	t.start = time.Now()
+	return t
+}
+
+// Release resets t and returns it to the pool, keeping the recorded
+// events' and spans' capacity for the next request. The caller must hold
+// the only reference: a released trace is reused concurrently, so copy out
+// (Events/Spans/Decisions already copy) before releasing.
+func (t *Trace) Release() {
+	t.mu.Lock()
+	clear(t.evs) // drop the event strings; keep the array
+	t.evs = t.evs[:0]
+	clear(t.spans)
+	t.spans = t.spans[:0]
+	t.mu.Unlock()
+	t.ID = ""
+	tracePool.Put(t)
+}
+
 // spanPath returns the dotted span path active in ctx.
 func spanPath(ctx context.Context) string {
 	p, _ := ctx.Value(spanKey{}).(string)
@@ -175,6 +208,47 @@ func StartSpan(ctx context.Context, name string) (context.Context, func()) {
 		t.spans = append(t.spans, TraceSpan{Path: path, Start: start, End: end})
 		t.mu.Unlock()
 	}
+}
+
+// Span is an in-flight span handle, the allocation-free alternative to
+// StartSpan's end closure: the handle is a plain value, so
+//
+//	ctx, sp := telemetry.BeginSpan(ctx, "middleware")
+//	defer sp.End()
+//
+// costs no heap allocation for the span scratch itself — with or without a
+// trace attached. The zero Span is a valid no-op.
+type Span struct {
+	t     *Trace
+	path  string
+	start time.Duration
+}
+
+// BeginSpan pushes a named span onto ctx's span stack, like StartSpan, but
+// returns a value handle instead of a closure. Without a trace in ctx it
+// returns ctx unchanged and a no-op handle, touching nothing.
+func BeginSpan(ctx context.Context, name string) (context.Context, Span) {
+	t, ok := TraceFrom(ctx)
+	if !ok {
+		return ctx, Span{}
+	}
+	path := name
+	if parent := spanPath(ctx); parent != "" {
+		path = parent + "." + name
+	}
+	ctx = context.WithValue(ctx, spanKey{}, path)
+	return ctx, Span{t: t, path: path, start: time.Since(t.start)}
+}
+
+// End records the completed span. No-op on a zero handle.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := time.Since(s.t.start)
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, TraceSpan{Path: s.path, Start: s.start, End: end})
+	s.t.mu.Unlock()
 }
 
 // Event records a cache-decision event on ctx's trace, tagged with the
