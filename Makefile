@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet fuzz chaos bench benchdiff cover cachesim schemes loadgen
+.PHONY: verify build test race vet fuzz chaos bench benchdiff cover cachesim schemes loadgen cluster
 
 verify: vet build race
 
@@ -93,6 +93,17 @@ cover:
 	echo "total coverage: $$total% (floor $(COVERAGE_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
 		echo "cover: total coverage $$total% fell below the $(COVERAGE_FLOOR)% floor" >&2; exit 1; }
+
+# Cluster smoke: the multi-instance edge-tier cell under -race — three
+# in-process catalystd instances serving two tenants through the
+# consistent-hash ring, telemetry-verified per-tenant hit ratios, hot-map
+# adoption on a non-owner, and a kill-one-node assertion — plus the
+# tenant/cluster unit suites and one live run via the example. See
+# DESIGN.md §13, "Tenant-aware edge tier".
+cluster:
+	$(GO) test -race -count=1 -run 'ClusterCell|Ring|Exchange|Tenant|Resolver|Context|Handler|ParseConfig' \
+		./internal/harness/ ./internal/cluster/ ./internal/tenant/ ./catalyst/ ./cmd/catalystd/
+	$(GO) run ./examples/cluster
 
 # Chaos gate: the fault-injection and overload suites under the race
 # detector — the browser-level chaos matrix, the middleware degradation

@@ -45,13 +45,14 @@ func staleEntrySize(key string, e *staleEntry) int64 {
 	return int64(len(key) + len(e.body) + len(e.enc) + len(e.ctype) + 96)
 }
 
-// staleFor returns the unexpired stale entry for pageURL, if any.
-func (m *middleware) staleFor(pageURL string) (*staleEntry, bool) {
-	if m.stales == nil {
+// staleFor returns the unexpired stale entry for pageURL in the tenant's
+// stale cache, if any.
+func (m *middleware) staleFor(ts *tenantState, pageURL string) (*staleEntry, bool) {
+	if ts.stales == nil {
 		return nil, false
 	}
-	e, ok := m.stales.Get(pageURL)
-	if !ok || time.Since(e.at) > m.opts.staleFor() {
+	e, ok := ts.stales.Get(pageURL)
+	if !ok || time.Since(e.at) > ts.staleTTL {
 		return nil, false
 	}
 	return e, true
@@ -61,15 +62,15 @@ func (m *middleware) staleFor(pageURL string) (*staleEntry, bool) {
 // successful instrumented serve. The hot path skips the write while the
 // existing entry still matches and is young; a quarter of the stale TTL
 // bounds how outdated the recorded timestamp may run.
-func (m *middleware) recordStale(pageURL string, ent *renderEntry, encoded string, hdr http.Header, now time.Time) {
-	if m.stales == nil {
+func (m *middleware) recordStale(ts *tenantState, pageURL string, ent *renderEntry, encoded string, hdr http.Header, now time.Time) {
+	if ts.stales == nil {
 		return
 	}
-	if prev, ok := m.stales.Peek(pageURL); ok &&
-		prev.tag == ent.tag && prev.enc == encoded && now.Sub(prev.at) < m.opts.staleFor()/4 {
+	if prev, ok := ts.stales.Peek(pageURL); ok &&
+		prev.tag == ent.tag && prev.enc == encoded && now.Sub(prev.at) < ts.staleTTL/4 {
 		return
 	}
-	m.stales.Put(pageURL, &staleEntry{
+	ts.stales.Put(pageURL, &staleEntry{
 		body:  ent.injected,
 		tag:   ent.tag,
 		enc:   encoded,
@@ -82,8 +83,8 @@ func (m *middleware) recordStale(pageURL string, ent *renderEntry, encoded strin
 // entry exists: 200 (or 304 on a matching validator) with a Warning 110
 // header, the stored body, and the last-known map. Reports whether it
 // served; reason lands on the request trace.
-func (m *middleware) serveStale(w http.ResponseWriter, r *http.Request, pageURL, reason string) bool {
-	e, ok := m.staleFor(pageURL)
+func (m *middleware) serveStale(ts *tenantState, w http.ResponseWriter, r *http.Request, pageURL, reason string) bool {
+	e, ok := m.staleFor(ts, pageURL)
 	if !ok {
 		return false
 	}
@@ -171,9 +172,9 @@ func retryAfterSeconds(d time.Duration) int64 {
 // wait means the server is busy but moving: an un-instrumented pass is
 // still affordable. A full queue means saturation: only pre-computed
 // answers (stale) or a refusal are.
-func (m *middleware) shed(w http.ResponseWriter, r *http.Request, pageURL string, err error) {
+func (m *middleware) shed(ts *tenantState, w http.ResponseWriter, r *http.Request, pageURL string, err error) {
 	if r.Method == http.MethodGet || r.Method == http.MethodHead {
-		if m.serveStale(w, r, pageURL, "shed") {
+		if m.serveStale(ts, w, r, pageURL, "shed") {
 			return
 		}
 	}

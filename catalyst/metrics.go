@@ -41,21 +41,42 @@ func WithMetrics(srv *server.Server) http.Handler {
 // MetricsPath JSON gains a "telemetry" field holding the registry snapshot,
 // and MetricsOptions.PProf mounts the pprof handlers.
 func WithMetricsOptions(srv *server.Server, opts MetricsOptions) http.Handler {
-	reg := opts.Telemetry
-	if reg == nil {
-		reg = srv.Telemetry()
+	if opts.Telemetry == nil {
+		opts.Telemetry = srv.Telemetry()
 	}
+	return metricsMux(srv, srv.Snapshot, opts)
+}
+
+// WithMetricsHandler is WithMetricsOptions for deployments with no
+// *server.Server behind the middleware — catalystd's proxy modes, where
+// the inner handler is a reverse proxy. The MetricsPath JSON carries the
+// registry snapshot and the echoed config, and PProf mounts the same
+// pprof surface, so a proxy-mode daemon is observable exactly like a
+// file-serving one.
+func WithMetricsHandler(next http.Handler, opts MetricsOptions) http.Handler {
+	return metricsMux(next, nil, opts)
+}
+
+// metricsMux mounts the MetricsPath JSON (and optionally pprof) in front
+// of next. snapshot, when non-nil, supplies the server counters that
+// anchor the payload; proxy mode passes nil and the payload is registry
+// plus config alone.
+func metricsMux(next http.Handler, snapshot func() server.MetricsSnapshot, opts MetricsOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(MetricsPath, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Cache-Control", "no-store")
 		payload := struct {
-			server.MetricsSnapshot
-			Config    any                 `json:"config,omitempty"`
-			Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
-		}{MetricsSnapshot: srv.Snapshot(), Config: opts.Config}
-		if reg != nil {
-			snap := reg.Snapshot()
+			*server.MetricsSnapshot `json:",omitzero"`
+			Config                  any                 `json:"config,omitempty"`
+			Telemetry               *telemetry.Snapshot `json:"telemetry,omitempty"`
+		}{Config: opts.Config}
+		if snapshot != nil {
+			snap := snapshot()
+			payload.MetricsSnapshot = &snap
+		}
+		if opts.Telemetry != nil {
+			snap := opts.Telemetry.Snapshot()
 			payload.Telemetry = &snap
 		}
 		if err := json.NewEncoder(w).Encode(payload); err != nil {
@@ -69,7 +90,7 @@ func WithMetricsOptions(srv *server.Server, opts MetricsOptions) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	mux.Handle("/", srv)
+	mux.Handle("/", next)
 	return mux
 }
 
@@ -117,6 +138,10 @@ type MiddlewareMetrics struct {
 	// DeltaBytesSaved accumulates body bytes avoided that way.
 	DeltasServed    telemetry.Counter
 	DeltaBytesSaved telemetry.Counter
+	// HotMapHits counts HTML responses whose X-Etag-Config was adopted
+	// from a cluster peer's published encoding (MiddlewareOptions.Exchange)
+	// instead of being assembled by a local probe fan-out.
+	HotMapHits telemetry.Counter
 }
 
 // RegisterTelemetry indexes the counters in reg under "middleware.*"; the
@@ -135,6 +160,7 @@ func (m *MiddlewareMetrics) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.RegisterCounter("middleware.hints_sent", &m.HintsSent)
 	reg.RegisterCounter("middleware.deltas_served", &m.DeltasServed)
 	reg.RegisterCounter("middleware.delta_bytes_saved", &m.DeltaBytesSaved)
+	reg.RegisterCounter("middleware.hotmap_hits", &m.HotMapHits)
 }
 
 // MiddlewareMetricsSnapshot is the JSON form of MiddlewareMetrics.
@@ -152,6 +178,7 @@ type MiddlewareMetricsSnapshot struct {
 	HintsSent         int64 `json:"hintsSent"`
 	DeltasServed      int64 `json:"deltasServed"`
 	DeltaBytesSaved   int64 `json:"deltaBytesSaved"`
+	HotMapHits        int64 `json:"hotMapHits"`
 }
 
 // Snapshot returns the counters as plain values.
@@ -170,6 +197,7 @@ func (m *MiddlewareMetrics) Snapshot() MiddlewareMetricsSnapshot {
 		HintsSent:         m.HintsSent.Load(),
 		DeltasServed:      m.DeltasServed.Load(),
 		DeltaBytesSaved:   m.DeltaBytesSaved.Load(),
+		HotMapHits:        m.HotMapHits.Load(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unicode/utf8"
@@ -17,6 +18,7 @@ import (
 	"cachecatalyst/internal/etag"
 	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/telemetry"
+	"cachecatalyst/internal/tenant"
 )
 
 // MiddlewareOptions configures Middleware.
@@ -136,6 +138,12 @@ type MiddlewareOptions struct {
 	// that supports 1xx responses (net/http's does; a bare
 	// httptest.ResponseRecorder does not — test through httptest.Server).
 	EarlyHints bool
+	// Exchange, when set, connects the middleware to a cluster hot-map
+	// exchange (internal/cluster): freshly assembled X-Etag-Config
+	// encodings are published to peers, and a peer-published encoding for
+	// the exact entity being served is adopted instead of running the
+	// local probe fan-out. Nil disables the exchange.
+	Exchange MapExchange
 	// Delta enables delta-encoded HTML: recently served page bodies are
 	// retained keyed by their validator, and a request naming one in
 	// X-Delta-Base is answered with a CCD1 patch (internal/delta) against
@@ -219,7 +227,10 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		opts.Metrics.RegisterTelemetry(opts.Telemetry)
 		m.htmlNS = opts.Telemetry.Histogram("middleware.html_ns")
 	}
-	m.probes = cachestore.New[probe](cachestore.Options[probe]{
+	d := &m.def
+	d.staleTTL = opts.staleFor()
+	d.requestBudget = opts.RequestBudget
+	d.probes = cachestore.New[probe](cachestore.Options[probe]{
 		// A probe without a retained stylesheet body costs exactly
 		// probeBaseCost, so for ordinary entries MaxBytes stays the entry
 		// count MaxProbeEntries promises; cached CSS bodies are charged
@@ -236,7 +247,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		Name:      "middleware.probes",
 	})
 	if opts.MaxRenderBytes > 0 {
-		m.renders = cachestore.New[*renderEntry](cachestore.Options[*renderEntry]{
+		d.renders = cachestore.New[*renderEntry](cachestore.Options[*renderEntry]{
 			MaxBytes:  opts.MaxRenderBytes,
 			SizeOf:    renderEntrySize,
 			Policy:    opts.CachePolicy,
@@ -248,7 +259,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		// it exists exactly when the render cache does and shares its
 		// budget scale: pinned raw bodies are a strict subset of what the
 		// render cache is willing to spend on injected ones.
-		m.hot = cachestore.New[*hotPage](cachestore.Options[*hotPage]{
+		d.hot = cachestore.New[*hotPage](cachestore.Options[*hotPage]{
 			MaxBytes:  opts.MaxRenderBytes,
 			SizeOf:    hotPageSize,
 			Policy:    opts.CachePolicy,
@@ -261,7 +272,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		if maxStale == 0 {
 			maxStale = 8 << 20
 		}
-		m.stales = cachestore.New[*staleEntry](cachestore.Options[*staleEntry]{
+		d.stales = cachestore.New[*staleEntry](cachestore.Options[*staleEntry]{
 			MaxBytes:  maxStale,
 			SizeOf:    staleEntrySize,
 			Policy:    opts.CachePolicy,
@@ -274,7 +285,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		if maxDelta == 0 {
 			maxDelta = 8 << 20
 		}
-		m.deltaBases = cachestore.New[[]byte](cachestore.Options[[]byte]{
+		d.deltaBases = cachestore.New[[]byte](cachestore.Options[[]byte]{
 			MaxBytes:  maxDelta,
 			SizeOf:    func(key string, body []byte) int64 { return int64(len(key) + len(body)) },
 			Policy:    opts.CachePolicy,
@@ -283,7 +294,7 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		})
 	}
 	if opts.MaxInflight > 0 {
-		m.gate = resilience.NewGate(resilience.GateOptions{
+		d.gate = resilience.NewGate(resilience.GateOptions{
 			MaxInflight:  opts.MaxInflight,
 			MaxQueue:     opts.MaxQueue,
 			QueueTimeout: opts.QueueTimeout,
@@ -292,9 +303,9 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 		})
 	}
 	if opts.OriginBreaker != nil {
-		m.breaker = opts.OriginBreaker
+		d.breaker = opts.OriginBreaker
 	} else if opts.OriginFailureThreshold > 0 {
-		m.breaker = resilience.NewBreaker(resilience.BreakerOptions{
+		d.breaker = resilience.NewBreaker(resilience.BreakerOptions{
 			FailureThreshold: opts.OriginFailureThreshold,
 			Cooldown:         opts.OriginCooldown,
 			Telemetry:        opts.Telemetry,
@@ -310,8 +321,29 @@ func Middleware(next http.Handler, opts MiddlewareOptions) http.Handler {
 const probeBaseCost = 256
 
 type middleware struct {
-	next    http.Handler
-	opts    MiddlewareOptions
+	next   http.Handler
+	opts   MiddlewareOptions
+	htmlNS *telemetry.Histogram // nil without telemetry
+	// def is the process-global serving state: the only state a
+	// single-tenant deployment ever touches, and the parent every tenant's
+	// namespaced state derives from. Requests whose context carries no
+	// tenant run against def on the exact pre-tenant code path.
+	def tenantState
+	// tenants memoizes per-tenant serving state by tenant name, built
+	// lazily on a tenant's first request (see stateFor).
+	tenants sync.Map // string → *tenantState
+}
+
+// tenantState is one tenant's slice of the middleware: its caches (probe
+// results, rendered pages, hot index, stale copies, delta bases — all
+// namespaces of the default stores, so they inherit configuration but own
+// their bytes and eviction order), its admission gate, its upstream
+// breaker, and its probe generation. Dimensioning the state this way is
+// what makes the degradation ladder per-tenant: one tenant's saturated or
+// flapping upstream trips its own gate and breaker while its neighbours
+// serve undisturbed.
+type tenantState struct {
+	name    string // "" for the default state
 	probes  *cachestore.Store[probe]
 	renders *cachestore.Store[*renderEntry] // nil when disabled
 	// hot maps page URL → most recent (raw body, render) pair: the warm
@@ -323,15 +355,118 @@ type middleware struct {
 	// pageURL + "\x00" + validator, the diff bases for Options.Delta;
 	// nil when the feature is off.
 	deltaBases *cachestore.Store[[]byte]
-	gate       *resilience.Gate     // admission control; nil when disabled
-	breaker    *resilience.Breaker  // inner-handler health; nil when disabled
-	htmlNS     *telemetry.Histogram // nil without telemetry
+	gate       *resilience.Gate    // admission control; nil when disabled
+	breaker    *resilience.Breaker // inner-handler health; nil when disabled
+	// staleTTL and requestBudget are the resolved per-tenant knobs (the
+	// tenant's own values, or the middleware defaults when unset).
+	staleTTL      time.Duration
+	requestBudget time.Duration
 	// probeGen counts observable probe-cache changes: it bumps whenever a
 	// probe flight lands a (tag, ok) pair that differs from what the
 	// cache held before. While it stands still, every map assembled from
 	// the cache is byte-identical, so renderEntry.enc may be reused
 	// instead of re-serializing the map per request.
 	probeGen atomic.Uint64
+}
+
+// stateFor resolves the serving state for a request: the tenant's when the
+// context carries one, the default otherwise. The no-tenant path costs one
+// context lookup and no allocation — the warm-path budgets pin that.
+func (m *middleware) stateFor(r *http.Request) *tenantState {
+	t, ok := tenant.FromContext(r.Context())
+	if !ok {
+		return &m.def
+	}
+	if v, ok := m.tenants.Load(t.Name); ok {
+		return v.(*tenantState)
+	}
+	return m.buildTenantState(t)
+}
+
+// buildTenantState constructs (or loses the race for) a tenant's state.
+// The caches are namespaces of the default stores — memoized by name in
+// cachestore — so racing builders converge on the same storage; at worst a
+// loser's gate and breaker are discarded.
+func (m *middleware) buildTenantState(t *tenant.Tenant) *tenantState {
+	prefix := "tenant." + t.Name + "."
+	var policy *cachestore.Policy
+	if t.Policy.Eviction != nil || t.Policy.Admission != nil {
+		p := t.Policy
+		policy = &p
+	}
+	ts := &tenantState{name: t.Name}
+	ts.probes = m.def.probes.NamespaceWith(t.Name, cachestore.NamespaceOptions{
+		TelemetryName: prefix + "probes",
+		Policy:        policy,
+	})
+	if m.def.renders != nil {
+		ts.renders = m.def.renders.NamespaceWith(t.Name, cachestore.NamespaceOptions{
+			MaxBytes:      t.BudgetBytes,
+			TelemetryName: prefix + "renders",
+			Policy:        policy,
+		})
+		ts.hot = m.def.hot.NamespaceWith(t.Name, cachestore.NamespaceOptions{
+			MaxBytes:      t.BudgetBytes,
+			TelemetryName: prefix + "hot",
+			Policy:        policy,
+		})
+	}
+	// Stale copies and delta bases scale at half the tenant's budget: they
+	// hold one body per page (no per-render variants), so half the render
+	// budget covers the same page population.
+	halfBudget := t.BudgetBytes / 2
+	if t.BudgetBytes < 0 {
+		halfBudget = -1
+	}
+	ts.staleTTL = m.def.staleTTL
+	if t.StaleFor > 0 {
+		ts.staleTTL = t.StaleFor
+	}
+	if m.def.stales != nil && t.StaleFor >= 0 {
+		ts.stales = m.def.stales.NamespaceWith(t.Name, cachestore.NamespaceOptions{
+			MaxBytes:      halfBudget,
+			TelemetryName: prefix + "stales",
+			Policy:        policy,
+		})
+	}
+	if m.def.deltaBases != nil {
+		ts.deltaBases = m.def.deltaBases.NamespaceWith(t.Name, cachestore.NamespaceOptions{
+			MaxBytes:      halfBudget,
+			TelemetryName: prefix + "delta_bases",
+			Policy:        policy,
+		})
+	}
+	maxInflight := t.MaxInflight
+	if maxInflight == 0 {
+		maxInflight = m.opts.MaxInflight
+	}
+	if maxInflight > 0 {
+		ts.gate = resilience.NewGate(resilience.GateOptions{
+			MaxInflight:  maxInflight,
+			MaxQueue:     m.opts.MaxQueue,
+			QueueTimeout: m.opts.QueueTimeout,
+			Telemetry:    m.opts.Telemetry,
+			Name:         prefix + "gate",
+		})
+	}
+	if t.Breaker != nil {
+		// The daemon wired a health-checked breaker: recovery is
+		// probe-driven, exactly like OriginBreaker in single-tenant mode.
+		ts.breaker = t.Breaker
+	} else if m.opts.OriginFailureThreshold > 0 {
+		ts.breaker = resilience.NewBreaker(resilience.BreakerOptions{
+			FailureThreshold: m.opts.OriginFailureThreshold,
+			Cooldown:         m.opts.OriginCooldown,
+			Telemetry:        m.opts.Telemetry,
+			Name:             prefix + "origin",
+		})
+	}
+	ts.requestBudget = m.def.requestBudget
+	if t.RequestBudget > 0 {
+		ts.requestBudget = t.RequestBudget
+	}
+	v, _ := m.tenants.LoadOrStore(t.Name, ts)
+	return v.(*tenantState)
 }
 
 type probe struct {
@@ -393,13 +528,14 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	pageURL := requestPageURL(r)
+	ts := m.stateFor(r)
 
 	// Deadline budget: the whole instrumented serve — inner handler,
 	// probe fan-out, map assembly — happens inside one wall-clock
 	// allowance. Stages read the remainder off the context; the fan-out
 	// stops issuing probes once it is spent.
-	if m.opts.RequestBudget > 0 {
-		ctx, cancel := resilience.WithBudget(r.Context(), m.opts.RequestBudget)
+	if ts.requestBudget > 0 {
+		ctx, cancel := resilience.WithBudget(r.Context(), ts.requestBudget)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
@@ -408,18 +544,18 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// it is the traffic with probe amplification (one page fanning out
 	// to N subresource probes), which is what melts a saturated inner
 	// handler. A refused request falls down the degradation ladder.
-	if m.gate != nil {
-		if err := m.gate.AcquireSlot(r.Context()); err != nil {
-			m.shed(w, r, pageURL, err)
+	if ts.gate != nil {
+		if err := ts.gate.AcquireSlot(r.Context()); err != nil {
+			m.shed(ts, w, r, pageURL, err)
 			return
 		}
-		defer m.gate.Release()
+		defer ts.gate.Release()
 	}
 
 	// Inner-handler circuit breaker: while open, don't error-proxy —
 	// answer from the stale cache, or refuse honestly.
-	if m.breaker != nil && !m.breaker.Allow() {
-		if m.serveStale(w, r, pageURL, "breaker-open") {
+	if ts.breaker != nil && !ts.breaker.Allow() {
+		if m.serveStale(ts, w, r, pageURL, "breaker-open") {
 			return
 		}
 		m.serveReject(w, r, "breaker-open")
@@ -435,8 +571,8 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// owns survives past the end of this function (see sniffPool).
 	sw := newSniffWriter(w, r)
 	defer sw.release()
-	if m.stales != nil {
-		sw.staleOwner, sw.stalePage = m, pageURL
+	if ts.stales != nil {
+		sw.staleOwner, sw.staleState, sw.stalePage = m, ts, pageURL
 	}
 	// Cloning the request exists only to strip conditionals; the common
 	// unconditional request is served as-is (handlers must not mutate
@@ -446,12 +582,12 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		inner = cloneWithoutConditionals(r)
 	}
 	panicked := m.serveInner(sw, inner)
-	if m.breaker != nil {
-		m.breaker.Record(!panicked && sw.status < http.StatusInternalServerError)
+	if ts.breaker != nil {
+		ts.breaker.Record(!panicked && sw.status < http.StatusInternalServerError)
 	}
 	if panicked {
 		if !sw.sentToDst {
-			if m.serveStale(w, r, pageURL, "panic") {
+			if m.serveStale(ts, w, r, pageURL, "panic") {
 				return
 			}
 			http.Error(w, "internal error", http.StatusInternalServerError)
@@ -465,7 +601,7 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// The writer swallowed a 5xx because a stale copy existed when
 		// the status committed. Serve it; if it expired in the race,
 		// replay the error honestly.
-		if m.serveStale(w, r, pageURL, "origin-error") {
+		if m.serveStale(ts, w, r, pageURL, "origin-error") {
 			return
 		}
 		copyHeader(w.Header(), sw.header)
@@ -499,11 +635,11 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// deferring a closure — a closure per request is exactly the kind of
 	// allocation this path exists to avoid.
 	if m.htmlNS == nil {
-		m.serveHTML(w, r, sw, pageURL)
+		m.serveHTML(ts, w, r, sw, pageURL)
 		return
 	}
 	htmlStart := time.Now()
-	m.serveHTML(w, r, sw, pageURL)
+	m.serveHTML(ts, w, r, sw, pageURL)
 	m.htmlNS.Observe(time.Since(htmlStart).Nanoseconds())
 }
 
@@ -513,10 +649,10 @@ func (m *middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // index hit, cached encoding still valid, no conditionals, no delta —
 // this function acquires no mutex and allocates nothing: every header
 // value it writes was precomputed when the render or encoding was cached.
-func (m *middleware) serveHTML(w http.ResponseWriter, r *http.Request, sw *sniffWriter, pageURL string) {
+func (m *middleware) serveHTML(ts *tenantState, w http.ResponseWriter, r *http.Request, sw *sniffWriter, pageURL string) {
 	ctx, span := telemetry.BeginSpan(r.Context(), "middleware")
 	defer span.End()
-	ent := m.hotRender(pageURL, sw.body())
+	ent := m.hotRender(ts, pageURL, sw.body())
 
 	// Early hints go out the moment the reference list exists: the probe
 	// fan-out below is the serve's slow stage, and the 103 lets the client
@@ -532,12 +668,12 @@ func (m *middleware) serveHTML(w http.ResponseWriter, r *http.Request, sw *sniff
 	// a patch below.
 	var deltaBase []byte
 	deltaFrom := ""
-	if m.deltaBases != nil {
-		if _, ok := m.deltaBases.Get(ent.deltaKey); !ok {
-			m.deltaBases.Put(ent.deltaKey, ent.injectedBytes)
+	if ts.deltaBases != nil {
+		if _, ok := ts.deltaBases.Get(ent.deltaKey); !ok {
+			ts.deltaBases.Put(ent.deltaKey, ent.injectedBytes)
 		}
 		if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != ent.tagStr {
-			if base, okBase := m.deltaBases.Get(pageURL + "\x00" + baseTag); okBase {
+			if base, okBase := ts.deltaBases.Get(pageURL + "\x00" + baseTag); okBase {
 				deltaBase, deltaFrom = base, baseTag
 			}
 		}
@@ -554,7 +690,7 @@ func (m *middleware) serveHTML(w http.ResponseWriter, r *http.Request, sw *sniff
 	// Load the generation before resolving: probes that change state
 	// during the resolve bump it, which both blocks reuse of a cached
 	// encoding below and prevents this request from caching one.
-	gen := m.probeGen.Load()
+	gen := ts.probeGen.Load()
 	now := time.Now()
 	var encoded string
 	if e := ent.enc.Load(); e != nil && e.gen == gen && now.UnixNano() < e.expires {
@@ -564,8 +700,18 @@ func (m *middleware) serveHTML(w http.ResponseWriter, r *http.Request, sw *sniff
 		encoded = e.enc
 		h[HeaderName] = e.hdr
 		m.opts.Metrics.EncodeReuses.Add(1)
+	} else if peerEnc, peerExp, ok := m.exchangeLookup(ts, pageURL, ent, now); ok {
+		// A cluster peer already rendered this exact entity and gossiped
+		// its encoded map: adopt it instead of re-probing. The peer's
+		// expiry bounds the trust window; the local generation stamp means
+		// any local probe outcome still invalidates it immediately.
+		encoded = peerEnc
+		h.Set(HeaderName, encoded)
+		ent.enc.Store(&encodedMap{gen: gen, expires: peerExp, enc: encoded, hdr: []string{encoded}})
+		m.opts.Metrics.HotMapHits.Add(1)
+		telemetry.Event(ctx, "hotmap-adopt", pageURL)
 	} else {
-		res := &probeResolver{m: m, req: r, ctx: ctx}
+		res := &probeResolver{m: m, ts: ts, req: r, ctx: ctx}
 		etags := core.ResolveRefsContext(ctx, ent.refs, res, core.BuildOptions{
 			MaxEntries:  m.opts.MaxMapEntries,
 			Concurrency: m.opts.probeConcurrency(),
@@ -575,7 +721,7 @@ func (m *middleware) serveHTML(w http.ResponseWriter, r *http.Request, sw *sniff
 		// Never cache an encoding assembled under a cancelled request: a
 		// client that disconnected mid-render stopped the probe fan-out,
 		// so the map may be a prefix of the real one.
-		if ctx.Err() == nil && m.probeGen.Load() == gen {
+		if ctx.Err() == nil && ts.probeGen.Load() == gen {
 			exp := res.minExpires.Load()
 			if exp == 0 {
 				// No probes ran (a page with no same-origin refs);
@@ -583,11 +729,16 @@ func (m *middleware) serveHTML(w http.ResponseWriter, r *http.Request, sw *sniff
 				exp = now.Add(m.opts.ProbeTTL).UnixNano()
 			}
 			ent.enc.Store(&encodedMap{gen: gen, expires: exp, enc: encoded, hdr: []string{encoded}})
+			if ex := m.opts.Exchange; ex != nil {
+				// Gossip the fresh encoding so peers serving this page
+				// skip their own probe fan-out entirely.
+				ex.Publish(ts.name, pageURL, ent.tagStr, encoded, exp)
+			}
 		}
 	}
 
 	h["Etag"] = ent.etagHeader
-	m.recordStale(pageURL, ent, encoded, sw.header, now)
+	m.recordStale(ts, pageURL, ent, encoded, sw.header, now)
 	telemetry.Event(ctx, "map-built", pageURL)
 	if m.opts.ServerTiming {
 		telemetry.AppendServerTiming(h, "map-built")
@@ -741,6 +892,7 @@ func jsonStringLen(s string) int {
 
 type probeResolver struct {
 	m   *middleware
+	ts  *tenantState
 	req *http.Request
 	// ctx carries the request trace probe decisions are recorded on.
 	ctx context.Context
@@ -765,13 +917,13 @@ func (p *probeResolver) observe(pr probe) {
 }
 
 func (p *probeResolver) ETagFor(path string) (etag.Tag, bool) {
-	pr := p.m.probe(path, p.req, p.ctx)
+	pr := p.m.probe(p.ts, path, p.req, p.ctx)
 	p.observe(pr)
 	return pr.tag, pr.ok
 }
 
 func (p *probeResolver) StylesheetBody(path string) (string, bool) {
-	pr := p.m.probe(path, p.req, p.ctx)
+	pr := p.m.probe(p.ts, path, p.req, p.ctx)
 	p.observe(pr)
 	if !pr.ok || !pr.isCSS {
 		return "", false
@@ -787,21 +939,27 @@ func (p *probeResolver) StylesheetBody(path string) (string, bool) {
 // consecutive failures the path is left alone (and out of the map) for
 // BreakerCooldown, so an inner handler erroring on one path is not hammered
 // on every page render.
-func (m *middleware) probe(path string, via *http.Request, ctx context.Context) probe {
-	if pr, ok := m.probes.Get(path); ok && time.Now().Before(pr.expires) {
+func (m *middleware) probe(ts *tenantState, path string, via *http.Request, ctx context.Context) probe {
+	if pr, ok := ts.probes.Get(path); ok && time.Now().Before(pr.expires) {
 		return pr
 	}
 	telemetry.Event(ctx, "probe", path)
-	pr, _, _ := m.probes.Do(path, func() (probe, error) {
+	pr, _, _ := ts.probes.Do(path, func() (probe, error) {
 		// Re-check inside the flight: the flight we queued behind may
 		// have refreshed the entry already.
-		prev, had := m.probes.Peek(path)
+		prev, had := ts.probes.Peek(path)
 		if had && time.Now().Before(prev.expires) {
 			return prev, nil
 		}
 
 		req := httptest.NewRequest(http.MethodGet, path, nil)
 		req.Host = via.Host
+		// Probe requests carry the serving request's tenant so a
+		// tenant-routing inner handler (catalystd's multi-origin proxy)
+		// probes the right upstream, not the default one.
+		if t, ok := tenant.FromContext(via.Context()); ok {
+			req = req.WithContext(tenant.NewContext(req.Context(), t))
+		}
 		rec := httptest.NewRecorder()
 		panicked := m.serveInner(rec, req)
 
@@ -838,9 +996,9 @@ func (m *middleware) probe(path string, via *http.Request, ctx context.Context) 
 		// sees the new generation and rebuilds, well inside the freshness
 		// window ProbeTTL already grants.
 		changed := !had || prev.tag != pr.tag || prev.ok != pr.ok
-		m.probes.Put(path, pr)
+		ts.probes.Put(path, pr)
 		if changed {
-			m.probeGen.Add(1)
+			ts.probeGen.Add(1)
 		}
 		return pr, nil
 	})

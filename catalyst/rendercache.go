@@ -129,11 +129,11 @@ func hotPageSize(key string, p *hotPage) int64 {
 // page collapse into one extraction via the store's singleflight. With the
 // cache disabled (MaxRenderBytes < 0) every request pays the full pipeline,
 // which is exactly the pre-cache behaviour.
-func (m *middleware) render(pageURL string, raw []byte) *renderEntry {
-	if m.renders == nil {
+func (m *middleware) render(ts *tenantState, pageURL string, raw []byte) *renderEntry {
+	if ts.renders == nil {
 		return newRenderEntry(pageURL, string(raw))
 	}
-	e, _ := m.renders.GetOrLoad(renderKey(pageURL, raw), func() (*renderEntry, error) {
+	e, _ := ts.renders.GetOrLoad(renderKey(pageURL, raw), func() (*renderEntry, error) {
 		return newRenderEntry(pageURL, string(raw)), nil
 	})
 	return e
@@ -143,14 +143,14 @@ func (m *middleware) render(pageURL string, raw []byte) *renderEntry {
 // per-URL hot index whose pinned raw body memcmp-matches skips hashing and
 // cache machinery entirely; anything else takes the keyed path and then
 // repins the hot index (copying raw, which may live in a pooled buffer).
-func (m *middleware) hotRender(pageURL string, raw []byte) *renderEntry {
-	if m.hot == nil {
-		return m.render(pageURL, raw)
+func (m *middleware) hotRender(ts *tenantState, pageURL string, raw []byte) *renderEntry {
+	if ts.hot == nil {
+		return m.render(ts, pageURL, raw)
 	}
-	if hp, ok := m.hot.Get(pageURL); ok && bytes.Equal(hp.raw, raw) {
+	if hp, ok := ts.hot.Get(pageURL); ok && bytes.Equal(hp.raw, raw) {
 		return hp.ent
 	}
-	ent := m.render(pageURL, raw)
-	m.hot.Put(pageURL, &hotPage{raw: append([]byte(nil), raw...), ent: ent})
+	ent := m.render(ts, pageURL, raw)
+	ts.hot.Put(pageURL, &hotPage{raw: append([]byte(nil), raw...), ent: ent})
 	return ent
 }

@@ -23,20 +23,20 @@ func TestRenderCacheReusesUnchangedPage(t *testing.T) {
 
 	first := httptest.NewRecorder()
 	h.ServeHTTP(first, httptest.NewRequest("GET", "/", nil))
-	if c := m.renders.Counters(); c.Loads != 1 {
+	if c := m.def.renders.Counters(); c.Loads != 1 {
 		t.Fatalf("first render ran %d extractions, want 1", c.Loads)
 	}
 
 	second := httptest.NewRecorder()
 	h.ServeHTTP(second, httptest.NewRequest("GET", "/", nil))
-	c := m.renders.Counters()
+	c := m.def.renders.Counters()
 	if c.Loads != 1 {
 		t.Fatalf("unchanged page re-extracted: %d loads", c.Loads)
 	}
 	// The warm fast lane answers unchanged pages from the per-URL hot
 	// index (one memcmp, no hashing); the keyed render cache is only
 	// consulted when the hot pin misses.
-	if m.hot.Counters().Hits == 0 {
+	if m.def.hot.Counters().Hits == 0 {
 		t.Fatal("second render did not hit the hot index")
 	}
 	if first.Body.String() != second.Body.String() {
@@ -107,7 +107,7 @@ func TestRenderCacheKeysOnContent(t *testing.T) {
 func TestRenderCacheDisabled(t *testing.T) {
 	h := Middleware(innerSite(), MiddlewareOptions{ProbeTTL: time.Hour, MaxRenderBytes: -1})
 	m := h.(*middleware)
-	if m.renders != nil {
+	if m.def.renders != nil {
 		t.Fatal("render cache allocated despite MaxRenderBytes < 0")
 	}
 	cached := Middleware(innerSite(), MiddlewareOptions{ProbeTTL: time.Hour})
@@ -215,13 +215,13 @@ func TestRenderFanOutRaceStaysConsistent(t *testing.T) {
 	}
 	wg.Wait()
 
-	if err := m.renders.Audit(); err != nil {
+	if err := m.def.renders.Audit(); err != nil {
 		t.Errorf("render cache accounting drifted: %v", err)
 	}
-	if err := m.probes.Audit(); err != nil {
+	if err := m.def.probes.Audit(); err != nil {
 		t.Errorf("probe cache accounting drifted: %v", err)
 	}
-	rc := m.renders.Counters()
+	rc := m.def.renders.Counters()
 	if rc.Loads == 0 || rc.Puts < rc.Loads {
 		t.Errorf("render counters implausible: %+v", rc)
 	}

@@ -272,7 +272,7 @@ func TestMiddlewareProbeCacheBounded(t *testing.T) {
 		}
 	}
 	m := h.(*middleware)
-	if size := m.probes.Len(); size > 8 {
+	if size := m.def.probes.Len(); size > 8 {
 		t.Fatalf("probe cache grew to %d entries, cap 8", size)
 	}
 	if metrics.ProbesSwept.Load() == 0 {

@@ -40,6 +40,7 @@ type sniffWriter struct {
 	// on the hot path of every instrumented request, and a closure would
 	// cost an allocation per serve.
 	staleOwner *middleware
+	staleState *tenantState
 	stalePage  string
 
 	header    http.Header
@@ -76,7 +77,7 @@ func newSniffWriter(dst http.ResponseWriter, req *http.Request) *sniffWriter {
 // response is fully written and nothing references the buffer.
 func (w *sniffWriter) release() {
 	w.dst, w.req = nil, nil
-	w.staleOwner, w.stalePage = nil, ""
+	w.staleOwner, w.staleState, w.stalePage = nil, nil, ""
 	clear(w.header)
 	w.status = 0
 	w.committed, w.buffering, w.discard = false, false, false
@@ -108,7 +109,7 @@ func (w *sniffWriter) WriteHeader(code int) {
 	w.status = code
 
 	if code >= http.StatusInternalServerError && w.staleOwner != nil {
-		if _, ok := w.staleOwner.staleFor(w.stalePage); ok {
+		if _, ok := w.staleOwner.staleFor(w.staleState, w.stalePage); ok {
 			// A stale substitute exists: swallow the error entirely.
 			// Nothing reaches the client; the middleware serves the stale
 			// copy after the inner handler returns.

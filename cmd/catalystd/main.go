@@ -23,6 +23,21 @@
 // serving stale copies (Warning: 110) when the upstream flaps, instead of
 // error-proxying its 5xxs.
 //
+// # Multi-tenant mode
+//
+//	catalystd -config catalystd.json -addr :8080
+//
+// With -config, catalystd fronts several upstreams from one process: the
+// file names each tenant (its upstream, Host/path routing rule, cache
+// policy and byte budget, degradation knobs), and the daemon gives each
+// one isolated cache namespaces, its own circuit breaker and health
+// checker, and per-tenant "tenant.<name>.*" telemetry. A "cluster"
+// stanza additionally joins the instance to a peer group: hot
+// X-Etag-Config encodings gossip between instances so a page rendered on
+// one node serves from a peer without re-probing. -origin and -config are
+// mutually exclusive; all existing flags keep working as the defaults
+// tenants inherit.
+//
 // # Cache policy
 //
 // The daemon's derived caches — rendered pages in serve mode; probes,
@@ -49,7 +64,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -65,21 +79,24 @@ import (
 
 	"cachecatalyst/catalyst"
 	"cachecatalyst/internal/cachestore"
+	"cachecatalyst/internal/cluster"
 	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/server"
 	"cachecatalyst/internal/telemetry"
+	"cachecatalyst/internal/tenant"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", ".", "directory tree to serve")
-		addr    = flag.String("addr", ":8080", "listen address")
-		origin  = flag.String("origin", "", "proxy this upstream origin URL instead of serving -dir, with health-checked failover to stale copies")
-		record  = flag.Bool("record", false, "enable first-visit session recording")
-		plain   = flag.Bool("plain", false, "disable CacheCatalyst (baseline mode)")
-		metrics = flag.Bool("metrics", false, "expose counters, telemetry registry and recent requests at "+catalyst.MetricsPath)
-		pprof   = flag.Bool("pprof", false, "with -metrics, also mount net/http/pprof under /debug/pprof/")
-		timing  = flag.Bool("server-timing", false, "report per-request cache decisions in Server-Timing response headers")
+		dir        = flag.String("dir", ".", "directory tree to serve")
+		addr       = flag.String("addr", ":8080", "listen address")
+		origin     = flag.String("origin", "", "proxy this upstream origin URL instead of serving -dir, with health-checked failover to stale copies")
+		configPath = flag.String("config", "", "multi-tenant config file (JSON); fronts several upstreams with per-tenant caches, breakers and telemetry")
+		record     = flag.Bool("record", false, "enable first-visit session recording")
+		plain      = flag.Bool("plain", false, "disable CacheCatalyst (baseline mode)")
+		metrics    = flag.Bool("metrics", false, "expose counters, telemetry registry and recent requests at "+catalyst.MetricsPath)
+		pprof      = flag.Bool("pprof", false, "with -metrics, also mount net/http/pprof under /debug/pprof/")
+		timing     = flag.Bool("server-timing", false, "report per-request cache decisions in Server-Timing response headers")
 
 		maxInflight     = flag.Int("max-inflight", 256, "max concurrent instrumented requests; excess degrade down the ladder (stale, passthrough, 503). 0 disables admission control")
 		requestBudget   = flag.Duration("request-budget", 0, "wall-clock budget per request; probe fan-out stops when spent (0 disables)")
@@ -94,13 +111,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("catalystd: %v", err)
 	}
-	// Echoed under "config" at the metrics path, so scrapes record which
-	// knobs produced the counters they carry.
-	daemonConfig := map[string]any{
-		"cachePolicy": cachePolicy.Name(),
-		"cacheBudget": *cacheBudget,
-		"maxInflight": *maxInflight,
-	}
 
 	// The registry always exists so the shutdown snapshot has something
 	// to flush; -metrics additionally serves it over HTTP.
@@ -110,58 +120,31 @@ func main() {
 		accessLog = 256
 	}
 
-	var handler http.Handler
-	var onDrain func()
-	switch {
-	case *origin != "":
-		var err error
-		handler, onDrain, err = proxyHandler(*origin, reg, *maxInflight, *requestBudget, *timing, cachePolicy, *cacheBudget)
-		if err != nil {
-			log.Fatalf("catalystd: %v", err)
-		}
-		fmt.Printf("catalystd: proxying %s on %s (CacheCatalyst + health-checked failover, %s caches)\n", *origin, *addr, cachePolicy.Name())
-		if *metrics {
-			handler = withRegistrySnapshot(handler, reg, daemonConfig)
-			fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
-		}
-	default:
-		if _, err := os.Stat(*dir); err != nil {
-			log.Fatalf("catalystd: %v", err)
-		}
-		var srv *server.Server
-		if *plain {
-			content, err := server.NewFSContent(os.DirFS(*dir), catalyst.DefaultPolicy)
-			if err != nil {
-				log.Fatalf("catalystd: %v", err)
-			}
-			srv = server.New(content, server.Options{AccessLogSize: accessLog, Telemetry: reg, ServerTiming: *timing})
-			fmt.Printf("catalystd: serving %s on %s (conventional caching)\n", *dir, *addr)
-		} else {
-			var err error
-			srv, err = catalyst.NewServer(os.DirFS(*dir), catalyst.ServerOptions{
-				Record:            *record,
-				Policy:            catalyst.DefaultPolicy,
-				AccessLogSize:     accessLog,
-				Telemetry:         reg,
-				ServerTiming:      *timing,
-				MaxInflight:       *maxInflight,
-				RequestBudget:     *requestBudget,
-				MaxRenderBytes:    *cacheBudget,
-				RenderCachePolicy: cachePolicy,
-			})
-			if err != nil {
-				log.Fatalf("catalystd: %v", err)
-			}
-			fmt.Printf("catalystd: serving %s on %s (CacheCatalyst%s, %s render cache)\n",
-				*dir, *addr, map[bool]string{true: " + recording", false: ""}[*record], cachePolicy.Name())
-		}
-		handler = srv
-		if *metrics {
-			handler = catalyst.WithMetricsOptions(srv, catalyst.MetricsOptions{Telemetry: reg, PProf: *pprof, Config: daemonConfig})
-			fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
-			if *pprof {
-				fmt.Println("catalystd: pprof at /debug/pprof/")
-			}
+	built, err := buildHandler(daemonOptions{
+		Dir:           *dir,
+		Origin:        *origin,
+		ConfigPath:    *configPath,
+		Record:        *record,
+		Plain:         *plain,
+		Metrics:       *metrics,
+		PProf:         *pprof,
+		ServerTiming:  *timing,
+		MaxInflight:   *maxInflight,
+		RequestBudget: *requestBudget,
+		CachePolicy:   cachePolicy,
+		CacheBudget:   *cacheBudget,
+		AccessLogSize: accessLog,
+	}, reg)
+	if err != nil {
+		log.Fatalf("catalystd: %v", err)
+	}
+	for _, line := range built.Info {
+		fmt.Printf("catalystd: %s on %s\n", line, *addr)
+	}
+	if *metrics {
+		fmt.Printf("catalystd: metrics at %s\n", catalyst.MetricsPath)
+		if *pprof {
+			fmt.Println("catalystd: pprof at /debug/pprof/")
 		}
 	}
 
@@ -172,7 +155,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	httpSrv := &http.Server{
-		Handler:           handler,
+		Handler:           built.Handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	err = resilience.Serve(ctx, httpSrv, ln, resilience.ServeOptions{
@@ -180,42 +163,274 @@ func main() {
 		Telemetry:       reg,
 		SnapshotTo:      os.Stderr,
 		Logf:            log.Printf,
-		OnDrain:         onDrain,
+		OnDrain:         built.OnDrain,
 	})
 	if err != nil {
 		log.Fatalf("catalystd: %v", err)
 	}
 }
 
-// proxyHandler fronts an upstream origin with the middleware, an active
-// health checker, and a circuit breaker: while the upstream flaps, the
-// daemon serves the last good copy of each page instead of proxying
-// errors. The returned hook stops the health checker at drain time.
-func proxyHandler(origin string, reg *telemetry.Registry, maxInflight int, budget time.Duration, timing bool, cachePolicy cachestore.Policy, cacheBudget int64) (http.Handler, func(), error) {
-	u, err := url.Parse(origin)
+// daemonOptions is the daemon's resolved configuration — every flag after
+// parsing, policy names already resolved. buildHandler consumes it so the
+// flag-to-handler mapping is testable without a process or a listener.
+type daemonOptions struct {
+	Dir           string
+	Origin        string
+	ConfigPath    string
+	Record        bool
+	Plain         bool
+	Metrics       bool
+	PProf         bool
+	ServerTiming  bool
+	MaxInflight   int
+	RequestBudget time.Duration
+	CachePolicy   cachestore.Policy
+	CacheBudget   int64
+	AccessLogSize int
+}
+
+// builtHandler is what buildHandler assembles: the root handler, human
+// lines for startup logging, and a drain hook for shutdown.
+type builtHandler struct {
+	Handler http.Handler
+	Info    []string
+	OnDrain func()
+}
+
+// buildHandler maps the daemon's options to a serving stack. Three modes,
+// mutually exclusive in precedence order: -config (multi-tenant proxy),
+// -origin (single-tenant proxy), -dir (file serving).
+func buildHandler(opts daemonOptions, reg *telemetry.Registry) (*builtHandler, error) {
+	switch {
+	case opts.ConfigPath != "" && opts.Origin != "":
+		return nil, fmt.Errorf("-config and -origin are mutually exclusive (put the single origin in the config file)")
+	case opts.ConfigPath != "":
+		cfg, err := tenant.LoadConfig(opts.ConfigPath)
+		if err != nil {
+			return nil, err
+		}
+		return buildConfigHandler(cfg, opts, reg)
+	case opts.Origin != "":
+		return buildProxyHandler(opts, reg)
+	default:
+		return buildServeHandler(opts, reg)
+	}
+}
+
+// buildServeHandler is the original file-serving mode: -dir with or
+// without the mechanism.
+func buildServeHandler(opts daemonOptions, reg *telemetry.Registry) (*builtHandler, error) {
+	if _, err := os.Stat(opts.Dir); err != nil {
+		return nil, err
+	}
+	var srv *server.Server
+	var info string
+	if opts.Plain {
+		content, err := server.NewFSContent(os.DirFS(opts.Dir), catalyst.DefaultPolicy)
+		if err != nil {
+			return nil, err
+		}
+		srv = server.New(content, server.Options{AccessLogSize: opts.AccessLogSize, Telemetry: reg, ServerTiming: opts.ServerTiming})
+		info = fmt.Sprintf("serving %s (conventional caching)", opts.Dir)
+	} else {
+		var err error
+		srv, err = catalyst.NewServer(os.DirFS(opts.Dir), catalyst.ServerOptions{
+			Record:            opts.Record,
+			Policy:            catalyst.DefaultPolicy,
+			AccessLogSize:     opts.AccessLogSize,
+			Telemetry:         reg,
+			ServerTiming:      opts.ServerTiming,
+			MaxInflight:       opts.MaxInflight,
+			RequestBudget:     opts.RequestBudget,
+			MaxRenderBytes:    opts.CacheBudget,
+			RenderCachePolicy: opts.CachePolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		info = fmt.Sprintf("serving %s (CacheCatalyst%s, %s render cache)", opts.Dir,
+			map[bool]string{true: " + recording", false: ""}[opts.Record], opts.CachePolicy.Name())
+	}
+	var handler http.Handler = srv
+	if opts.Metrics {
+		handler = catalyst.WithMetricsOptions(srv, catalyst.MetricsOptions{
+			Telemetry: reg, PProf: opts.PProf, Config: configEcho(opts, nil),
+		})
+	}
+	return &builtHandler{Handler: handler, Info: []string{info}}, nil
+}
+
+// buildProxyHandler is single-tenant proxy mode: one -origin fronted with
+// the middleware, an active health checker, and a circuit breaker. While
+// the upstream flaps, the daemon serves the last good copy of each page
+// instead of proxying errors.
+func buildProxyHandler(opts daemonOptions, reg *telemetry.Registry) (*builtHandler, error) {
+	u, err := url.Parse(opts.Origin)
 	if err != nil {
-		return nil, nil, fmt.Errorf("-origin %q: %w", origin, err)
+		return nil, fmt.Errorf("-origin %q: %w", opts.Origin, err)
 	}
 	if u.Scheme == "" || u.Host == "" {
-		return nil, nil, fmt.Errorf("-origin %q: need an absolute URL (http://host:port)", origin)
+		return nil, fmt.Errorf("-origin %q: need an absolute URL (http://host:port)", opts.Origin)
 	}
-	proxy := httputil.NewSingleHostReverseProxy(u)
-	proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
-		// A dead upstream becomes a 502 the middleware can hold back in
-		// favor of a stale copy; the default handler would also log
-		// every failure, which under a brown-out is pure noise.
-		w.WriteHeader(http.StatusBadGateway)
-	}
-
 	breaker := resilience.NewBreaker(resilience.BreakerOptions{
 		FailureThreshold: 5,
 		Cooldown:         5 * time.Second,
 		Telemetry:        reg,
 		Name:             "catalystd.origin",
 	})
-	client := &http.Client{Timeout: 2 * time.Second}
-	health := resilience.NewHealthChecker(breaker, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	const interval = 2 * time.Second
+	health := resilience.NewHealthChecker(breaker, healthProbe(u, interval), resilience.HealthOptions{
+		Interval:  interval,
+		Telemetry: reg,
+		Name:      "catalystd.health",
+	})
+	health.Start()
+
+	h := catalyst.Middleware(reverseProxy(u), catalyst.MiddlewareOptions{
+		Telemetry:      reg,
+		ServerTiming:   opts.ServerTiming,
+		MaxInflight:    opts.MaxInflight,
+		RequestBudget:  opts.RequestBudget,
+		OriginBreaker:  breaker,
+		CachePolicy:    opts.CachePolicy,
+		MaxRenderBytes: opts.CacheBudget,
+	})
+	var handler http.Handler = h
+	if opts.Metrics {
+		handler = catalyst.WithMetricsHandler(handler, catalyst.MetricsOptions{
+			Telemetry: reg, PProf: opts.PProf, Config: configEcho(opts, nil),
+		})
+	}
+	info := fmt.Sprintf("proxying %s (CacheCatalyst + health-checked failover, %s caches)", opts.Origin, opts.CachePolicy.Name())
+	return &builtHandler{Handler: handler, Info: []string{info}, OnDrain: health.Stop}, nil
+}
+
+// buildConfigHandler is multi-tenant proxy mode: each configured tenant
+// gets its own reverse proxy, circuit breaker and health checker, and the
+// tenant resolved from Host/path rides the request context so the
+// middleware and cachestore dimension their state per tenant. A cluster
+// stanza additionally wires the hot-map exchange.
+func buildConfigHandler(cfg *tenant.Config, opts daemonOptions, reg *telemetry.Registry) (*builtHandler, error) {
+	resolver, err := cfg.Resolver()
+	if err != nil {
+		return nil, err
+	}
+	tenants := resolver.Tenants()
+
+	proxies := make(map[string]http.Handler, len(tenants))
+	stops := make([]func(), 0, len(tenants))
+	for _, t := range tenants {
+		u, err := url.Parse(t.Upstream)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: upstream %q: %w", t.Name, t.Upstream, err)
+		}
+		proxies[t.Name] = reverseProxy(u)
+
+		// Per-tenant breaker + health checker: one tenant's flapping
+		// origin trips only that tenant's degradation ladder. The breaker
+		// pointer rides the descriptor so the middleware consults it for
+		// this tenant's requests.
+		breaker := resilience.NewBreaker(resilience.BreakerOptions{
+			FailureThreshold: 5,
+			Cooldown:         5 * time.Second,
+			Telemetry:        reg,
+			Name:             "tenant." + t.Name + ".origin",
+		})
+		t.Breaker = breaker
+		interval := t.HealthInterval
+		if interval <= 0 {
+			interval = 2 * time.Second
+		}
+		health := resilience.NewHealthChecker(breaker, healthProbe(u, interval), resilience.HealthOptions{
+			Interval:  interval,
+			Telemetry: reg,
+			Name:      "tenant." + t.Name + ".health",
+		})
+		health.Start()
+		stops = append(stops, health.Stop)
+	}
+
+	// The inner handler routes on the tenant the resolver attached to the
+	// context. No tenant means no routing rule matched the request's Host
+	// or path — 421 tells the client (or a misconfigured front tier) it
+	// reached an edge that does not serve that site.
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t, ok := tenant.FromContext(r.Context())
+		if !ok {
+			http.Error(w, "no tenant serves this host", http.StatusMisdirectedRequest)
+			return
+		}
+		proxies[t.Name].ServeHTTP(w, r)
+	})
+
+	mwOpts := catalyst.MiddlewareOptions{
+		Telemetry:      reg,
+		ServerTiming:   opts.ServerTiming,
+		MaxInflight:    opts.MaxInflight,
+		RequestBudget:  opts.RequestBudget,
+		CachePolicy:    opts.CachePolicy,
+		MaxRenderBytes: opts.CacheBudget,
+	}
+	var exch *cluster.Exchange
+	if cfg.Cluster.Enabled() {
+		exch = cluster.NewExchange(cluster.ExchangeOptions{
+			Instance:  cfg.Cluster.Instance,
+			Peers:     cfg.Cluster.Peers,
+			Telemetry: reg,
+		})
+		mwOpts.Exchange = exch
+	}
+
+	handler := tenant.Handler(resolver, reg, catalyst.Middleware(inner, mwOpts))
+	if exch != nil {
+		handler = exch.Mount(handler)
+	}
+	if opts.Metrics {
+		handler = catalyst.WithMetricsHandler(handler, catalyst.MetricsOptions{
+			Telemetry: reg, PProf: opts.PProf, Config: configEcho(opts, cfg),
+		})
+	}
+
+	onDrain := func() {
+		for _, stop := range stops {
+			stop()
+		}
+		if exch != nil {
+			exch.Close()
+		}
+	}
+	names := make([]string, len(tenants))
+	for i, t := range tenants {
+		names[i] = t.Name
+	}
+	info := []string{fmt.Sprintf("fronting %d tenants (%s)", len(tenants), strings.Join(names, ", "))}
+	if exch != nil {
+		info = append(info, fmt.Sprintf("cluster instance %q gossiping to %d peers", cfg.Cluster.Instance, len(cfg.Cluster.Peers)))
+	}
+	return &builtHandler{Handler: handler, Info: info, OnDrain: onDrain}, nil
+}
+
+// reverseProxy fronts one upstream. A dead upstream becomes a 502 the
+// middleware can hold back in favor of a stale copy; the default error
+// handler would also log every failure, which under a brown-out is pure
+// noise.
+func reverseProxy(u *url.URL) http.Handler {
+	proxy := httputil.NewSingleHostReverseProxy(u)
+	proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	return proxy
+}
+
+// healthProbe builds the upstream liveness probe for a health checker
+// running at the given interval. The probe client's timeout derives from
+// the interval — never exceeds it — so one slow upstream answer cannot
+// overlap the next probe, whatever the checker's context deadline does.
+func healthProbe(u *url.URL, interval time.Duration) func(ctx context.Context) error {
+	client := &http.Client{Timeout: interval}
+	target := u.String()
+	return func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 		if err != nil {
 			return err
 		}
@@ -228,40 +443,23 @@ func proxyHandler(origin string, reg *telemetry.Registry, maxInflight int, budge
 			return fmt.Errorf("upstream %s: %s", u.Host, resp.Status)
 		}
 		return nil
-	}, resilience.HealthOptions{
-		Interval:  2 * time.Second,
-		Telemetry: reg,
-		Name:      "catalystd.health",
-	})
-	health.Start()
-
-	h := catalyst.Middleware(proxy, catalyst.MiddlewareOptions{
-		Telemetry:      reg,
-		ServerTiming:   timing,
-		MaxInflight:    maxInflight,
-		RequestBudget:  budget,
-		OriginBreaker:  breaker,
-		CachePolicy:    cachePolicy,
-		MaxRenderBytes: cacheBudget,
-	})
-	return h, health.Stop, nil
+	}
 }
 
-// withRegistrySnapshot mounts the telemetry snapshot at MetricsPath in
-// proxy mode, where there is no *server.Server for WithMetricsOptions.
-func withRegistrySnapshot(next http.Handler, reg *telemetry.Registry, config any) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc(catalyst.MetricsPath, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Cache-Control", "no-store")
-		payload := struct {
-			Config    any                `json:"config,omitempty"`
-			Telemetry telemetry.Snapshot `json:"telemetry"`
-		}{Config: config, Telemetry: reg.Snapshot()}
-		if err := json.NewEncoder(w).Encode(payload); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+// configEcho is the effective configuration echoed under "config" at the
+// metrics path, so scrapes record which knobs produced the counters they
+// carry. In multi-tenant mode it includes the per-tenant settings.
+func configEcho(opts daemonOptions, cfg *tenant.Config) map[string]any {
+	echo := map[string]any{
+		"cachePolicy": opts.CachePolicy.Name(),
+		"cacheBudget": opts.CacheBudget,
+		"maxInflight": opts.MaxInflight,
+	}
+	if cfg != nil {
+		echo["tenants"] = cfg.Tenants
+		if cfg.Cluster.Enabled() {
+			echo["cluster"] = cfg.Cluster
 		}
-	})
-	mux.Handle("/", next)
-	return mux
+	}
+	return echo
 }

@@ -4,6 +4,15 @@
 //
 //	loadgen -url http://localhost:8080 -c 32 -duration 30s -rate 2000
 //	loadgen -self -netem 5g -c 16 -duration 10s -json out.json
+//	loadgen -url http://edge:8080 -targets "alpha.test=3,beta.test=1" -duration 30s
+//
+// # Tenant mixes
+//
+// -targets drives a multi-tenant catalystd with a weighted host mix: each
+// entry is a Host header value with a weight, requests cycle through the
+// weighted mix deterministically, and the JSON artifact reports each
+// target's throughput, latency percentiles and failures alongside the
+// combined totals — one run characterizes the whole tenant population.
 //
 // # Arrival models
 //
@@ -49,6 +58,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -170,12 +180,107 @@ func (h *hist) mean() float64 {
 	return float64(h.sum) / float64(h.total)
 }
 
-// worker accumulates one goroutine's results.
+// Request outcomes.
+const (
+	outcomeOK  = iota // 2xx and 304 responses
+	outcomeBad        // other statuses
+	outcomeErr        // transport failures
+)
+
+// worker accumulates one goroutine's results. With -targets, perTarget
+// holds the same accounting split by target.
 type worker struct {
-	lat     hist
-	ok      int64 // 2xx and 304 responses
-	badCode int64 // other statuses
-	errs    int64 // transport failures
+	lat       hist
+	ok        int64
+	badCode   int64
+	errs      int64
+	perTarget []worker
+}
+
+func (w *worker) note(outcome int, ns int64) {
+	w.lat.add(ns)
+	switch outcome {
+	case outcomeOK:
+		w.ok++
+	case outcomeBad:
+		w.badCode++
+	default:
+		w.errs++
+	}
+}
+
+// target is one entry of the -targets mix: a Host header value and its
+// weight in the request stream.
+type target struct {
+	Host   string
+	Weight int
+}
+
+// parseTargets parses "host=weight,host=weight" (weight optional,
+// default 1) into the mix and the weighted selection cycle.
+func parseTargets(s string) ([]target, []int, error) {
+	var tgts []target
+	var sel []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		host, wstr, hasWeight := strings.Cut(part, "=")
+		w := 1
+		if hasWeight {
+			v, err := strconv.Atoi(strings.TrimSpace(wstr))
+			if err != nil || v < 1 {
+				return nil, nil, fmt.Errorf("target %q: weight must be a positive integer", part)
+			}
+			w = v
+		}
+		host = strings.TrimSpace(host)
+		if host == "" {
+			return nil, nil, fmt.Errorf("target %q: empty host", part)
+		}
+		for i := 0; i < w; i++ {
+			sel = append(sel, len(tgts))
+		}
+		tgts = append(tgts, target{Host: host, Weight: w})
+	}
+	if len(tgts) == 0 {
+		return nil, nil, fmt.Errorf("-targets: no targets")
+	}
+	return tgts, sel, nil
+}
+
+// latencySummary is the reported latency shape, in milliseconds.
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func summarize(h *hist) latencySummary {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return latencySummary{
+		P50:  ms(h.percentile(0.50)),
+		P90:  ms(h.percentile(0.90)),
+		P99:  ms(h.percentile(0.99)),
+		P999: ms(h.percentile(0.999)),
+		Max:  ms(h.max),
+		Mean: ms(int64(h.mean())),
+	}
+}
+
+// targetArtifact is one target's slice of the results.
+type targetArtifact struct {
+	Host      string         `json:"host"`
+	Weight    int            `json:"weight"`
+	Requests  int64          `json:"requests"`
+	BadStatus int64          `json:"badStatus"`
+	Errors    int64          `json:"errors"`
+	ReqPerSec float64        `json:"reqPerSec"`
+	LatencyMS latencySummary `json:"latencyMs"`
 }
 
 // artifact is the -json output shape.
@@ -183,6 +288,7 @@ type artifact struct {
 	Config struct {
 		URL         string  `json:"url"`
 		Paths       string  `json:"paths"`
+		Targets     string  `json:"targets,omitempty"`
 		Concurrency int     `json:"concurrency"`
 		RateHz      float64 `json:"rateHz"` // 0 = closed loop
 		Mode        string  `json:"mode"`   // "open" | "closed"
@@ -190,19 +296,13 @@ type artifact struct {
 		DurationSec float64 `json:"durationSec"`
 		Self        bool    `json:"self"`
 	} `json:"config"`
-	Requests   int64   `json:"requests"`
-	BadStatus  int64   `json:"badStatus"`
-	Errors     int64   `json:"errors"`
-	ElapsedSec float64 `json:"elapsedSec"`
-	ReqPerSec  float64 `json:"reqPerSec"`
-	LatencyMS  struct {
-		P50  float64 `json:"p50"`
-		P90  float64 `json:"p90"`
-		P99  float64 `json:"p99"`
-		P999 float64 `json:"p999"`
-		Max  float64 `json:"max"`
-		Mean float64 `json:"mean"`
-	} `json:"latencyMs"`
+	Requests   int64            `json:"requests"`
+	BadStatus  int64            `json:"badStatus"`
+	Errors     int64            `json:"errors"`
+	ElapsedSec float64          `json:"elapsedSec"`
+	ReqPerSec  float64          `json:"reqPerSec"`
+	LatencyMS  latencySummary   `json:"latencyMs"`
+	Targets    []targetArtifact `json:"targets,omitempty"`
 }
 
 // selfSite builds the in-process origin -self serves: one catalyst-decorated
@@ -240,6 +340,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		self      = fs.Bool("self", false, "serve the built-in site in-process on a loopback socket and load-test that")
 		plain     = fs.Bool("plain", false, "with -self, serve conventional cache headers instead of CacheCatalyst")
 		paths     = fs.String("paths", "/", "comma-separated request paths, cycled per request")
+		targetsF  = fs.String("targets", "", "weighted multi-host mix, comma-separated host=weight entries (e.g. alpha.test=3,beta.test=1); each request carries its target's Host header, and the JSON artifact reports per-target results — the way to drive a multi-tenant catalystd with a realistic tenant mix")
 		conc      = fs.Int("c", 16, "concurrent workers (connections)")
 		duration  = fs.Duration("duration", 10*time.Second, "measurement duration")
 		rate      = fs.Float64("rate", 0, "open-loop offered load in req/s across all workers; 0 = closed loop")
@@ -249,7 +350,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchPath = fs.String("bench", "", "write a go-test-JSON bench stream (benchdiff-compatible) to this file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: loadgen [-url URL | -self] [-c N] [-duration D] [-rate R] [-netem PROFILE] [-json FILE] [-bench FILE]")
+		fmt.Fprintln(stderr, "usage: loadgen [-url URL | -self] [-c N] [-duration D] [-rate R] [-targets HOST=W,...] [-netem PROFILE] [-json FILE] [-bench FILE]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -271,6 +372,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pathList := strings.Split(*paths, ",")
 	for i := range pathList {
 		pathList[i] = strings.TrimSpace(pathList[i])
+	}
+	// Without -targets, a single anonymous target keeps one code path: the
+	// selection cycle has one entry and no Host override.
+	tgts := []target{{Weight: 1}}
+	sel := []int{0}
+	if *targetsF != "" {
+		var err error
+		tgts, sel, err = parseTargets(*targetsF)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 2
+		}
 	}
 
 	target := *baseURL
@@ -312,13 +425,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	client := &http.Client{Transport: transport, Timeout: *timeout}
 
+	send := func(ti int, path string) int {
+		req, err := http.NewRequest(http.MethodGet, target+path, nil)
+		if err != nil {
+			return outcomeErr
+		}
+		if tgts[ti].Host != "" {
+			req.Host = tgts[ti].Host
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return outcomeErr
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if (resp.StatusCode >= 200 && resp.StatusCode < 300) || resp.StatusCode == http.StatusNotModified {
+			return outcomeOK
+		}
+		return outcomeBad
+	}
+
 	// Warm the origin (render caches, probe caches, connection pool) so the
-	// measurement window sees the steady state.
-	for _, p := range pathList {
-		for i := 0; i < 2; i++ {
-			if resp, err := client.Get(target + p); err == nil {
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+	// measurement window sees the steady state — every target of the mix.
+	for ti := range tgts {
+		for _, p := range pathList {
+			for i := 0; i < 2; i++ {
+				send(ti, p)
 			}
 		}
 	}
@@ -326,19 +458,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := make([]*worker, *conc)
 	for i := range workers {
 		workers[i] = &worker{}
-	}
-	doRequest := func(w *worker, path string) {
-		resp, err := client.Get(target + path)
-		if err != nil {
-			w.errs++
-			return
+		if *targetsF != "" {
+			workers[i].perTarget = make([]worker, len(tgts))
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if (resp.StatusCode >= 200 && resp.StatusCode < 300) || resp.StatusCode == http.StatusNotModified {
-			w.ok++
-		} else {
-			w.badCode++
+	}
+	// doRequest issues request i and accounts its latency from `from` —
+	// the scheduled arrival in open loop (coordinated-omission-safe), the
+	// send time in closed loop.
+	doRequest := func(w *worker, i int64, path string, from time.Time) {
+		ti := sel[int(i)%len(sel)]
+		outcome := send(ti, path)
+		ns := time.Since(from).Nanoseconds()
+		w.note(outcome, ns)
+		if w.perTarget != nil {
+			w.perTarget[ti].note(outcome, ns)
 		}
 	}
 
@@ -364,19 +497,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 					if wait := time.Until(sched); wait > 0 {
 						time.Sleep(wait)
 					}
-					doRequest(w, pathList[int(i)%len(pathList)])
-					w.lat.add(time.Since(sched).Nanoseconds())
+					doRequest(w, i, pathList[int(i)%len(pathList)], sched)
 				}
 			}
 			// Closed loop: back-to-back requests measure peak throughput;
 			// latency is per-request service time.
-			for i := 0; ; i++ {
+			for i := int64(0); ; i++ {
 				sent := time.Now()
 				if sent.After(deadline) {
 					return
 				}
-				doRequest(w, pathList[i%len(pathList)])
-				w.lat.add(time.Since(sent).Nanoseconds())
+				doRequest(w, i, pathList[int(i)%len(pathList)], sent)
 			}
 		}(w)
 	}
@@ -391,8 +522,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		a.BadStatus += w.badCode
 		a.Errors += w.errs
 	}
+	if *targetsF != "" {
+		for ti, tgt := range tgts {
+			ta := targetArtifact{Host: tgt.Host, Weight: tgt.Weight}
+			var th hist
+			for _, w := range workers {
+				st := &w.perTarget[ti]
+				th.merge(&st.lat)
+				ta.Requests += st.ok
+				ta.BadStatus += st.badCode
+				ta.Errors += st.errs
+			}
+			ta.ReqPerSec = float64(ta.Requests) / elapsed.Seconds()
+			ta.LatencyMS = summarize(&th)
+			a.Targets = append(a.Targets, ta)
+		}
+	}
 	a.Config.URL = target
 	a.Config.Paths = *paths
+	a.Config.Targets = *targetsF
 	a.Config.Concurrency = *conc
 	a.Config.RateHz = *rate
 	a.Config.Mode = map[bool]string{true: "open", false: "closed"}[*rate > 0]
@@ -401,19 +549,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	a.Config.Self = *self
 	a.ElapsedSec = elapsed.Seconds()
 	a.ReqPerSec = float64(a.Requests) / elapsed.Seconds()
-	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
-	a.LatencyMS.P50 = ms(all.percentile(0.50))
-	a.LatencyMS.P90 = ms(all.percentile(0.90))
-	a.LatencyMS.P99 = ms(all.percentile(0.99))
-	a.LatencyMS.P999 = ms(all.percentile(0.999))
-	a.LatencyMS.Max = ms(all.max)
-	a.LatencyMS.Mean = ms(int64(all.mean()))
+	a.LatencyMS = summarize(&all)
 
 	fmt.Fprintf(stdout, "loadgen: %s %s, %d workers, netem=%s\n", a.Config.Mode, target, *conc, *netemName)
 	fmt.Fprintf(stdout, "  %d requests in %.2fs → %.1f req/s (%d bad status, %d errors)\n",
 		a.Requests, a.ElapsedSec, a.ReqPerSec, a.BadStatus, a.Errors)
 	fmt.Fprintf(stdout, "  latency ms: p50=%.2f p90=%.2f p99=%.2f p999=%.2f max=%.2f mean=%.2f\n",
 		a.LatencyMS.P50, a.LatencyMS.P90, a.LatencyMS.P99, a.LatencyMS.P999, a.LatencyMS.Max, a.LatencyMS.Mean)
+	for _, ta := range a.Targets {
+		fmt.Fprintf(stdout, "  target %s (w=%d): %d requests → %.1f req/s, p50=%.2fms p99=%.2fms (%d bad status, %d errors)\n",
+			ta.Host, ta.Weight, ta.Requests, ta.ReqPerSec, ta.LatencyMS.P50, ta.LatencyMS.P99, ta.BadStatus, ta.Errors)
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&a, "", "  ")

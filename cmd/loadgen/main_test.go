@@ -99,6 +99,73 @@ func TestSelfSmokeOpenLoop(t *testing.T) {
 	}
 }
 
+// TestSelfTargetsMix drives the in-process site with a 3:1 weighted host
+// mix and checks the per-target accounting: every target reported, the
+// request split respecting the weights, the slices summing to the totals.
+func TestSelfTargetsMix(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-self", "-c", "4", "-duration", "300ms",
+		"-targets", "alpha.test=3,beta.test=1",
+		"-json", jsonPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Targets) != 2 {
+		t.Fatalf("artifact has %d targets, want 2: %+v", len(a.Targets), a.Targets)
+	}
+	alpha, beta := a.Targets[0], a.Targets[1]
+	if alpha.Host != "alpha.test" || alpha.Weight != 3 || beta.Host != "beta.test" || beta.Weight != 1 {
+		t.Fatalf("target echo wrong: %+v", a.Targets)
+	}
+	if alpha.Requests+beta.Requests != a.Requests {
+		t.Fatalf("per-target requests (%d+%d) don't sum to total %d", alpha.Requests, beta.Requests, a.Requests)
+	}
+	if beta.Requests == 0 {
+		t.Fatal("weight-1 target got no traffic")
+	}
+	// The 3:1 weights must show in the split (wide band: short run).
+	if ratio := float64(alpha.Requests) / float64(beta.Requests); ratio < 2 || ratio > 4.5 {
+		t.Fatalf("request split %.2f:1, want ≈3:1 (alpha=%d beta=%d)", ratio, alpha.Requests, beta.Requests)
+	}
+	if alpha.LatencyMS.P50 <= 0 || beta.LatencyMS.P50 <= 0 {
+		t.Fatalf("per-target latency missing: %+v", a.Targets)
+	}
+	if !strings.Contains(stdout.String(), "target alpha.test (w=3)") {
+		t.Fatalf("summary missing per-target lines: %q", stdout.String())
+	}
+}
+
+// TestParseTargets pins the mix syntax.
+func TestParseTargets(t *testing.T) {
+	tgts, sel, err := parseTargets("a=3, b ,c=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tgts) != 3 || tgts[0].Weight != 3 || tgts[1].Weight != 1 || tgts[2].Weight != 1 {
+		t.Fatalf("targets = %+v", tgts)
+	}
+	if len(sel) != 5 {
+		t.Fatalf("selection cycle length %d, want 5", len(sel))
+	}
+	for _, bad := range []string{"", "=2", "a=0", "a=-1", "a=x", " , "} {
+		if _, _, err := parseTargets(bad); err == nil {
+			t.Errorf("parseTargets(%q) accepted", bad)
+		}
+	}
+}
+
 // TestUsageErrors pins the exit-2 contract for malformed invocations.
 func TestUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
@@ -107,6 +174,7 @@ func TestUsageErrors(t *testing.T) {
 		{"-self", "-netem", "warp"},   // unknown profile
 		{"-self", "-c", "0"},          // bad concurrency
 		{"-self", "-duration", "-1s"}, // bad duration
+		{"-self", "-targets", "a=0"},  // bad target weight
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := run(args, &stdout, &stderr); code != 2 {

@@ -220,6 +220,13 @@ type Store[V any] struct {
 	admissionRejects, victimScans telemetry.Counter
 
 	flight flightGroup[V]
+
+	// opts is the construction configuration, retained so Namespace can
+	// spawn children that inherit it; children maps namespace name → child
+	// store (see namespace.go). Guarded by nsMu.
+	opts     Options[V]
+	nsMu     sync.Mutex
+	children map[string]*Store[V]
 }
 
 // New returns an empty store.
@@ -237,6 +244,7 @@ func New[V any](opts Options[V]) *Store[V] {
 		mask:    uint64(pow - 1),
 		sizeOf:  opts.SizeOf,
 		onEvict: opts.OnEvict,
+		opts:    opts,
 	}
 	s.maxBytes.Store(opts.MaxBytes)
 	if ev := opts.Policy.Eviction; ev != nil {

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"cachecatalyst/internal/cachestore"
+	"cachecatalyst/internal/core"
+	"cachecatalyst/internal/telemetry"
+)
+
+// HotMapPath is the endpoint peers POST hot-map announcements to. Mount
+// Exchange.Handler there (the catalystd daemon does this automatically in
+// cluster mode).
+const HotMapPath = "/_cluster/hotmap"
+
+// hotMapMsg is one gossiped binding on the wire and in the local store:
+// this exact entity of this tenant's page, decorated, encodes to Enc until
+// Expires.
+type hotMapMsg struct {
+	Tenant  string `json:"tenant"`
+	Page    string `json:"page"`
+	Tag     string `json:"tag"`
+	Enc     string `json:"enc"`
+	Expires int64  `json:"expires"` // unix nanoseconds
+}
+
+// ExchangeOptions configures an Exchange.
+type ExchangeOptions struct {
+	// Instance is this node's ID (its ring member name); stamped on
+	// outgoing announcements for the debug surface.
+	Instance string
+	// Peers are the other instances' base URLs ("http://host:port");
+	// announcements POST to each peer's HotMapPath.
+	Peers []string
+	// Client performs the peer POSTs. Nil selects a client with a 2s
+	// timeout — gossip must never hold a goroutine hostage to a dead peer.
+	Client *http.Client
+	// MaxBytes bounds the store of received announcements. Zero selects
+	// 4 MiB.
+	MaxBytes int64
+	// MaxTTL caps how long a received announcement is trusted, whatever
+	// expiry the sender claims — a peer with a huge probe TTL must not
+	// pin this instance to its staleness budget. Zero selects 30 seconds.
+	MaxTTL time.Duration
+	// QueueLen bounds the async publish queue; when full, announcements
+	// are dropped (and counted), never blocked on. Zero selects 256.
+	QueueLen int
+	// Telemetry, when set, registers the exchange's counters under
+	// "cluster.*".
+	Telemetry *telemetry.Registry
+}
+
+// ExchangeMetrics counts exchange activity.
+type ExchangeMetrics struct {
+	// Published counts announcements accepted for gossip (before fan-out).
+	Published telemetry.Counter
+	// Received counts announcements accepted from peers.
+	Received telemetry.Counter
+	// Rejected counts announcements refused (malformed JSON, an encoding
+	// DecodeMap won't parse, expired on arrival).
+	Rejected telemetry.Counter
+	// Adopted counts Lookup hits — probe fan-outs avoided.
+	Adopted telemetry.Counter
+	// Dropped counts announcements discarded because the publish queue
+	// was full or a peer POST failed.
+	Dropped telemetry.Counter
+}
+
+// Exchange gossips hot X-Etag-Config encodings between instances. It
+// implements the middleware's MapExchange hook: Publish fans a freshly
+// built encoding out to peers asynchronously; Lookup consults what peers
+// have announced. All methods are safe for concurrent use.
+type Exchange struct {
+	opts    ExchangeOptions
+	client  *http.Client
+	local   *cachestore.Store[hotMapMsg]
+	queue   chan hotMapMsg
+	done    chan struct{}
+	wg      sync.WaitGroup
+	Metrics ExchangeMetrics
+}
+
+// NewExchange starts an exchange; Close releases its sender goroutine.
+func NewExchange(opts ExchangeOptions) *Exchange {
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = 4 << 20
+	}
+	if opts.MaxTTL <= 0 {
+		opts.MaxTTL = 30 * time.Second
+	}
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 256
+	}
+	e := &Exchange{
+		opts:   opts,
+		client: opts.Client,
+		queue:  make(chan hotMapMsg, opts.QueueLen),
+		done:   make(chan struct{}),
+	}
+	if e.client == nil {
+		e.client = &http.Client{Timeout: 2 * time.Second}
+	}
+	e.local = cachestore.New[hotMapMsg](cachestore.Options[hotMapMsg]{
+		MaxBytes: opts.MaxBytes,
+		SizeOf: func(key string, m hotMapMsg) int64 {
+			return int64(len(key) + len(m.Enc) + 64)
+		},
+		Telemetry: opts.Telemetry,
+		Name:      "cluster.hotmaps",
+	})
+	if opts.Telemetry != nil {
+		opts.Telemetry.RegisterCounter("cluster.published", &e.Metrics.Published)
+		opts.Telemetry.RegisterCounter("cluster.received", &e.Metrics.Received)
+		opts.Telemetry.RegisterCounter("cluster.rejected", &e.Metrics.Rejected)
+		opts.Telemetry.RegisterCounter("cluster.adopted", &e.Metrics.Adopted)
+		opts.Telemetry.RegisterCounter("cluster.dropped", &e.Metrics.Dropped)
+	}
+	e.wg.Add(1)
+	go e.sender()
+	return e
+}
+
+// Close stops the sender goroutine. Queued announcements are dropped.
+func (e *Exchange) Close() {
+	close(e.done)
+	e.wg.Wait()
+}
+
+func hotMapKey(tenant, page, tag string) string {
+	return tenant + "\x00" + page + "\x00" + tag
+}
+
+// Lookup returns a peer-announced encoding for the exact entity, if one is
+// held and unexpired. Implements catalyst.MapExchange.
+func (e *Exchange) Lookup(tenant, page, tag string) (string, int64, bool) {
+	m, ok := e.local.Get(hotMapKey(tenant, page, tag))
+	if !ok || time.Now().UnixNano() >= m.Expires {
+		return "", 0, false
+	}
+	e.Metrics.Adopted.Add(1)
+	return m.Enc, m.Expires, true
+}
+
+// Publish hands an encoding to the gossip queue. Never blocks: when the
+// queue is full the announcement is dropped — a peer will pay one probe
+// fan-out it could have skipped, nothing more. Implements
+// catalyst.MapExchange.
+func (e *Exchange) Publish(tenant, page, tag, enc string, expires int64) {
+	if len(e.opts.Peers) == 0 {
+		return
+	}
+	msg := hotMapMsg{Tenant: tenant, Page: page, Tag: tag, Enc: enc, Expires: expires}
+	select {
+	case e.queue <- msg:
+		e.Metrics.Published.Add(1)
+	default:
+		e.Metrics.Dropped.Add(1)
+	}
+}
+
+// sender drains the publish queue, POSTing each announcement to every
+// peer. Sequential fan-out on one goroutine is deliberate: gossip volume
+// is one message per freshly probed page per TTL, and a slow peer
+// backpressures into the bounded queue instead of spawning goroutines.
+func (e *Exchange) sender() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case msg := <-e.queue:
+			body, err := json.Marshal(msg)
+			if err != nil {
+				continue
+			}
+			for _, peer := range e.opts.Peers {
+				req, err := http.NewRequest(http.MethodPost, peer+HotMapPath, bytes.NewReader(body))
+				if err != nil {
+					e.Metrics.Dropped.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := e.client.Do(req)
+				if err != nil {
+					e.Metrics.Dropped.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					e.Metrics.Dropped.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// maxAnnouncementBytes bounds a POST body: a map encoding is already
+// capped at core.MaxEncodedMapBytes, plus key fields and JSON overhead.
+const maxAnnouncementBytes = core.MaxEncodedMapBytes + 64<<10
+
+// Handler accepts peer announcements: POST HotMapPath with one hotMapMsg.
+// Announcements are validated before they are trusted — the encoding must
+// parse as an ETag map and must not be expired — so a confused or hostile
+// peer cannot plant garbage a client would then be served.
+func (e *Exchange) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxAnnouncementBytes+1))
+		if err != nil || len(body) > maxAnnouncementBytes {
+			e.Metrics.Rejected.Add(1)
+			http.Error(w, "announcement too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		var msg hotMapMsg
+		if err := json.Unmarshal(body, &msg); err != nil || msg.Tenant == "" || msg.Page == "" || msg.Tag == "" {
+			e.Metrics.Rejected.Add(1)
+			http.Error(w, "malformed announcement", http.StatusBadRequest)
+			return
+		}
+		if _, err := core.DecodeMap(msg.Enc); err != nil {
+			e.Metrics.Rejected.Add(1)
+			http.Error(w, "malformed encoding", http.StatusBadRequest)
+			return
+		}
+		now := time.Now()
+		if msg.Expires <= now.UnixNano() {
+			e.Metrics.Rejected.Add(1)
+			http.Error(w, "expired announcement", http.StatusBadRequest)
+			return
+		}
+		// Cap the trust window to this instance's own tolerance.
+		if cap := now.Add(e.opts.MaxTTL).UnixNano(); msg.Expires > cap {
+			msg.Expires = cap
+		}
+		e.local.Put(hotMapKey(msg.Tenant, msg.Page, msg.Tag), msg)
+		e.Metrics.Received.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+// Mount wraps next so that HotMapPath reaches the exchange and everything
+// else falls through — the one-line daemon integration.
+func (e *Exchange) Mount(next http.Handler) http.Handler {
+	h := e.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == HotMapPath {
+			h.ServeHTTP(w, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

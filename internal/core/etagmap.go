@@ -19,6 +19,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"cachecatalyst/internal/cssparse"
 	"cachecatalyst/internal/etag"
@@ -48,11 +49,16 @@ func (m ETagMap) Get(path string) (etag.Tag, bool) {
 // sorting keeps the encoding canonical for tests and size accounting.
 func (m ETagMap) Encode() string {
 	paths := make([]string, 0, len(m))
+	size := 2 // braces
 	for p := range m {
 		paths = append(paths, p)
+		// Quotes, colon, comma, and the tag's own quoting; escaped
+		// strings may exceed this, which only costs one regrow.
+		size += len(p) + len(m[p].Opaque) + 12
 	}
 	sort.Strings(paths)
 	var b strings.Builder
+	b.Grow(size)
 	b.WriteByte('{')
 	for i, p := range paths {
 		if i > 0 {
@@ -66,9 +72,58 @@ func (m ETagMap) Encode() string {
 	return b.String()
 }
 
+// writeJSONString appends s as a JSON string literal, byte-identical to
+// json.Marshal's default (HTML-escaping) output. ASCII — including the
+// quotes every entity-tag wire form carries — is escaped inline; only
+// non-ASCII input defers to encoding/json, which owns the subtle cases
+// (U+2028/U+2029 line separators, invalid UTF-8) so the encoding stays
+// canonical.
+// jsonSafe marks the ASCII bytes that pass through a JSON string literal
+// unescaped under json.Marshal's defaults: printable, and none of the JSON
+// or HTML-sensitive metacharacters.
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for c := byte(0x20); c < utf8.RuneSelf; c++ {
+		t[c] = c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+	}
+	return
+}()
+
 func writeJSONString(b *strings.Builder, s string) {
-	enc, _ := json.Marshal(s) // strings always marshal
-	b.Write(enc)
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			enc, _ := json.Marshal(s) // strings always marshal
+			b.Write(enc)
+			return
+		}
+	}
+	b.WriteByte('"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if jsonSafe[c] {
+			continue
+		}
+		b.WriteString(s[start:i])
+		switch c {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default: // <, >, & (HTML escaping) and control bytes
+			const hex = "0123456789abcdef"
+			b.WriteString(`\u00`)
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xf])
+		}
+		start = i + 1
+	}
+	b.WriteString(s[start:])
+	b.WriteByte('"')
 }
 
 // WireSize returns the byte cost of carrying the encoded map in a response
@@ -76,7 +131,13 @@ func writeJSONString(b *strings.Builder, s string) {
 // charges this against the base-HTML transfer: proactive tokens are not
 // free, and the honesty of Figure 3 depends on counting them.
 func (m ETagMap) WireSize() int {
-	return len(HeaderName) + len(": ") + len(m.Encode()) + len("\r\n")
+	return WireSizeOf(m.Encode())
+}
+
+// WireSizeOf is WireSize for a map already in wire form, so a caller that
+// just called Encode does not pay for a second full encoding.
+func WireSizeOf(encoded string) int {
+	return len(HeaderName) + len(": ") + len(encoded) + len("\r\n")
 }
 
 // MaxEncodedMapBytes bounds the header value DecodeMap will touch. A

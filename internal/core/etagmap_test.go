@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -56,6 +57,30 @@ func TestEncodeCanonical(t *testing.T) {
 	}
 	if enc != m.Encode() {
 		t.Fatal("encoding not deterministic")
+	}
+}
+
+// TestWriteJSONStringMatchesMarshal pins the hand-rolled string encoder to
+// encoding/json's default output byte for byte: the wire form must not
+// drift from what a JavaScript Service Worker (or any JSON parser) was
+// tested against, including the HTML-escaping of <, >, and &.
+func TestWriteJSONStringMatchesMarshal(t *testing.T) {
+	cases := []string{
+		"", "/a.css", `"v123"`, `W/"weak"`, "back\\slash",
+		"<script>&amp;</script>", "ctrl\x00\x01\x1f", "tab\tnl\ncr\r",
+		"unicode-é  ", "invalid-\xff\xfe-utf8",
+		"/path?q=a&b=<c>", "mixed \"quote\" and ü",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("Marshal(%q): %v", s, err)
+		}
+		var b strings.Builder
+		writeJSONString(&b, s)
+		if b.String() != string(want) {
+			t.Errorf("writeJSONString(%q) = %s, want %s", s, b.String(), want)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"cachecatalyst/internal/headers"
 	"cachecatalyst/internal/resilience"
 	"cachecatalyst/internal/telemetry"
+	"cachecatalyst/internal/tenant"
 	"cachecatalyst/internal/vclock"
 )
 
@@ -125,10 +126,59 @@ type Server struct {
 	access     *accessLog
 	renders    *cachestore.Store[*pageRender] // nil when disabled
 	deltaBases *cachestore.Store[[]byte]      // previous page bodies; nil unless Options.Delta
+	// tenantNS memoizes per-tenant namespaced views of renders and
+	// deltaBases, keyed by tenant name. Requests whose context carries a
+	// tenant (internal/tenant) render into their tenant's namespace, so
+	// one tenant's page churn cannot evict another's renders; tenantless
+	// requests use the parent stores directly, unchanged.
+	tenantNS   sync.Map             // string → *tenantCaches
 	mapGate    *resilience.Gate               // map-resolution admission; nil when disabled
 	serveNS    *telemetry.Histogram           // nil without telemetry
 	dateHdr    atomic.Pointer[dateHeader]     // per-second Date value cache
 	Metrics    Metrics
+}
+
+// tenantCaches is one tenant's namespaced slice of the server's derived
+// caches.
+type tenantCaches struct {
+	renders    *cachestore.Store[*pageRender]
+	deltaBases *cachestore.Store[[]byte]
+}
+
+// cachesFor resolves the render and delta-base stores for a request: the
+// tenant's namespaces when the context carries one, the process-global
+// stores otherwise. The tenantless path is one context lookup — no lock,
+// no allocation — which is what keeps the warm-serve alloc budget at zero.
+func (s *Server) cachesFor(ctx context.Context) (*cachestore.Store[*pageRender], *cachestore.Store[[]byte]) {
+	t, ok := tenant.FromContext(ctx)
+	if !ok {
+		return s.renders, s.deltaBases
+	}
+	if v, ok := s.tenantNS.Load(t.Name); ok {
+		c := v.(*tenantCaches)
+		return c.renders, c.deltaBases
+	}
+	prefix := "tenant." + t.Name + "."
+	c := &tenantCaches{}
+	if s.renders != nil {
+		c.renders = s.renders.NamespaceWith(t.Name, cachestore.NamespaceOptions{
+			MaxBytes:      t.BudgetBytes,
+			TelemetryName: prefix + "server_renders",
+		})
+	}
+	if s.deltaBases != nil {
+		half := t.BudgetBytes / 2
+		if t.BudgetBytes < 0 {
+			half = -1
+		}
+		c.deltaBases = s.deltaBases.NamespaceWith(t.Name, cachestore.NamespaceOptions{
+			MaxBytes:      half,
+			TelemetryName: prefix + "server_delta_bases",
+		})
+	}
+	v, _ := s.tenantNS.LoadOrStore(t.Name, c)
+	c = v.(*tenantCaches)
+	return c.renders, c.deltaBases
 }
 
 // dateHeader caches one second's worth of Date header value: HTTP dates
@@ -326,8 +376,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 
 	isHTML := IsHTML(res.ContentType)
 	var pr *pageRender
+	renders, deltaBases := s.renders, s.deltaBases
 	if s.opts.Catalyst && isHTML {
-		pr = s.renderPage(p, res)
+		renders, deltaBases = s.cachesFor(ctx)
+		pr = s.renderPage(renders, p, res)
 	}
 
 	if s.opts.EarlyHints && isHTML {
@@ -343,10 +395,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 		tag = pr.tag
 		etagHdr = pr.etagHdr
 		clenHdr = pr.clenHdr
-		if s.deltaBases != nil {
-			s.deltaBases.Put(pr.deltaKey, body)
+		if deltaBases != nil {
+			deltaBases.Put(pr.deltaKey, body)
 			if baseTag := r.Header.Get(delta.RequestHeader); baseTag != "" && baseTag != pr.tagStr {
-				if base, okB := s.deltaBases.Get(p + "\x00" + baseTag); okB {
+				if base, okB := deltaBases.Get(p + "\x00" + baseTag); okB {
 					deltaBase, deltaFrom = base, baseTag
 				}
 			}
@@ -361,9 +413,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 			m := s.resolveMap(ctx, p, pr.refs, sessionID)
 			s.releaseMap()
 			mapEntries = len(m)
-			h.Set(core.HeaderName, m.Encode())
+			enc := m.Encode()
+			h.Set(core.HeaderName, enc)
 			s.Metrics.MapsBuilt.Add(1)
-			s.Metrics.MapBytes.Add(int64(m.WireSize()))
+			s.Metrics.MapBytes.Add(int64(core.WireSizeOf(enc)))
 			s.decide(ctx, h, "map-built", p)
 		}
 	} else if s.recorder != nil && !isHTML {
@@ -526,7 +579,7 @@ var renderKeyPool = sync.Pool{New: func() any { return new([]byte) }}
 // (path, content validator). The stored ETag commits to the stored body —
 // that is what makes it a validator — so a changed page keys to a new entry
 // and stale renders are never served; they simply age out of the LRU.
-func (s *Server) renderPage(p string, res *Resource) *pageRender {
+func (s *Server) renderPage(renders *cachestore.Store[*pageRender], p string, res *Resource) *pageRender {
 	build := func() (*pageRender, error) {
 		body := string(res.Body)
 		injected := []byte(core.InjectRegistration(body))
@@ -543,7 +596,7 @@ func (s *Server) renderPage(p string, res *Resource) *pageRender {
 		pr.deltaKey = p + "\x00" + pr.tagStr
 		return pr, nil
 	}
-	if s.renders == nil {
+	if renders == nil {
 		pr, _ := build()
 		return pr
 	}
@@ -555,13 +608,13 @@ func (s *Server) renderPage(p string, res *Resource) *pageRender {
 	key := append((*bufp)[:0], p...)
 	key = append(key, 0)
 	key = append(key, rh.tagStr...)
-	pr, ok := s.renders.GetBytes(key)
+	pr, ok := renders.GetBytes(key)
 	*bufp = key
 	renderKeyPool.Put(bufp)
 	if ok {
 		return pr
 	}
-	pr, _ = s.renders.GetOrLoad(p+"\x00"+rh.tagStr, build)
+	pr, _ = renders.GetOrLoad(p+"\x00"+rh.tagStr, build)
 	return pr
 }
 
